@@ -1,0 +1,134 @@
+// Experiment E9/E10 (Theorems 7.1, 7.3, 7.5): view-based query answering
+// via the reduction to CSP. Measures certain-answer decisions as the view
+// extensions grow (data complexity — co-NP in the worst case, so the
+// search may blow up on adversarial inputs), the one-time template
+// construction cost, the CSP-to-views round trip, and the (polynomial)
+// maximal-rewriting approximation. Expected shape: rewriting evaluation
+// scales smoothly; exact certain-answer decisions are feasible at small
+// scale and dominated by the homomorphism search.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "views/certain_answers.h"
+#include "views/constraint_template.h"
+#include "views/csp_to_views.h"
+#include "views/rewriting.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+ViewSetting ChainSetting() {
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V0", ParseRegex("ab", setting.alphabet)});
+  setting.views.push_back({"V1", ParseRegex("b", setting.alphabet)});
+  setting.query = ParseRegex("(ab)*b", setting.alphabet);
+  return setting;
+}
+
+ViewInstance RandomInstance(int objects, int edges_per_view,
+                            uint64_t seed) {
+  Rng rng(seed);
+  ViewInstance instance;
+  instance.num_objects = objects;
+  instance.ext.resize(2);
+  for (int i = 0; i < 2; ++i) {
+    for (int e = 0; e < edges_per_view; ++e) {
+      instance.ext[i].push_back({rng.UniformInt(0, objects - 1),
+                                 rng.UniformInt(0, objects - 1)});
+    }
+  }
+  return instance;
+}
+
+void BM_BuildConstraintTemplate(benchmark::State& state) {
+  ViewSetting setting = ChainSetting();
+  for (auto _ : state) {
+    ConstraintTemplate tmpl = BuildConstraintTemplate(setting);
+    benchmark::DoNotOptimize(tmpl.b.TotalTuples());
+  }
+}
+
+void BM_CertainAnswerDecision(benchmark::State& state) {
+  int objects = static_cast<int>(state.range(0));
+  ViewSetting setting = ChainSetting();
+  ViewInstance instance = RandomInstance(objects, objects, 7);
+  ConstraintTemplate tmpl = BuildConstraintTemplate(setting);
+  int64_t certain = 0;
+  for (auto _ : state) {
+    certain +=
+        CertainAnswerViaCsp(tmpl, setting, instance, 0, objects - 1) ? 1
+                                                                     : 0;
+  }
+  state.counters["certain"] = certain > 0 ? 1 : 0;
+}
+
+void BM_FullCertainAnswerSet(benchmark::State& state) {
+  int objects = static_cast<int>(state.range(0));
+  ViewSetting setting = ChainSetting();
+  ViewInstance instance = RandomInstance(objects, objects, 7);
+  int64_t size = 0;
+  for (auto _ : state) {
+    size = static_cast<int64_t>(CertainAnswers(setting, instance).size());
+  }
+  state.counters["certain_pairs"] = static_cast<double>(size);
+}
+
+void BM_RewritingAnswers(benchmark::State& state) {
+  int objects = static_cast<int>(state.range(0));
+  ViewSetting setting = ChainSetting();
+  ViewInstance instance = RandomInstance(objects, 2 * objects, 9);
+  int64_t size = 0;
+  for (auto _ : state) {
+    size = static_cast<int64_t>(RewritingAnswers(setting, instance).size());
+  }
+  state.counters["pairs"] = static_cast<double>(size);
+}
+
+void BM_CertainByKConsistencyApprox(benchmark::State& state) {
+  // The polynomial Datalog-style certificate vs the exact co-NP check.
+  int objects = static_cast<int>(state.range(0));
+  ViewSetting setting = ChainSetting();
+  ViewInstance instance = RandomInstance(objects, objects, 7);
+  ConstraintTemplate tmpl = BuildConstraintTemplate(setting);
+  int64_t certified = 0;
+  for (auto _ : state) {
+    certified += CertainByKConsistency(tmpl, setting, instance, 0,
+                                       objects - 1, 2)
+                     ? 1
+                     : 0;
+  }
+  state.counters["certified"] = certified > 0 ? 1 : 0;
+}
+
+void BM_CspToViewsRoundTrip(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  Structure a = RandomDigraph(n, 2.0 / n, &rng);
+  Structure b = RandomDigraph(2, 0.5, &rng, /*allow_loops=*/true);
+  int64_t agree = 0;
+  for (auto _ : state) {
+    CspToViewsReduction red = ReduceCspToViewAnswering(a, b);
+    bool not_certain =
+        !CertainAnswerViaCsp(red.setting, red.instance, red.c, red.d);
+    agree += (not_certain == FindHomomorphism(a, b).has_value()) ? 1 : 0;
+  }
+  state.counters["agree"] = agree > 0 ? 1 : 0;
+}
+
+BENCHMARK(BM_BuildConstraintTemplate);
+BENCHMARK(BM_CertainAnswerDecision)->DenseRange(4, 12, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullCertainAnswerSet)->DenseRange(4, 8, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RewritingAnswers)->RangeMultiplier(2)->Range(8, 64);
+BENCHMARK(BM_CertainByKConsistencyApprox)->DenseRange(4, 12, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CspToViewsRoundTrip)->DenseRange(3, 7, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,102 @@
+// Experiment E7b (Section 6 extensions): the other width-based solvers —
+// hypertree decompositions (acyclic instances get width 1 and the
+// Yannakakis route) and the bounded-variable-formula evaluation of
+// Proposition 6.1 — against bucket elimination on the same instances.
+
+#include <benchmark/benchmark.h>
+
+#include "csp/convert.h"
+#include "csp/solver.h"
+#include "gen/generators.h"
+#include "logic/bounded_formula.h"
+#include "relational/structure.h"
+#include "treewidth/bucket_elimination.h"
+#include "treewidth/counting.h"
+#include "treewidth/gaifman.h"
+#include "treewidth/heuristics.h"
+#include "treewidth/hypertree.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+void BM_HypertreeSolve(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  CspInstance csp = RandomTreewidthCsp(n, 2, 3, 0.3, 0.95, &rng);
+  int width = 0;
+  int64_t solvable = 0;
+  for (auto _ : state) {
+    solvable += SolveWithHypertreeHeuristic(csp, &width).has_value();
+  }
+  state.counters["width"] = width;
+  state.counters["solvable"] = solvable > 0 ? 1 : 0;
+}
+
+void BM_BucketSolve(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  CspInstance csp = RandomTreewidthCsp(n, 2, 3, 0.3, 0.95, &rng);
+  int64_t solvable = 0;
+  for (auto _ : state) {
+    solvable += SolveWithTreewidthHeuristic(csp).has_value();
+  }
+  state.counters["solvable"] = solvable > 0 ? 1 : 0;
+}
+
+void BM_BoundedFormulaEvaluation(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  Structure a = RandomTreewidthDigraph(n, 2, 0.85, &rng);
+  Structure b = RandomDigraph(4, 0.4, &rng, /*allow_loops=*/true);
+  BoundedFormula phi = FormulaForStructure(a);
+  int64_t holds = 0;
+  for (auto _ : state) {
+    holds += EvaluateSentence(phi, b) ? 1 : 0;
+  }
+  state.counters["registers"] = phi.RegisterCount();
+  state.counters["holds"] = holds > 0 ? 1 : 0;
+}
+
+void BM_CountByElimination(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  CspInstance csp = RandomTreewidthCsp(n, 2, 3, 0.25, 0.95, &rng);
+  int64_t count = 0;
+  for (auto _ : state) {
+    count = CountSolutionsWithTreewidthHeuristic(csp);
+  }
+  state.counters["count"] = static_cast<double>(count);
+}
+
+void BM_CountBySearchEnumeration(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  CspInstance csp = RandomTreewidthCsp(n, 2, 3, 0.25, 0.95, &rng);
+  int64_t count = 0;
+  for (auto _ : state) {
+    BacktrackingSolver solver(csp);
+    count = solver.CountSolutions(2000000);
+  }
+  state.counters["count"] = static_cast<double>(count);
+}
+
+void BM_FormulaConstruction(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  Structure a = RandomTreewidthDigraph(n, 2, 0.85, &rng);
+  for (auto _ : state) {
+    BoundedFormula phi = FormulaForStructure(a);
+    benchmark::DoNotOptimize(phi.RegisterCount());
+  }
+}
+
+BENCHMARK(BM_HypertreeSolve)->DenseRange(10, 40, 10);
+BENCHMARK(BM_BucketSolve)->DenseRange(10, 40, 10);
+BENCHMARK(BM_BoundedFormulaEvaluation)->DenseRange(10, 40, 10);
+BENCHMARK(BM_FormulaConstruction)->DenseRange(10, 40, 10);
+BENCHMARK(BM_CountByElimination)->DenseRange(8, 20, 4);
+BENCHMARK(BM_CountBySearchEnumeration)->DenseRange(8, 20, 4);
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,97 @@
+// A miniature Datalog tool: reads a program (rule syntax) and a database
+// (structure text format) from files, or runs a built-in ancestry demo,
+// then prints the derived goal facts from both evaluators.
+//
+// Usage: datalog_demo [program.dl database.txt]
+
+#include <cstdio>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "datalog/eval.h"
+#include "io/rule_parser.h"
+#include "io/text_format.h"
+
+namespace {
+
+constexpr char kDemoProgram[] =
+    "% ancestry: transitive closure of Parent, restricted to Person\n"
+    "Ancestor(x, y) :- Parent(x, y).\n"
+    "Ancestor(x, y) :- Ancestor(x, z), Parent(z, y).\n"
+    "Matriarch(x) :- Ancestor(x, y), Eldest(x).\n";
+
+constexpr char kDemoDatabase[] =
+    "structure\n"
+    "domain 6\n"
+    "relation Parent 2\n"
+    "relation Eldest 1\n"
+    "tuple Parent 0 1\n"
+    "tuple Parent 0 2\n"
+    "tuple Parent 1 3\n"
+    "tuple Parent 2 4\n"
+    "tuple Parent 4 5\n"
+    "tuple Eldest 0\n";
+
+std::string ReadFile(const char* path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cspdb;
+
+  std::string program_text =
+      argc > 2 ? ReadFile(argv[1]) : std::string(kDemoProgram);
+  std::string database_text =
+      argc > 2 ? ReadFile(argv[2]) : std::string(kDemoDatabase);
+  if (argc <= 2) {
+    std::printf("(no files given; running the built-in ancestry demo)\n\n");
+  }
+
+  DatalogProgram program = ParseDatalogProgram(program_text);
+  Structure database = ParseStructure(database_text);
+
+  std::printf("Program (%zu rules, width %d, goal %s):\n",
+              program.rules().size(), program.Width(),
+              program.goal().c_str());
+  for (const DatalogRule& rule : program.rules()) {
+    std::printf("  %s\n", rule.ToString().c_str());
+  }
+
+  DatalogResult naive = EvaluateNaive(program, database);
+  DatalogResult semi = EvaluateSemiNaive(program, database);
+  std::printf("\nNaive:     %lld derivations over %lld rounds\n",
+              static_cast<long long>(naive.derivations),
+              static_cast<long long>(naive.iterations));
+  std::printf("Semi-naive: %lld derivations over %lld rounds\n",
+              static_cast<long long>(semi.derivations),
+              static_cast<long long>(semi.iterations));
+
+  std::printf("\nDerived %s facts:\n", program.goal().c_str());
+  for (const Tuple& fact : semi.Facts(program.goal())) {
+    std::printf("  %s(", program.goal().c_str());
+    for (std::size_t i = 0; i < fact.size(); ++i) {
+      std::printf("%s%d", i > 0 ? ", " : "", fact[i]);
+    }
+    std::printf(")\n");
+  }
+  bool agree = true;
+  for (const std::string& pred : program.predicates()) {
+    if (program.IsIdb(pred) && naive.Facts(pred) != semi.Facts(pred)) {
+      agree = false;
+    }
+  }
+  std::printf("\nEvaluators agree on every IDB: %s\n",
+              agree ? "yes" : "NO (bug!)");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: model a small CSP, view it as a homomorphism problem and as
+// a join-evaluation problem, and solve it three ways. Mirrors Section 2
+// of the paper in ~80 lines.
+
+#include <cstdio>
+
+#include "csp/convert.h"
+#include "csp/instance.h"
+#include "csp/solver.h"
+#include "db/algebra.h"
+#include "relational/homomorphism.h"
+
+int main() {
+  using namespace cspdb;
+
+  // A tiny scheduling puzzle: three tasks, three time slots; tasks 0 and
+  // 1 conflict, tasks 1 and 2 conflict, and task 0 must run before task 2.
+  CspInstance csp(/*num_variables=*/3, /*num_values=*/3);
+  csp.SetVariableName(0, "taskA");
+  csp.SetVariableName(1, "taskB");
+  csp.SetVariableName(2, "taskC");
+
+  std::vector<Tuple> different;
+  std::vector<Tuple> before;
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      if (x != y) different.push_back({x, y});
+      if (x < y) before.push_back({x, y});
+    }
+  }
+  csp.AddConstraint({0, 1}, different);
+  csp.AddConstraint({1, 2}, different);
+  csp.AddConstraint({0, 2}, before);
+
+  std::printf("Instance:\n%s\n", csp.DebugString().c_str());
+
+  // 1. Solve by backtracking search (MAC + MRV).
+  BacktrackingSolver solver(csp);
+  auto solution = solver.Solve();
+  if (solution.has_value()) {
+    std::printf("Search found a solution:\n");
+    for (int v = 0; v < csp.num_variables(); ++v) {
+      std::printf("  %s -> slot %d\n", csp.VariableName(v).c_str(),
+                  (*solution)[v]);
+    }
+    std::printf("  (%lld nodes explored)\n",
+                static_cast<long long>(solver.stats().nodes));
+  }
+
+  // 2. The same instance as a homomorphism problem (Section 2).
+  HomInstance hom = ToHomomorphismInstance(csp);
+  std::printf("\nAs a homomorphism problem: A has %d tuples over %d "
+              "relations, B is the template.\n",
+              hom.a.TotalTuples(), hom.a.vocabulary().size());
+  auto h = FindHomomorphism(hom.a, hom.b);
+  std::printf("Homomorphism exists: %s\n", h.has_value() ? "yes" : "no");
+
+  // 3. The same instance as join evaluation (Proposition 2.1).
+  int64_t peak = 0;
+  bool solvable = SolvableByJoin(csp, &peak);
+  std::printf("\nAs join evaluation: join nonempty = %s (peak "
+              "intermediate %lld rows)\n",
+              solvable ? "yes" : "no", static_cast<long long>(peak));
+
+  // All three views agree — that is Section 2 of the paper.
+  std::printf("\nAll three formulations agree: %s\n",
+              (solution.has_value() == h.has_value() &&
+               h.has_value() == solvable)
+                  ? "yes"
+                  : "NO (bug!)");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Series-parallel job scheduling: a bounded-treewidth CSP solved by
+// bucket elimination (Theorem 6.2). Jobs form a chain of dependent
+// stages with occasional cross constraints — the primal graph is a
+// partial 2-tree, so the instance is solvable in O(n d^3) regardless of
+// how many jobs there are.
+
+#include <cstdio>
+
+#include "csp/instance.h"
+#include "csp/solver.h"
+#include "treewidth/bucket_elimination.h"
+#include "treewidth/exact.h"
+#include "treewidth/gaifman.h"
+#include "treewidth/heuristics.h"
+
+int main() {
+  using namespace cspdb;
+
+  const int kJobs = 18;
+  const int kSlots = 4;
+  CspInstance schedule(kJobs, kSlots);
+
+  std::vector<Tuple> strictly_before;
+  std::vector<Tuple> not_equal;
+  for (int x = 0; x < kSlots; ++x) {
+    for (int y = 0; y < kSlots; ++y) {
+      if (x < y) strictly_before.push_back({x, y});
+      if (x != y) not_equal.push_back({x, y});
+    }
+  }
+
+  // Chain of dependencies: job i finishes before job i+1 every third
+  // step; otherwise they merely must not share a slot.
+  for (int i = 0; i + 1 < kJobs; ++i) {
+    schedule.AddConstraint({i, i + 1},
+                           i % 3 == 0 ? strictly_before : not_equal);
+  }
+  // Cross constraints one step apart keep the width at 2.
+  for (int i = 0; i + 2 < kJobs; i += 4) {
+    schedule.AddConstraint({i, i + 2}, not_equal);
+  }
+
+  Graph primal = GaifmanGraphOfCsp(schedule);
+  std::printf("Jobs: %d, slots: %d, constraints: %zu\n", kJobs, kSlots,
+              schedule.constraints().size());
+  std::printf("Primal graph treewidth: %d (min-fill width %d)\n",
+              ExactTreewidth(primal),
+              InducedWidth(primal, MinFillOrdering(primal)));
+
+  BucketStats stats;
+  auto solution = SolveWithTreewidthHeuristic(schedule, &stats);
+  if (!solution.has_value()) {
+    std::printf("No feasible schedule.\n");
+    return 1;
+  }
+  std::printf("Bucket elimination solved it (max table %lld rows):\n",
+              static_cast<long long>(stats.max_table_rows));
+  for (int i = 0; i < kJobs; ++i) {
+    std::printf("  job %2d -> slot %d\n", i, (*solution)[i]);
+  }
+
+  // Cross-check with search.
+  BacktrackingSolver solver(schedule);
+  std::printf("Search agrees: %s\n",
+              solver.Solve().has_value() ? "yes" : "NO (bug!)");
+  return 0;
+}

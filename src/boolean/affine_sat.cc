@@ -1,0 +1,74 @@
+#include "boolean/affine_sat.h"
+
+#include "util/check.h"
+
+namespace cspdb {
+
+bool XorSystem::Evaluate(const std::vector<int>& assignment) const {
+  CSPDB_CHECK(static_cast<int>(assignment.size()) == num_variables);
+  for (const XorClause& clause : clauses) {
+    int sum = 0;
+    for (int v : clause.vars) {
+      CSPDB_CHECK(v >= 0 && v < num_variables);
+      sum ^= assignment[v];
+    }
+    if (sum != (clause.rhs & 1)) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<int>> SolveXor(const XorSystem& system) {
+  int n = system.num_variables;
+  // Dense rows: n coefficient bits + rhs.
+  std::vector<std::vector<char>> rows;
+  for (const XorClause& clause : system.clauses) {
+    std::vector<char> row(n + 1, 0);
+    for (int v : clause.vars) {
+      CSPDB_CHECK(v >= 0 && v < n);
+      row[v] ^= 1;
+    }
+    row[n] = static_cast<char>(clause.rhs & 1);
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<int> pivot_of_col(n, -1);
+  int rank = 0;
+  for (int col = 0; col < n && rank < static_cast<int>(rows.size());
+       ++col) {
+    int pivot = -1;
+    for (int r = rank; r < static_cast<int>(rows.size()); ++r) {
+      if (rows[r][col]) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (int r = 0; r < static_cast<int>(rows.size()); ++r) {
+      if (r != rank && rows[r][col]) {
+        for (int c = col; c <= n; ++c) rows[r][c] ^= rows[rank][c];
+      }
+    }
+    pivot_of_col[col] = rank;
+    ++rank;
+  }
+  // Inconsistency: a zero row with rhs 1.
+  for (const auto& row : rows) {
+    bool all_zero = true;
+    for (int c = 0; c < n; ++c) {
+      if (row[c]) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero && row[n]) return std::nullopt;
+  }
+  std::vector<int> solution(n, 0);
+  for (int col = 0; col < n; ++col) {
+    if (pivot_of_col[col] >= 0) solution[col] = rows[pivot_of_col[col]][n];
+  }
+  CSPDB_CHECK(system.Evaluate(solution));
+  return solution;
+}
+
+}  // namespace cspdb

@@ -1,0 +1,34 @@
+// Affine satisfiability: systems of XOR equations over GF(2) solved by
+// Gaussian elimination — Schaefer's affine class (paper, Section 3; the
+// group-theoretic tractability condition of Feder-Vardi).
+
+#ifndef CSPDB_BOOLEAN_AFFINE_SAT_H_
+#define CSPDB_BOOLEAN_AFFINE_SAT_H_
+
+#include <optional>
+#include <vector>
+
+namespace cspdb {
+
+/// One equation: sum of `vars` (mod 2, duplicates cancel) equals `rhs`.
+struct XorClause {
+  std::vector<int> vars;
+  int rhs = 0;  // 0 or 1
+};
+
+/// A linear system over GF(2).
+struct XorSystem {
+  int num_variables = 0;
+  std::vector<XorClause> clauses;
+
+  /// True if the 0/1 assignment satisfies every equation.
+  bool Evaluate(const std::vector<int>& assignment) const;
+};
+
+/// Gaussian elimination. Returns a solution (free variables set to 0), or
+/// std::nullopt if the system is inconsistent.
+std::optional<std::vector<int>> SolveXor(const XorSystem& system);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_BOOLEAN_AFFINE_SAT_H_

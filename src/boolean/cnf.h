@@ -1,0 +1,82 @@
+// CNF formulas and their encoding as homomorphism/CSP instances over a
+// Boolean template (paper, Section 3: Boolean structures B make CSP(B) a
+// generalized satisfiability problem in the sense of Schaefer).
+
+#ifndef CSPDB_BOOLEAN_CNF_H_
+#define CSPDB_BOOLEAN_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// A literal: variable id plus sign.
+struct Literal {
+  int var = 0;
+  bool positive = true;
+};
+
+/// A disjunction of literals.
+struct Clause {
+  std::vector<Literal> literals;
+};
+
+/// A CNF formula over variables 0..num_variables-1.
+struct CnfFormula {
+  int num_variables = 0;
+  std::vector<Clause> clauses;
+
+  /// True if the 0/1 `assignment` satisfies every clause.
+  bool Evaluate(const std::vector<int>& assignment) const;
+
+  /// At most one positive literal per clause.
+  bool IsHorn() const;
+
+  /// At most one negative literal per clause.
+  bool IsDualHorn() const;
+
+  /// Every clause has at most two literals.
+  bool Is2Cnf() const;
+
+  /// Largest clause size (0 if no clauses).
+  int MaxClauseSize() const;
+
+  std::string ToString() const;
+};
+
+/// The vocabulary of the CNF encoding for clauses of up to
+/// `max_clause_size` literals: relation OR_<j>_<r> of arity r holds the
+/// variable tuples of r-literal clauses whose first j literals are
+/// negated (0 <= j <= r).
+Vocabulary CnfVocabulary(int max_clause_size);
+
+/// The Horn fragment of CnfVocabulary: only shapes with at most one
+/// positive literal (j >= r-1).
+Vocabulary HornVocabulary(int max_clause_size);
+
+/// The Boolean template over `voc` (a subset of some CnfVocabulary):
+/// domain {0, 1}, each OR_<j>_<r> containing exactly the satisfying
+/// assignments of the clause shape. CSP(A_phi, template) is
+/// satisfiability of phi.
+Structure SatTemplateOver(const Vocabulary& voc);
+
+/// SatTemplateOver(CnfVocabulary(max_clause_size)).
+Structure SatTemplate(int max_clause_size);
+
+/// SatTemplateOver(HornVocabulary(max_clause_size)) — a min-closed
+/// template.
+Structure HornTemplate(int max_clause_size);
+
+/// The 2-CNF template SatTemplate(2) — a majority-closed template.
+Structure TwoSatTemplate();
+
+/// The instance structure A_phi over `voc`: one tuple per clause with
+/// negated literals listed first. Every clause shape must exist in `voc`
+/// and clauses must be nonempty.
+Structure CnfToStructure(const CnfFormula& phi, const Vocabulary& voc);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_BOOLEAN_CNF_H_

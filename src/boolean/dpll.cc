@@ -1,0 +1,149 @@
+#include "boolean/dpll.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Assignment values.
+constexpr int kFree = -1;
+
+class Dpll {
+ public:
+  explicit Dpll(const CnfFormula& phi)
+      : phi_(phi), assignment_(phi.num_variables, kFree) {}
+
+  std::optional<std::vector<int>> Solve(DpllStats* stats) {
+    stats_ = DpllStats{};
+    bool sat = Search();
+    if (stats != nullptr) *stats = stats_;
+    if (!sat) return std::nullopt;
+    std::vector<int> model(phi_.num_variables, 0);
+    for (int v = 0; v < phi_.num_variables; ++v) {
+      model[v] = assignment_[v] == 1 ? 1 : 0;
+    }
+    CSPDB_CHECK(phi_.Evaluate(model));
+    return model;
+  }
+
+ private:
+  // Clause state under the current assignment.
+  enum class ClauseState { kSatisfied, kConflict, kUnit, kOpen };
+
+  ClauseState Examine(const Clause& clause, Literal* unit) const {
+    int free_count = 0;
+    const Literal* free_lit = nullptr;
+    for (const Literal& lit : clause.literals) {
+      int value = assignment_[lit.var];
+      if (value == kFree) {
+        ++free_count;
+        free_lit = &lit;
+      } else if ((value == 1) == lit.positive) {
+        return ClauseState::kSatisfied;
+      }
+    }
+    if (free_count == 0) return ClauseState::kConflict;
+    if (free_count == 1) {
+      *unit = *free_lit;
+      return ClauseState::kUnit;
+    }
+    return ClauseState::kOpen;
+  }
+
+  // Unit propagation to fixpoint. Records assigned variables on the
+  // trail; returns false on conflict.
+  bool Propagate(std::vector<int>* trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& clause : phi_.clauses) {
+        Literal unit;
+        switch (Examine(clause, &unit)) {
+          case ClauseState::kConflict:
+            ++stats_.conflicts;
+            return false;
+          case ClauseState::kUnit:
+            assignment_[unit.var] = unit.positive ? 1 : 0;
+            trail->push_back(unit.var);
+            ++stats_.propagations;
+            changed = true;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Picks the free variable occurring most often in non-satisfied
+  // clauses, preferring its majority polarity. Returns kFree if none.
+  Literal PickBranch() const {
+    std::vector<int> pos(phi_.num_variables, 0);
+    std::vector<int> neg(phi_.num_variables, 0);
+    for (const Clause& clause : phi_.clauses) {
+      Literal unused;
+      if (Examine(clause, &unused) == ClauseState::kSatisfied) continue;
+      for (const Literal& lit : clause.literals) {
+        if (assignment_[lit.var] != kFree) continue;
+        (lit.positive ? pos : neg)[lit.var] += 1;
+      }
+    }
+    int best = kFree;
+    for (int v = 0; v < phi_.num_variables; ++v) {
+      if (assignment_[v] != kFree) continue;
+      if (best == kFree ||
+          pos[v] + neg[v] > pos[best] + neg[best]) {
+        best = v;
+      }
+    }
+    if (best == kFree) return {kFree, true};
+    return {best, pos[best] >= neg[best]};
+  }
+
+  bool Search() {
+    std::vector<int> trail;
+    if (!Propagate(&trail)) {
+      Undo(trail);
+      return false;
+    }
+    Literal branch = PickBranch();
+    if (branch.var == kFree) return true;  // everything determined
+    ++stats_.decisions;
+    for (bool first : {true, false}) {
+      bool polarity = first ? branch.positive : !branch.positive;
+      assignment_[branch.var] = polarity ? 1 : 0;
+      std::vector<int> subtrail{branch.var};
+      if (Search()) return true;
+      Undo(subtrail);
+    }
+    Undo(trail);
+    return false;
+  }
+
+  void Undo(const std::vector<int>& trail) {
+    for (int v : trail) assignment_[v] = kFree;
+  }
+
+  const CnfFormula& phi_;
+  std::vector<int> assignment_;
+  DpllStats stats_;
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> SolveDpll(const CnfFormula& phi,
+                                          DpllStats* stats) {
+  for (const Clause& clause : phi.clauses) {
+    if (clause.literals.empty()) {
+      if (stats != nullptr) *stats = DpllStats{};
+      return std::nullopt;  // empty clause: trivially unsatisfiable
+    }
+  }
+  Dpll solver(phi);
+  return solver.Solve(stats);
+}
+
+}  // namespace cspdb

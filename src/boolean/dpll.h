@@ -1,0 +1,33 @@
+// A small complete DPLL SAT solver (unit propagation, pure-literal
+// elimination, most-occurring-literal branching). Boolean satisfiability
+// is the paper's flagship NP-complete CSP (Section 1, Section 3's
+// generalized satisfiability); this solver closes the loop: arbitrary
+// CSP instances reduce to SAT via the direct encoding in
+// csp/sat_encoding.h and come back through this solver.
+
+#ifndef CSPDB_BOOLEAN_DPLL_H_
+#define CSPDB_BOOLEAN_DPLL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "boolean/cnf.h"
+
+namespace cspdb {
+
+/// Counters reported by the DPLL search.
+struct DpllStats {
+  int64_t decisions = 0;
+  int64_t propagations = 0;
+  int64_t conflicts = 0;
+};
+
+/// Complete DPLL. Returns a model or std::nullopt if unsatisfiable.
+/// Handles empty clauses, duplicate and tautological literals.
+std::optional<std::vector<int>> SolveDpll(const CnfFormula& phi,
+                                          DpllStats* stats = nullptr);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_BOOLEAN_DPLL_H_

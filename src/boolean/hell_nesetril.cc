@@ -1,0 +1,170 @@
+#include "boolean/hell_nesetril.h"
+
+#include <deque>
+
+#include "relational/homomorphism.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Adjacency lists of a symmetric structure over {E/2}.
+std::vector<std::vector<int>> Adjacency(const Structure& g) {
+  std::vector<std::vector<int>> adj(g.domain_size());
+  int e = g.vocabulary().IndexOf("E");
+  CSPDB_CHECK(e >= 0);
+  for (const Tuple& t : g.tuples(e)) adj[t[0]].push_back(t[1]);
+  return adj;
+}
+
+// BFS bipartition; returns sides (0/1 per vertex) or empty on failure.
+std::vector<int> Bipartition(const Structure& g) {
+  std::vector<std::vector<int>> adj = Adjacency(g);
+  std::vector<int> side(g.domain_size(), -1);
+  for (int start = 0; start < g.domain_size(); ++start) {
+    if (side[start] != -1) continue;
+    side[start] = 0;
+    std::deque<int> queue{start};
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      for (int v : adj[u]) {
+        if (v == u) return {};  // loop
+        if (side[v] == -1) {
+          side[v] = 1 - side[u];
+          queue.push_back(v);
+        } else if (side[v] == side[u]) {
+          return {};
+        }
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace
+
+Vocabulary GraphVocabulary() {
+  Vocabulary voc;
+  voc.AddSymbol("E", 2);
+  return voc;
+}
+
+Structure MakeUndirectedGraph(
+    int n, const std::vector<std::pair<int, int>>& edges) {
+  Structure g(GraphVocabulary(), n);
+  for (const auto& [u, v] : edges) {
+    g.AddTuple(0, {u, v});
+    g.AddTuple(0, {v, u});
+  }
+  return g;
+}
+
+Structure CliqueGraph(int k) {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < k; ++u) {
+    for (int v = u + 1; v < k; ++v) edges.push_back({u, v});
+  }
+  return MakeUndirectedGraph(k, edges);
+}
+
+Structure CycleGraph(int n) {
+  CSPDB_CHECK(n >= 1);
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u) edges.push_back({u, (u + 1) % n});
+  return MakeUndirectedGraph(n, edges);
+}
+
+Structure PathGraph(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u + 1 < n; ++u) edges.push_back({u, u + 1});
+  return MakeUndirectedGraph(n, edges);
+}
+
+bool IsSymmetric(const Structure& g) {
+  int e = g.vocabulary().IndexOf("E");
+  CSPDB_CHECK(e >= 0);
+  for (const Tuple& t : g.tuples(e)) {
+    if (!g.HasTuple(e, {t[1], t[0]})) return false;
+  }
+  return true;
+}
+
+bool HasLoop(const Structure& g) {
+  int e = g.vocabulary().IndexOf("E");
+  CSPDB_CHECK(e >= 0);
+  for (const Tuple& t : g.tuples(e)) {
+    if (t[0] == t[1]) return true;
+  }
+  return false;
+}
+
+bool IsBipartite(const Structure& g) { return !Bipartition(g).empty() ||
+                                              g.domain_size() == 0; }
+
+HColoringResult DecideHColoring(const Structure& a, const Structure& h) {
+  CSPDB_CHECK(IsSymmetric(a));
+  CSPDB_CHECK(IsSymmetric(h));
+  HColoringResult result;
+  int e = h.vocabulary().IndexOf("E");
+  CSPDB_CHECK(e >= 0);
+
+  // Case 1: H has a loop — map everything onto the looped vertex.
+  if (HasLoop(h)) {
+    result.tractable = true;
+    int loop_vertex = -1;
+    for (const Tuple& t : h.tuples(e)) {
+      if (t[0] == t[1]) {
+        loop_vertex = t[0];
+        break;
+      }
+    }
+    result.colorable = true;
+    result.coloring.assign(a.domain_size(), loop_vertex);
+    return result;
+  }
+
+  // Case 2: H edgeless — A must be edgeless (and H nonempty unless A is
+  // empty).
+  if (h.tuples(e).empty()) {
+    result.tractable = true;
+    int ea = a.vocabulary().IndexOf("E");
+    bool a_edgeless = a.tuples(ea).empty();
+    if (a.domain_size() == 0) {
+      result.colorable = true;
+      return result;
+    }
+    if (!a_edgeless || h.domain_size() == 0) {
+      result.colorable = false;
+      return result;
+    }
+    result.colorable = true;
+    result.coloring.assign(a.domain_size(), 0);
+    return result;
+  }
+
+  // Case 3: H bipartite with an edge — A is H-colorable iff 2-colorable.
+  std::vector<int> h_sides = Bipartition(h);
+  if (!h_sides.empty()) {
+    result.tractable = true;
+    std::vector<int> a_sides = Bipartition(a);
+    if (a_sides.empty() && a.domain_size() > 0) {
+      result.colorable = false;
+      return result;
+    }
+    // Map A's sides onto the endpoints of one H edge.
+    const Tuple& edge = h.tuples(e)[0];
+    result.colorable = true;
+    result.coloring.assign(a.domain_size(), 0);
+    for (int v = 0; v < a.domain_size(); ++v) {
+      result.coloring[v] = a_sides[v] == 0 ? edge[0] : edge[1];
+    }
+    CSPDB_CHECK(IsHomomorphism(a, h, result.coloring));
+    return result;
+  }
+
+  // Non-bipartite loopless H: the NP-complete side.
+  return result;
+}
+
+}  // namespace cspdb

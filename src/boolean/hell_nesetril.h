@@ -1,0 +1,60 @@
+// The Hell-Nešetřil dichotomy for H-coloring (paper, Section 3): for an
+// undirected template H, CSP(H) is polynomial iff H is 2-colorable (or
+// has a loop), and NP-complete otherwise. Graphs here are relational
+// structures over the single binary symbol "E", kept symmetric.
+
+#ifndef CSPDB_BOOLEAN_HELL_NESETRIL_H_
+#define CSPDB_BOOLEAN_HELL_NESETRIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// The vocabulary {E/2} shared by all graph structures.
+Vocabulary GraphVocabulary();
+
+/// An undirected graph on n vertices: each listed edge is added in both
+/// directions. Loops are allowed.
+Structure MakeUndirectedGraph(int n,
+                              const std::vector<std::pair<int, int>>& edges);
+
+/// The clique K_k (so CSP(K_k) is k-colorability).
+Structure CliqueGraph(int k);
+
+/// The cycle C_n (n >= 1; C_1 is a loop vertex).
+Structure CycleGraph(int n);
+
+/// The path P_n with n vertices and n-1 edges.
+Structure PathGraph(int n);
+
+/// True if every edge is present in both directions.
+bool IsSymmetric(const Structure& g);
+
+/// True if some vertex has a self-loop.
+bool HasLoop(const Structure& g);
+
+/// True if the graph is 2-colorable (BFS bipartition; loops make it
+/// false).
+bool IsBipartite(const Structure& g);
+
+/// Outcome of the dichotomy-aware H-coloring decision.
+struct HColoringResult {
+  /// False if H is on the NP-complete side (non-bipartite, loopless);
+  /// the caller should fall back to FindHomomorphism.
+  bool tractable = false;
+  bool colorable = false;
+  std::vector<int> coloring;  ///< a homomorphism a -> h when colorable
+};
+
+/// Decides whether `a` is H-colorable for the polynomial cases: H with a
+/// loop (always colorable), H edgeless (colorable iff `a` is edgeless and
+/// H is nonempty or `a` is empty), H bipartite with an edge (colorable
+/// iff `a` is 2-colorable). Both structures must be symmetric.
+HColoringResult DecideHColoring(const Structure& a, const Structure& h);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_BOOLEAN_HELL_NESETRIL_H_

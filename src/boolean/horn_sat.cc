@@ -1,0 +1,34 @@
+#include "boolean/horn_sat.h"
+
+#include "util/check.h"
+
+namespace cspdb {
+
+std::optional<std::vector<int>> SolveHorn(const CnfFormula& phi) {
+  CSPDB_CHECK_MSG(phi.IsHorn(), "SolveHorn requires a Horn formula");
+  std::vector<int> model(phi.num_variables, 0);
+  // Fixpoint: while some clause is violated, it must be forced.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : phi.clauses) {
+      bool satisfied = false;
+      int positive_var = -1;
+      for (const Literal& lit : clause.literals) {
+        if ((model[lit.var] == 1) == lit.positive) {
+          satisfied = true;
+          break;
+        }
+        if (lit.positive) positive_var = lit.var;
+      }
+      if (satisfied) continue;
+      if (positive_var < 0) return std::nullopt;  // all-negative, violated
+      model[positive_var] = 1;
+      changed = true;
+    }
+  }
+  CSPDB_CHECK(phi.Evaluate(model));
+  return model;
+}
+
+}  // namespace cspdb

@@ -1,0 +1,22 @@
+// Horn satisfiability by unit propagation: the classic tractable case
+// Schaefer's dichotomy explains and a template whose complement is
+// Datalog-expressible (paper, Sections 3-5).
+
+#ifndef CSPDB_BOOLEAN_HORN_SAT_H_
+#define CSPDB_BOOLEAN_HORN_SAT_H_
+
+#include <optional>
+#include <vector>
+
+#include "boolean/cnf.h"
+
+namespace cspdb {
+
+/// Decides a Horn formula (<= 1 positive literal per clause) and returns
+/// the minimal model, or std::nullopt if unsatisfiable. Requires
+/// phi.IsHorn().
+std::optional<std::vector<int>> SolveHorn(const CnfFormula& phi);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_BOOLEAN_HORN_SAT_H_

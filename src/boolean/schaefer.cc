@@ -1,0 +1,287 @@
+#include "boolean/schaefer.h"
+
+#include <algorithm>
+
+#include "boolean/affine_sat.h"
+#include "boolean/cnf.h"
+#include "boolean/two_sat.h"
+#include "consistency/arc_consistency.h"
+#include "csp/convert.h"
+#include "relational/homomorphism.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+int OpAnd(const int* x) { return x[0] & x[1]; }
+int OpOr(const int* x) { return x[0] | x[1]; }
+int OpMajority(const int* x) { return (x[0] + x[1] + x[2]) >= 2 ? 1 : 0; }
+int OpXor3(const int* x) { return x[0] ^ x[1] ^ x[2]; }
+
+bool ContainsConstantTuple(const std::vector<Tuple>& tuples, int arity,
+                           int value) {
+  Tuple constant(arity, value);
+  for (const Tuple& t : tuples) {
+    if (t == constant) return true;
+  }
+  return false;
+}
+
+// Enumerates {0,1}^arity.
+std::vector<Tuple> AllBooleanTuples(int arity) {
+  std::vector<Tuple> out;
+  Tuple t(arity, 0);
+  while (true) {
+    out.push_back(t);
+    int pos = arity - 1;
+    while (pos >= 0 && ++t[pos] == 2) t[pos--] = 0;
+    if (pos < 0) break;
+  }
+  return out;
+}
+
+// A <=2-literal clause over tuple positions.
+struct PositionClause {
+  // Parallel vectors: positions and required values (the clause is
+  // "some position takes its value").
+  std::vector<int> positions;
+  std::vector<int> values;
+
+  bool SatisfiedBy(const Tuple& t) const {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (t[positions[i]] == values[i]) return true;
+    }
+    return false;
+  }
+};
+
+// All <=2-literal clauses implied by every tuple of R (arity r).
+std::vector<PositionClause> ImpliedBinaryClauses(
+    const std::vector<Tuple>& tuples, int arity) {
+  std::vector<PositionClause> implied;
+  auto consider = [&](PositionClause clause) {
+    for (const Tuple& t : tuples) {
+      if (!clause.SatisfiedBy(t)) return;
+    }
+    implied.push_back(std::move(clause));
+  };
+  for (int p = 0; p < arity; ++p) {
+    for (int v = 0; v < 2; ++v) consider({{p}, {v}});
+  }
+  for (int p = 0; p < arity; ++p) {
+    for (int q = p + 1; q < arity; ++q) {
+      for (int vp = 0; vp < 2; ++vp) {
+        for (int vq = 0; vq < 2; ++vq) consider({{p, q}, {vp, vq}});
+      }
+    }
+  }
+  return implied;
+}
+
+// All XOR equations (subset of positions, rhs) implied by every tuple.
+std::vector<std::pair<std::vector<int>, int>> ImpliedXorEquations(
+    const std::vector<Tuple>& tuples, int arity) {
+  std::vector<std::pair<std::vector<int>, int>> implied;
+  for (int mask = 0; mask < (1 << arity); ++mask) {
+    std::vector<int> positions;
+    for (int p = 0; p < arity; ++p) {
+      if (mask & (1 << p)) positions.push_back(p);
+    }
+    for (int rhs = 0; rhs < 2; ++rhs) {
+      bool holds = true;
+      for (const Tuple& t : tuples) {
+        int sum = 0;
+        for (int p : positions) sum ^= t[p];
+        if (sum != rhs) {
+          holds = false;
+          break;
+        }
+      }
+      if (holds) implied.push_back({positions, rhs});
+    }
+  }
+  return implied;
+}
+
+}  // namespace
+
+bool ClosedUnder(const std::vector<Tuple>& tuples, int arity_of_op,
+                 int (*op)(const int*)) {
+  if (tuples.empty()) return true;
+  int arity = static_cast<int>(tuples[0].size());
+  TupleSet set(tuples.begin(), tuples.end());
+  // Enumerate arity_of_op-tuples of rows (with repetition).
+  std::vector<int> pick(arity_of_op, 0);
+  int rows = static_cast<int>(tuples.size());
+  std::vector<int> args(arity_of_op);
+  while (true) {
+    Tuple combined(arity);
+    for (int c = 0; c < arity; ++c) {
+      for (int j = 0; j < arity_of_op; ++j) args[j] = tuples[pick[j]][c];
+      combined[c] = op(args.data());
+    }
+    if (set.count(combined) == 0) return false;
+    int pos = arity_of_op - 1;
+    while (pos >= 0 && ++pick[pos] == rows) pick[pos--] = 0;
+    if (pos < 0) break;
+  }
+  return true;
+}
+
+std::string SchaeferClassification::ToString() const {
+  std::string out;
+  auto add = [&out](bool flag, const char* name) {
+    if (flag) {
+      if (!out.empty()) out += ",";
+      out += name;
+    }
+  };
+  add(zero_valid, "0-valid");
+  add(one_valid, "1-valid");
+  add(horn, "horn");
+  add(dual_horn, "dual-horn");
+  add(bijunctive, "bijunctive");
+  add(affine, "affine");
+  if (out.empty()) out = "NP-complete";
+  return out;
+}
+
+SchaeferClassification ClassifyBooleanTemplate(const Structure& b) {
+  CSPDB_CHECK_MSG(b.domain_size() == 2,
+                  "Schaefer classification requires a Boolean template");
+  SchaeferClassification result;
+  result.zero_valid = result.one_valid = true;
+  result.horn = result.dual_horn = true;
+  result.bijunctive = result.affine = true;
+  for (int r = 0; r < b.vocabulary().size(); ++r) {
+    const std::vector<Tuple>& tuples = b.tuples(r);
+    int arity = b.vocabulary().symbol(r).arity;
+    result.zero_valid &= ContainsConstantTuple(tuples, arity, 0);
+    result.one_valid &= ContainsConstantTuple(tuples, arity, 1);
+    result.horn &= ClosedUnder(tuples, 2, OpAnd);
+    result.dual_horn &= ClosedUnder(tuples, 2, OpOr);
+    result.bijunctive &= ClosedUnder(tuples, 3, OpMajority);
+    result.affine &= ClosedUnder(tuples, 3, OpXor3);
+  }
+  return result;
+}
+
+BooleanSolveResult SolveBooleanCsp(const Structure& a, const Structure& b) {
+  CSPDB_CHECK(a.vocabulary() == b.vocabulary());
+  SchaeferClassification cls = ClassifyBooleanTemplate(b);
+  BooleanSolveResult result;
+  if (!cls.Tractable()) return result;
+  result.decided = true;
+
+  if (cls.zero_valid || cls.one_valid) {
+    result.model.assign(a.domain_size(), cls.zero_valid ? 0 : 1);
+    result.solvable = IsHomomorphism(a, b, result.model);
+    CSPDB_CHECK(result.solvable);  // guaranteed by 0/1-validity
+    return result;
+  }
+
+  if (cls.horn || cls.dual_horn) {
+    // GAC decides for semilattice-closed templates; the min (resp. max)
+    // of the surviving domains is a solution.
+    CspInstance csp = ToCspInstance(a, b);
+    AcResult ac = EnforceGac(csp);
+    if (!ac.consistent) {
+      result.solvable = false;
+      return result;
+    }
+    result.model.assign(a.domain_size(), 0);
+    for (int v = 0; v < a.domain_size(); ++v) {
+      if (cls.horn) {
+        result.model[v] = ac.domains[v][0] ? 0 : 1;
+      } else {
+        result.model[v] = ac.domains[v][1] ? 1 : 0;
+      }
+    }
+    result.solvable = true;
+    CSPDB_CHECK(IsHomomorphism(a, b, result.model));
+    return result;
+  }
+
+  if (cls.bijunctive) {
+    // Majority-closed relations are conjunctions of their implied
+    // <=2-literal clauses (2-decomposability); solve the resulting 2-CNF.
+    CnfFormula phi;
+    phi.num_variables = a.domain_size();
+    for (int r = 0; r < a.vocabulary().size(); ++r) {
+      int arity = a.vocabulary().symbol(r).arity;
+      std::vector<PositionClause> implied =
+          ImpliedBinaryClauses(b.tuples(r), arity);
+      // Exactness check (theory guarantee for majority-closed relations).
+      for (const Tuple& candidate : AllBooleanTuples(arity)) {
+        bool all = true;
+        for (const PositionClause& c : implied) {
+          if (!c.SatisfiedBy(candidate)) {
+            all = false;
+            break;
+          }
+        }
+        CSPDB_CHECK(all == b.HasTuple(r, candidate));
+      }
+      for (const Tuple& scope : a.tuples(r)) {
+        for (const PositionClause& c : implied) {
+          Clause clause;
+          for (std::size_t i = 0; i < c.positions.size(); ++i) {
+            clause.literals.push_back(
+                {scope[c.positions[i]], c.values[i] == 1});
+          }
+          if (clause.literals.empty()) {
+            // Implied empty clause: the relation is empty but used.
+            result.solvable = false;
+            return result;
+          }
+          phi.clauses.push_back(std::move(clause));
+        }
+      }
+    }
+    auto model = SolveTwoSat(phi);
+    result.solvable = model.has_value();
+    if (model.has_value()) {
+      result.model = *model;
+      CSPDB_CHECK(IsHomomorphism(a, b, result.model));
+    }
+    return result;
+  }
+
+  // Affine: each relation is the solution set of its implied XOR
+  // equations; solve the union system by Gaussian elimination.
+  XorSystem system;
+  system.num_variables = a.domain_size();
+  for (int r = 0; r < a.vocabulary().size(); ++r) {
+    int arity = a.vocabulary().symbol(r).arity;
+    auto implied = ImpliedXorEquations(b.tuples(r), arity);
+    for (const Tuple& candidate : AllBooleanTuples(arity)) {
+      bool all = true;
+      for (const auto& [positions, rhs] : implied) {
+        int sum = 0;
+        for (int p : positions) sum ^= candidate[p];
+        if (sum != rhs) {
+          all = false;
+          break;
+        }
+      }
+      CSPDB_CHECK(all == b.HasTuple(r, candidate));
+    }
+    for (const Tuple& scope : a.tuples(r)) {
+      for (const auto& [positions, rhs] : implied) {
+        XorClause clause;
+        clause.rhs = rhs;
+        for (int p : positions) clause.vars.push_back(scope[p]);
+        system.clauses.push_back(std::move(clause));
+      }
+    }
+  }
+  auto model = SolveXor(system);
+  result.solvable = model.has_value();
+  if (model.has_value()) {
+    result.model = *model;
+    CSPDB_CHECK(IsHomomorphism(a, b, result.model));
+  }
+  return result;
+}
+
+}  // namespace cspdb

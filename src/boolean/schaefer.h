@@ -1,0 +1,65 @@
+// Schaefer's dichotomy (paper, Section 3): a Boolean template B makes
+// CSP(B) polynomial iff B is 0-valid, 1-valid, Horn (min-closed),
+// dual-Horn (max-closed), bijunctive (majority-closed), or affine
+// (closed under x XOR y XOR z); otherwise CSP(B) is NP-complete.
+//
+// The classifier checks the closure (polymorphism) conditions directly on
+// the template's relations; the solver dispatches to the matching
+// dedicated polynomial algorithm and verifies the model it returns.
+
+#ifndef CSPDB_BOOLEAN_SCHAEFER_H_
+#define CSPDB_BOOLEAN_SCHAEFER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// Which of Schaefer's six tractable classes a Boolean template lies in.
+struct SchaeferClassification {
+  bool zero_valid = false;  ///< every relation contains the all-0 tuple
+  bool one_valid = false;   ///< every relation contains the all-1 tuple
+  bool horn = false;        ///< every relation closed under AND (min)
+  bool dual_horn = false;   ///< every relation closed under OR (max)
+  bool bijunctive = false;  ///< every relation closed under majority
+  bool affine = false;      ///< every relation closed under x ^ y ^ z
+
+  /// True if any class applies (CSP(B) is in P).
+  bool Tractable() const {
+    return zero_valid || one_valid || horn || dual_horn || bijunctive ||
+           affine;
+  }
+
+  std::string ToString() const;
+};
+
+/// Classifies a Boolean template (domain must be exactly {0, 1}).
+SchaeferClassification ClassifyBooleanTemplate(const Structure& b);
+
+/// Outcome of the dichotomy-aware solver.
+struct BooleanSolveResult {
+  /// False if the template is in no tractable class (caller should fall
+  /// back to general search — the NP-complete side of the dichotomy).
+  bool decided = false;
+  bool solvable = false;
+  std::vector<int> model;  ///< a homomorphism A -> B when solvable
+};
+
+/// Decides CSP(A, B) for a tractable Boolean template by the matching
+/// polynomial algorithm: constant maps for 0/1-valid; GAC plus the
+/// min/max assignment for Horn/dual-Horn; reduction to 2-SAT for
+/// bijunctive; reduction to GF(2) Gaussian elimination for affine.
+BooleanSolveResult SolveBooleanCsp(const Structure& a, const Structure& b);
+
+/// True if relation `tuples` (over {0,1}) is closed under the coordinate-
+/// wise application of `op` to `arity_of_op` tuples. Exposed for the
+/// property tests.
+bool ClosedUnder(const std::vector<Tuple>& tuples, int arity_of_op,
+                 int (*op)(const int*));
+
+}  // namespace cspdb
+
+#endif  // CSPDB_BOOLEAN_SCHAEFER_H_

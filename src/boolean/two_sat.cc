@@ -1,0 +1,112 @@
+#include "boolean/two_sat.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Iterative Tarjan SCC over the implication graph. Node 2v = "v false",
+// 2v+1 = "v true".
+class SccFinder {
+ public:
+  explicit SccFinder(const std::vector<std::vector<int>>& adj)
+      : adj_(adj),
+        index_(adj.size(), -1),
+        low_(adj.size(), 0),
+        on_stack_(adj.size(), 0),
+        component_(adj.size(), -1) {}
+
+  void Run() {
+    for (std::size_t v = 0; v < adj_.size(); ++v) {
+      if (index_[v] < 0) Visit(static_cast<int>(v));
+    }
+  }
+
+  int component(int v) const { return component_[v]; }
+
+ private:
+  void Visit(int root) {
+    // Explicit stack of (node, next-edge-index) frames.
+    std::vector<std::pair<int, std::size_t>> frames{{root, 0}};
+    while (!frames.empty()) {
+      auto& [v, edge] = frames.back();
+      if (edge == 0) {
+        index_[v] = low_[v] = counter_++;
+        stack_.push_back(v);
+        on_stack_[v] = 1;
+      }
+      bool descended = false;
+      while (edge < adj_[v].size()) {
+        int w = adj_[v][edge++];
+        if (index_[w] < 0) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) low_[v] = std::min(low_[v], index_[w]);
+      }
+      if (descended) continue;
+      if (low_[v] == index_[v]) {
+        while (true) {
+          int w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = 0;
+          component_[w] = num_components_;
+          if (w == v) break;
+        }
+        ++num_components_;
+      }
+      int finished = v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        int parent = frames.back().first;
+        low_[parent] = std::min(low_[parent], low_[finished]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<int>>& adj_;
+  std::vector<int> index_, low_;
+  std::vector<char> on_stack_;
+  std::vector<int> component_;
+  std::vector<int> stack_;
+  int counter_ = 0;
+  int num_components_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> SolveTwoSat(const CnfFormula& phi) {
+  CSPDB_CHECK_MSG(phi.Is2Cnf(), "SolveTwoSat requires a 2-CNF formula");
+  int n = phi.num_variables;
+  std::vector<std::vector<int>> adj(2 * n);
+  auto node = [](const Literal& lit) { return 2 * lit.var + (lit.positive ? 1 : 0); };
+  auto negation = [](int x) { return x ^ 1; };
+  for (const Clause& clause : phi.clauses) {
+    CSPDB_CHECK_MSG(!clause.literals.empty(), "empty clause");
+    Literal a = clause.literals[0];
+    Literal b = clause.literals.size() > 1 ? clause.literals[1] : a;
+    // (a | b): ~a -> b and ~b -> a.
+    adj[negation(node(a))].push_back(node(b));
+    adj[negation(node(b))].push_back(node(a));
+  }
+  SccFinder scc(adj);
+  scc.Run();
+  std::vector<int> model(n, 0);
+  for (int v = 0; v < n; ++v) {
+    int comp_false = scc.component(2 * v);
+    int comp_true = scc.component(2 * v + 1);
+    if (comp_false == comp_true) return std::nullopt;
+    // Tarjan numbers components in reverse topological order; a literal
+    // is assigned true iff its component comes earlier topologically ...
+    // i.e., has the *larger* Tarjan component id for the chosen
+    // convention: component finished first (smaller id) is downstream.
+    model[v] = comp_true < comp_false ? 1 : 0;
+  }
+  CSPDB_CHECK(phi.Evaluate(model));
+  return model;
+}
+
+}  // namespace cspdb

@@ -1,0 +1,21 @@
+// 2-SAT in linear time via strongly connected components of the
+// implication graph — the bijunctive case of Schaefer's dichotomy
+// (paper, Section 3).
+
+#ifndef CSPDB_BOOLEAN_TWO_SAT_H_
+#define CSPDB_BOOLEAN_TWO_SAT_H_
+
+#include <optional>
+#include <vector>
+
+#include "boolean/cnf.h"
+
+namespace cspdb {
+
+/// Decides a 2-CNF formula and returns a model, or std::nullopt if
+/// unsatisfiable. Requires phi.Is2Cnf() and no empty clauses.
+std::optional<std::vector<int>> SolveTwoSat(const CnfFormula& phi);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_BOOLEAN_TWO_SAT_H_

@@ -1,0 +1,51 @@
+// Generalized arc consistency (AC-3 / GAC-3) as a standalone propagation
+// pass over a CSP instance. Arc consistency is the workhorse special case
+// of the consistency methods of Section 5 (2-consistency on binary
+// instances) and the propagation engine behind Horn-SAT-style templates.
+
+#ifndef CSPDB_CONSISTENCY_ARC_CONSISTENCY_H_
+#define CSPDB_CONSISTENCY_ARC_CONSISTENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "csp/instance.h"
+
+namespace cspdb {
+
+/// Result of enforcing generalized arc consistency.
+struct AcResult {
+  /// False if some variable's domain was wiped out (the instance is
+  /// certainly unsolvable).
+  bool consistent = true;
+
+  /// domains[v][d] is 1 iff value d survives for variable v.
+  std::vector<std::vector<char>> domains;
+
+  /// Number of (constraint, variable) revisions performed.
+  int64_t revisions = 0;
+
+  /// Number of (variable, value) pairs pruned.
+  int64_t prunings = 0;
+};
+
+/// Runs GAC-3 to fixpoint: repeatedly removes values without a supporting
+/// tuple in some constraint (supporting tuples must themselves lie within
+/// the current domains). Sound: no solution is ever pruned.
+AcResult EnforceGac(const CspInstance& csp);
+
+/// Applies pruned domains back onto an instance: adds a unary constraint
+/// per variable restricting it to the surviving values. Useful for
+/// propagate-then-search pipelines.
+CspInstance RestrictToDomains(const CspInstance& csp,
+                              const std::vector<std::vector<char>>& domains);
+
+/// Singleton arc consistency (SAC): value d survives for variable v only
+/// if the instance restricted to x_v = d is still GAC-consistent. At
+/// least as strong as GAC, still polynomial, still sound (no solution is
+/// ever pruned) — the next rung on Section 5's local-consistency ladder.
+AcResult EnforceSingletonArcConsistency(const CspInstance& csp);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CONSISTENCY_ARC_CONSISTENCY_H_

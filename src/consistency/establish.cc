@@ -1,0 +1,89 @@
+#include "consistency/establish.h"
+
+#include <utility>
+#include <vector>
+
+#include "games/pebble_game.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Enumerates all i-tuples over [0, n) with *distinct* entries and invokes
+// visit(tuple) for each.
+template <typename Visit>
+void ForEachDistinctTuple(int n, int i, Tuple* scratch, Visit&& visit) {
+  if (static_cast<int>(scratch->size()) == i) {
+    visit(*scratch);
+    return;
+  }
+  for (int e = 0; e < n; ++e) {
+    bool used = false;
+    for (int x : *scratch) {
+      if (x == e) {
+        used = true;
+        break;
+      }
+    }
+    if (used) continue;
+    scratch->push_back(e);
+    ForEachDistinctTuple(n, i, scratch, visit);
+    scratch->pop_back();
+  }
+}
+
+}  // namespace
+
+EstablishResult EstablishStrongKConsistency(const Structure& a,
+                                            const Structure& b, int k) {
+  CSPDB_CHECK(k >= 1);
+  PebbleGame game(a, b, k);
+  EstablishResult result{false, CspInstance(a.domain_size(),
+                                            b.domain_size())};
+  if (!game.DuplicatorWins()) return result;
+  result.possible = true;
+
+  // Steps 2-3 of Theorem 5.6: R_a = { b : (a, b) in W^k(A, B) } for every
+  // distinct-entry tuple a of length i <= k. b ranges over all of B^i;
+  // membership in W^k is exactly "the induced map is in the largest
+  // winning strategy".
+  Tuple scope_scratch;
+  for (int i = 1; i <= k && i <= a.domain_size(); ++i) {
+    ForEachDistinctTuple(a.domain_size(), i, &scope_scratch,
+                         [&](const Tuple& scope) {
+      std::vector<Tuple> allowed;
+      Tuple image(scope.size());
+      // Enumerate B^i.
+      std::vector<int> counter(scope.size(), 0);
+      while (true) {
+        for (std::size_t j = 0; j < scope.size(); ++j) image[j] = counter[j];
+        if (game.IsWinningConfiguration(scope, image)) {
+          allowed.push_back(image);
+        }
+        // Advance the mixed-radix counter.
+        std::size_t pos = 0;
+        while (pos < counter.size()) {
+          if (++counter[pos] < b.domain_size()) break;
+          counter[pos] = 0;
+          ++pos;
+        }
+        if (pos == counter.size()) break;
+        if (b.domain_size() == 0) break;
+      }
+      result.csp.AddConstraint(std::vector<int>(scope.begin(), scope.end()),
+                               std::move(allowed));
+    });
+  }
+  return result;
+}
+
+EstablishResult EstablishStrongKConsistency(const CspInstance& csp, int k) {
+  HomInstance hom = ToHomomorphismInstance(csp);
+  return EstablishStrongKConsistency(hom.a, hom.b, k);
+}
+
+bool KConsistencyDecides(const Structure& a, const Structure& b, int k) {
+  return PebbleGame(a, b, k).DuplicatorWins();
+}
+
+}  // namespace cspdb

@@ -1,0 +1,52 @@
+// Establishing strong k-consistency (paper, Definition 5.4 and
+// Theorem 5.6): compute the set W^k(A, B) of winning configurations of the
+// existential k-pebble game and reformat it into the largest coherent
+// instance that establishes strong k-consistency.
+
+#ifndef CSPDB_CONSISTENCY_ESTABLISH_H_
+#define CSPDB_CONSISTENCY_ESTABLISH_H_
+
+#include "csp/convert.h"
+#include "csp/instance.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// Result of the Theorem 5.6 procedure.
+struct EstablishResult {
+  /// True iff W^k(A, B) is nonempty, i.e., strong k-consistency can be
+  /// established (equivalently, the Duplicator wins the game).
+  bool possible = false;
+
+  /// The CSP instance P of Theorem 5.6 step 3: variables A, values B,
+  /// and one constraint (a, R_a) for every tuple a in A^i, i <= k, where
+  /// R_a = { b : (a, b) in W^k(A, B) }. Meaningful only when `possible`.
+  CspInstance csp;
+};
+
+/// Runs the four-step procedure of Theorem 5.6 on structures A and B over
+/// a k-ary vocabulary. The returned instance is the largest coherent
+/// instance establishing strong k-consistency; its homomorphism instance
+/// (A', B') is obtained with ToHomomorphismInstance.
+///
+/// To keep the output size manageable, constraints whose scope contains a
+/// repeated element are omitted: they are determined by their
+/// distinct-variable projections (the same solutions are admitted), which
+/// NormalizedDistinctScopes would reproduce.
+EstablishResult EstablishStrongKConsistency(const Structure& a,
+                                            const Structure& b, int k);
+
+/// Convenience form for CSP instances: converts to the homomorphism
+/// instance first (Proposition 5.3).
+EstablishResult EstablishStrongKConsistency(const CspInstance& csp, int k);
+
+/// The k-consistency *decision* procedure: true iff establishing strong
+/// k-consistency is possible (Duplicator wins). For every template B with
+/// ¬CSP(B) expressible in k-Datalog this decides CSP(A, B) exactly
+/// (Theorem 5.7); in general a `true` answer may be a false positive but
+/// `false` always certifies unsolvability.
+bool KConsistencyDecides(const Structure& a, const Structure& b, int k);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CONSISTENCY_ESTABLISH_H_

@@ -1,0 +1,37 @@
+// Local-consistency notions of Section 5: i-consistency and strong
+// k-consistency (Definition 5.2), both directly on CSP instances and via
+// the pebble-game reformulation (Proposition 5.3).
+
+#ifndef CSPDB_CONSISTENCY_LOCAL_CONSISTENCY_H_
+#define CSPDB_CONSISTENCY_LOCAL_CONSISTENCY_H_
+
+#include "csp/instance.h"
+
+namespace cspdb {
+
+/// Definition 5.2, implemented literally: for every i-1 distinct
+/// variables, every partial solution on them, and every further variable,
+/// some extension is a partial solution. Exponential in i; intended for
+/// small i and for validating the game-based route.
+bool IsIConsistent(const CspInstance& csp, int i);
+
+/// i-consistency for every i <= k (Definition 5.2).
+bool IsStronglyKConsistent(const CspInstance& csp, int k);
+
+/// Proposition 5.3: i-consistency decided through the homomorphism
+/// instance and the i-forth property of the family of all partial
+/// homomorphisms. Agrees with IsIConsistent (tested).
+bool IsIConsistentViaGames(const CspInstance& csp, int i);
+
+/// Proposition 5.3 for strong k-consistency: the family of all k-partial
+/// homomorphisms is a winning strategy for the Duplicator.
+bool IsStronglyKConsistentViaGames(const CspInstance& csp, int k);
+
+/// Definition 5.5: the instance is coherent if for every constraint
+/// (a, R) and tuple b in R, the correspondence a -> b is a well-defined
+/// partial solution of the instance.
+bool IsCoherent(const CspInstance& csp);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CONSISTENCY_LOCAL_CONSISTENCY_H_

@@ -1,0 +1,136 @@
+#include "consistency/path_consistency.h"
+
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Access helper over the flattened pair matrices with i <= j stored.
+class PairMatrices {
+ public:
+  PairMatrices(int n, int d, std::vector<std::vector<char>>* pairs)
+      : n_(n), d_(d), pairs_(pairs) {}
+
+  char Get(int i, int a, int j, int b) const {
+    if (i <= j) return (*pairs_)[i * n_ + j][a * d_ + b];
+    return (*pairs_)[j * n_ + i][b * d_ + a];
+  }
+
+  // Returns true if the entry was set (previously allowed).
+  bool Clear(int i, int a, int j, int b) {
+    char& cell = i <= j ? (*pairs_)[i * n_ + j][a * d_ + b]
+                        : (*pairs_)[j * n_ + i][b * d_ + a];
+    if (!cell) return false;
+    cell = 0;
+    return true;
+  }
+
+ private:
+  int n_;
+  int d_;
+  std::vector<std::vector<char>>* pairs_;
+};
+
+}  // namespace
+
+PcResult EnforcePathConsistency(const CspInstance& csp) {
+  CspInstance normalized = csp.NormalizedDistinctScopes();
+  int n = normalized.num_variables();
+  int d = normalized.num_values();
+  PcResult result;
+  result.pairs.assign(static_cast<std::size_t>(n) * n, {});
+  if (n > 0 && d == 0) {
+    result.consistent = false;
+    return result;
+  }
+
+  // Initialize: diagonal = domain (a == b), off-diagonal = complete.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      std::vector<char>& m = result.pairs[i * n + j];
+      m.assign(static_cast<std::size_t>(d) * d, 0);
+      for (int a = 0; a < d; ++a) {
+        for (int b = 0; b < d; ++b) {
+          m[a * d + b] = (i == j) ? (a == b ? 1 : 0) : 1;
+        }
+      }
+    }
+  }
+  PairMatrices mats(n, d, &result.pairs);
+
+  // Intersect the instance's constraints.
+  for (const Constraint& c : normalized.constraints()) {
+    CSPDB_CHECK_MSG(c.arity() <= 2,
+                    "path consistency requires a binary instance");
+    if (c.arity() == 1) {
+      int i = c.scope[0];
+      for (int a = 0; a < d; ++a) {
+        if (c.allowed_set.count({a}) == 0) {
+          if (mats.Clear(i, a, i, a)) ++result.prunings;
+        }
+      }
+    } else {
+      int i = c.scope[0], j = c.scope[1];
+      for (int a = 0; a < d; ++a) {
+        for (int b = 0; b < d; ++b) {
+          if (c.allowed_set.count({a, b}) == 0) {
+            if (mats.Clear(i, a, j, b)) ++result.prunings;
+          }
+        }
+      }
+    }
+  }
+
+  // PC-2 fixpoint: (a, b) on (i, j) needs a witness c at every third
+  // variable m with (a, c) on (i, m) and (c, b) on (m, j). Diagonal
+  // matrices participate, which folds arc consistency in.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i; j < n; ++j) {
+        for (int m = 0; m < n; ++m) {
+          if (m == i || m == j) continue;
+          ++result.revisions;
+          for (int a = 0; a < d; ++a) {
+            for (int b = 0; b < d; ++b) {
+              if (!mats.Get(i, a, j, b)) continue;
+              bool witness = false;
+              for (int c = 0; c < d; ++c) {
+                if (mats.Get(i, a, m, c) && mats.Get(m, c, j, b)) {
+                  witness = true;
+                  break;
+                }
+              }
+              if (!witness) {
+                mats.Clear(i, a, j, b);
+                ++result.prunings;
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Wipeout check.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      bool any = false;
+      for (char cell : result.pairs[i * n + j]) {
+        if (cell) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        result.consistent = false;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cspdb

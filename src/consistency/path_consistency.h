@@ -1,0 +1,47 @@
+// Path consistency (PC-2) for binary CSP instances: the classical AI
+// algorithm behind 3-consistency (paper, Section 5; Freuder [23, 24] and
+// Dechter [17] in the paper's references). Where arc consistency prunes
+// unary domains, path consistency tightens the binary relation between
+// every *pair* of variables by composing through third variables.
+
+#ifndef CSPDB_CONSISTENCY_PATH_CONSISTENCY_H_
+#define CSPDB_CONSISTENCY_PATH_CONSISTENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "csp/instance.h"
+
+namespace cspdb {
+
+/// Result of the PC-2 pass.
+struct PcResult {
+  /// False if some pair relation became empty (instance unsolvable).
+  bool consistent = true;
+
+  /// allowed[i][j] (i < j, flattened as i * n + j) is the matrix of value
+  /// pairs still admitted between variables i and j:
+  /// allowed[i*n+j][a * d + b] == 1 iff (x_i = a, x_j = b) survives.
+  std::vector<std::vector<char>> pairs;
+
+  int64_t revisions = 0;
+  int64_t prunings = 0;
+};
+
+/// Runs PC-2 on a *binary* instance (arity <= 2 after normalization;
+/// higher-arity constraints are rejected). Initializes the pair matrices
+/// from the binary constraints (complete relation when unconstrained),
+/// intersects unary constraints into the diagonal handling, and composes
+/// to fixpoint: a pair (a, b) for (i, j) survives only if for every third
+/// variable m some value c is compatible with both.
+///
+/// Sound: never removes a pair that participates in a solution (tested),
+/// so an empty pair relation refutes the instance. Deciding solvability
+/// from path consistency alone is incomplete in general — the classic
+/// counterexamples need k > 3 — but it refutes every odd-cycle/2-coloring
+/// style instance that arc consistency misses.
+PcResult EnforcePathConsistency(const CspInstance& csp);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CONSISTENCY_PATH_CONSISTENCY_H_

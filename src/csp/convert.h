@@ -1,0 +1,35 @@
+// The Feder-Vardi correspondence between CSP instances and homomorphism
+// instances (paper, Section 2): every (V, D, C) yields structures
+// (A_P, B_P) such that P is solvable iff A_P -> B_P, and conversely every
+// pair (A, B) "breaks up" into a CSP instance CSP(A, B).
+
+#ifndef CSPDB_CSP_CONVERT_H_
+#define CSPDB_CSP_CONVERT_H_
+
+#include "csp/instance.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// A pair of structures over a common vocabulary; the question is whether
+/// a homomorphism A -> B exists.
+struct HomInstance {
+  Structure a;
+  Structure b;
+};
+
+/// Builds the homomorphism instance (A_P, B_P) of a CSP instance P: the
+/// domain of A_P is V, the domain of B_P is D, B_P's relations are the
+/// *distinct* constraint relations occurring in C (constraints sharing the
+/// same allowed-tuple set share a symbol), and R^{A_P} collects the
+/// variable tuples constrained by R.
+HomInstance ToHomomorphismInstance(const CspInstance& csp);
+
+/// Builds the CSP instance CSP(A, B) of a homomorphism instance: each
+/// tuple t in R^A becomes a constraint (t, R^B). Variables are A's
+/// elements and values B's elements, so a solution *is* a homomorphism.
+CspInstance ToCspInstance(const Structure& a, const Structure& b);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CSP_CONVERT_H_

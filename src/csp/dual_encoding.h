@@ -1,0 +1,60 @@
+// The dual encoding of a CSP: constraints become the variables. Each dual
+// variable ranges over the allowed tuples of one original constraint;
+// dual constraints demand agreement on shared original variables. A
+// database-theoretic transformation at heart — it is exactly viewing the
+// instance as its constraint relations (Proposition 2.1) and joining
+// pairwise — and the standard way to make any CSP binary.
+
+#ifndef CSPDB_CSP_DUAL_ENCODING_H_
+#define CSPDB_CSP_DUAL_ENCODING_H_
+
+#include <optional>
+#include <vector>
+
+#include "csp/instance.h"
+
+namespace cspdb {
+
+/// The dual instance plus the bookkeeping to map solutions back.
+struct DualEncoding {
+  CspInstance dual;  ///< binary CSP over the dual variables
+
+  /// original constraint index of each dual variable (after
+  /// normalization; identical to the normalized instance's order).
+  std::vector<int> constraint_of;
+
+  /// The normalized original instance the tuples index into.
+  CspInstance normalized;
+};
+
+/// Builds the dual encoding. The original instance is normalized to
+/// distinct-variable scopes first; instances with no constraints yield a
+/// dual with no variables.
+DualEncoding BuildDualEncoding(const CspInstance& csp);
+
+/// Maps a dual solution (a choice of tuple per constraint) back to an
+/// original assignment; variables in no constraint get value 0. The dual
+/// constraints guarantee consistency of the shared variables.
+std::vector<int> DecodeDualSolution(const DualEncoding& encoding,
+                                    const std::vector<int>& dual_solution);
+
+/// Solves the original instance through its dual (with the library's
+/// MAC solver on the binary dual instance).
+std::optional<std::vector<int>> SolveViaDual(const CspInstance& csp);
+
+/// The hidden-variable encoding, the dual's sibling: keeps the original
+/// variables and adds one hidden variable per constraint ranging over its
+/// allowed tuples; binary constraints tie each hidden variable to the
+/// original variables in its scope. Also always binary. Original
+/// variables keep their ids; hidden variable for constraint c is
+/// num_variables + c. Values 0..max(num_values, max tuple count)-1.
+CspInstance HiddenVariableEncoding(const CspInstance& csp);
+
+/// Solves through the hidden-variable encoding; the returned assignment
+/// covers only the original variables.
+std::optional<std::vector<int>> SolveViaHiddenVariables(
+    const CspInstance& csp);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CSP_DUAL_ENCODING_H_

@@ -1,0 +1,85 @@
+// The classical AI formulation of constraint satisfaction (paper,
+// Section 2): an instance (V, D, C) of variables, values, and constraints
+// (t, R) pairing a tuple of variables with an allowed relation on values.
+
+#ifndef CSPDB_CSP_INSTANCE_H_
+#define CSPDB_CSP_INSTANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// One constraint (t, R): `scope` is the variable tuple t, `allowed` the
+/// relation R of value tuples of the same arity.
+struct Constraint {
+  std::vector<int> scope;
+  std::vector<Tuple> allowed;   ///< insertion order, deduplicated
+  TupleSet allowed_set;         ///< same tuples, O(1) membership
+
+  int arity() const { return static_cast<int>(scope.size()); }
+};
+
+/// A CSP instance (V, D, C). Variables are 0..num_variables-1 and values
+/// 0..num_values-1. Constraints on an identical variable tuple are
+/// consolidated by intersection, as the paper assumes w.l.o.g., so every
+/// scope occurs at most once.
+class CspInstance {
+ public:
+  CspInstance(int num_variables, int num_values);
+
+  /// Adds the constraint (scope, allowed). If a constraint with the same
+  /// scope already exists its relation is intersected with `allowed`.
+  /// Returns the index of the (possibly pre-existing) constraint.
+  int AddConstraint(std::vector<int> scope, std::vector<Tuple> allowed);
+
+  int num_variables() const { return num_variables_; }
+  int num_values() const { return num_values_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  const Constraint& constraint(int i) const;
+
+  /// Indices of constraints whose scope contains variable `v`.
+  const std::vector<int>& ConstraintsOn(int v) const;
+
+  /// True if the full assignment (size num_variables) satisfies every
+  /// constraint.
+  bool IsSolution(const std::vector<int>& assignment) const;
+
+  /// True if the partial assignment (entries may be kUnassigned) satisfies
+  /// every constraint whose scope is fully assigned. This is the notion of
+  /// "partial solution" underlying i-consistency (paper, Definition 5.2).
+  bool IsPartialSolution(const std::vector<int>& partial) const;
+
+  /// The Section 2 normalization: returns an equivalent instance in which
+  /// every constraint scope consists of distinct variables (tuples with
+  /// disagreeing repeated positions are deleted and the repeated column
+  /// projected out). Solutions are preserved exactly.
+  CspInstance NormalizedDistinctScopes() const;
+
+  /// Optional variable names for display.
+  void SetVariableName(int v, std::string name);
+  std::string VariableName(int v) const;
+
+  /// Optional value names for display.
+  void SetValueName(int d, std::string name);
+  std::string ValueName(int d) const;
+
+  /// Multi-line dump for debugging and examples.
+  std::string DebugString() const;
+
+ private:
+  int num_variables_ = 0;
+  int num_values_ = 0;
+  std::vector<Constraint> constraints_;
+  std::map<std::vector<int>, int> scope_index_;  // scope -> constraint id
+  std::vector<std::vector<int>> constraints_on_;
+  std::vector<std::string> variable_names_;
+  std::vector<std::string> value_names_;
+};
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CSP_INSTANCE_H_

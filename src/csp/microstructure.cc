@@ -1,0 +1,108 @@
+#include "csp/microstructure.h"
+
+#include "relational/homomorphism.h"
+#include "util/check.h"
+
+namespace cspdb {
+
+Graph Microstructure(const CspInstance& csp) {
+  CspInstance normalized = csp.NormalizedDistinctScopes();
+  int n = normalized.num_variables();
+  int d = normalized.num_values();
+  Graph g(n * d);
+
+  // Unary feasibility per assignment.
+  std::vector<char> feasible(static_cast<std::size_t>(n) * d, 1);
+  for (const Constraint& c : normalized.constraints()) {
+    CSPDB_CHECK_MSG(c.arity() <= 2,
+                    "microstructure requires a binary instance");
+    if (c.arity() == 1) {
+      for (int val = 0; val < d; ++val) {
+        if (c.allowed_set.count({val}) == 0) {
+          feasible[c.scope[0] * d + val] = 0;
+        }
+      }
+    }
+  }
+
+  // Pairwise compatibility: allowed unless some binary constraint between
+  // the two variables excludes the pair.
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      for (int a = 0; a < d; ++a) {
+        if (!feasible[u * d + a]) continue;
+        for (int b = 0; b < d; ++b) {
+          if (!feasible[v * d + b]) continue;
+          bool compatible = true;
+          for (int ci : normalized.ConstraintsOn(u)) {
+            const Constraint& c = normalized.constraint(ci);
+            if (c.arity() != 2) continue;
+            if (c.scope[0] == u && c.scope[1] == v) {
+              compatible = c.allowed_set.count({a, b}) > 0;
+            } else if (c.scope[0] == v && c.scope[1] == u) {
+              compatible = c.allowed_set.count({b, a}) > 0;
+            } else {
+              continue;
+            }
+            if (!compatible) break;
+          }
+          if (compatible) g.AddEdge(u * d + a, v * d + b);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::optional<std::vector<int>> SolveViaMicrostructureClique(
+    const CspInstance& csp) {
+  CspInstance normalized = csp.NormalizedDistinctScopes();
+  int n = normalized.num_variables();
+  int d = normalized.num_values();
+  if (n == 0) return std::vector<int>{};
+  if (d == 0) return std::nullopt;
+  Graph micro = Microstructure(csp);
+
+  // Grow a clique one variable at a time.
+  std::vector<int> chosen(n, kUnassigned);
+  // Recursive lambda via explicit stack of value indices.
+  std::vector<int> next(n, 0);
+  int var = 0;
+  while (var >= 0) {
+    if (var == n) {
+      CSPDB_CHECK(csp.IsSolution(chosen));
+      return chosen;
+    }
+    bool advanced = false;
+    for (int val = next[var]; val < d; ++val) {
+      // Unary feasibility (isolated microstructure vertices only block
+      // cliques when another variable exists).
+      std::vector<int> unary_probe(n, kUnassigned);
+      unary_probe[var] = val;
+      if (!normalized.IsPartialSolution(unary_probe)) continue;
+      bool clique = true;
+      for (int prev = 0; prev < var; ++prev) {
+        if (!micro.HasEdge(prev * d + chosen[prev], var * d + val)) {
+          clique = false;
+          break;
+        }
+      }
+      if (clique) {
+        chosen[var] = val;
+        next[var] = val + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) {
+      ++var;
+      if (var < n) next[var] = 0;
+    } else {
+      chosen[var] = kUnassigned;
+      --var;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cspdb

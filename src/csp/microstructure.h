@@ -1,0 +1,34 @@
+// The microstructure of a binary CSP instance: the graph whose vertices
+// are (variable, value) pairs and whose edges connect compatible pairs of
+// assignments. A CSP with n variables is solvable iff its microstructure
+// contains an n-clique — the classical bridge between constraint
+// satisfaction and graph theory that the paper's abstract lists.
+
+#ifndef CSPDB_CSP_MICROSTRUCTURE_H_
+#define CSPDB_CSP_MICROSTRUCTURE_H_
+
+#include <optional>
+#include <vector>
+
+#include "csp/instance.h"
+#include "treewidth/gaifman.h"
+
+namespace cspdb {
+
+/// The microstructure graph: vertex v * num_values + d stands for the
+/// assignment x_v = d. Two vertices are adjacent iff they belong to
+/// different variables and no binary (or unary, for self-compatibility)
+/// constraint forbids the combination. Vertices whose value violates a
+/// unary constraint are isolated. Requires a binary instance (arity <= 2
+/// after normalization).
+Graph Microstructure(const CspInstance& csp);
+
+/// Searches the microstructure for an n-clique by branch-and-bound over
+/// variables (which is, of course, just backtracking search in disguise —
+/// that is the point). Returns the corresponding solution or std::nullopt.
+std::optional<std::vector<int>> SolveViaMicrostructureClique(
+    const CspInstance& csp);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CSP_MICROSTRUCTURE_H_

@@ -1,0 +1,81 @@
+#include "csp/sat_encoding.h"
+
+#include "relational/homomorphism.h"
+#include "util/check.h"
+
+namespace cspdb {
+
+CnfFormula DirectEncoding(const CspInstance& csp) {
+  CspInstance normalized = csp.NormalizedDistinctScopes();
+  int n = normalized.num_variables();
+  int d = normalized.num_values();
+  CnfFormula phi;
+  phi.num_variables = n * d;
+  auto boolean_var = [d](int var, int val) { return var * d + val; };
+
+  // Exactly-one per CSP variable.
+  for (int v = 0; v < n; ++v) {
+    Clause at_least_one;
+    for (int val = 0; val < d; ++val) {
+      at_least_one.literals.push_back({boolean_var(v, val), true});
+    }
+    phi.clauses.push_back(std::move(at_least_one));
+    for (int a = 0; a < d; ++a) {
+      for (int b = a + 1; b < d; ++b) {
+        phi.clauses.push_back(
+            {{{boolean_var(v, a), false}, {boolean_var(v, b), false}}});
+      }
+    }
+  }
+
+  // Blocking clause per forbidden tuple.
+  for (const Constraint& c : normalized.constraints()) {
+    Tuple t(c.arity(), 0);
+    if (d == 0) continue;  // handled by the empty at-least-one clauses
+    while (true) {
+      if (c.allowed_set.count(t) == 0) {
+        Clause block;
+        for (int q = 0; q < c.arity(); ++q) {
+          block.literals.push_back({boolean_var(c.scope[q], t[q]), false});
+        }
+        phi.clauses.push_back(std::move(block));
+      }
+      int pos = c.arity() - 1;
+      while (pos >= 0 && ++t[pos] == d) t[pos--] = 0;
+      if (pos < 0) break;
+    }
+  }
+  return phi;
+}
+
+std::vector<int> DecodeModel(const CspInstance& csp,
+                             const std::vector<int>& model) {
+  int d = csp.num_values();
+  CSPDB_CHECK(static_cast<int>(model.size()) ==
+              csp.num_variables() * d);
+  std::vector<int> assignment(csp.num_variables(), kUnassigned);
+  for (int v = 0; v < csp.num_variables(); ++v) {
+    for (int val = 0; val < d; ++val) {
+      if (model[v * d + val] == 1) {
+        CSPDB_CHECK_MSG(assignment[v] == kUnassigned,
+                        "model sets two values for one variable");
+        assignment[v] = val;
+      }
+    }
+    CSPDB_CHECK_MSG(assignment[v] != kUnassigned,
+                    "model sets no value for a variable");
+  }
+  return assignment;
+}
+
+std::optional<std::vector<int>> SolveViaSat(const CspInstance& csp,
+                                            DpllStats* stats) {
+  CnfFormula phi = DirectEncoding(csp);
+  auto model = SolveDpll(phi, stats);
+  if (!model.has_value()) return std::nullopt;
+  std::vector<int> assignment = DecodeModel(csp, *model);
+  CSPDB_CHECK(csp.IsSolution(assignment));
+  return assignment;
+}
+
+}  // namespace cspdb

@@ -1,0 +1,34 @@
+// The direct encoding of CSP into SAT — the reduction the paper's
+// Section 1 takes for granted when it calls Boolean satisfiability a
+// constraint-satisfaction problem. One Boolean variable per
+// (variable, value) pair; exactly-one clauses per CSP variable; one
+// blocking clause per forbidden tuple of each constraint.
+
+#ifndef CSPDB_CSP_SAT_ENCODING_H_
+#define CSPDB_CSP_SAT_ENCODING_H_
+
+#include <optional>
+#include <vector>
+
+#include "boolean/cnf.h"
+#include "boolean/dpll.h"
+#include "csp/instance.h"
+
+namespace cspdb {
+
+/// Builds the direct encoding. Boolean variable v * num_values + d means
+/// "x_v = d". The encoding has num_variables * num_values Boolean
+/// variables and is satisfiable iff the instance is solvable.
+CnfFormula DirectEncoding(const CspInstance& csp);
+
+/// Reads a CSP assignment back out of a model of DirectEncoding(csp).
+std::vector<int> DecodeModel(const CspInstance& csp,
+                             const std::vector<int>& model);
+
+/// Round trip: encode, run DPLL, decode.
+std::optional<std::vector<int>> SolveViaSat(const CspInstance& csp,
+                                            DpllStats* stats = nullptr);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CSP_SAT_ENCODING_H_

@@ -1,0 +1,309 @@
+#include "csp/solver.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "relational/homomorphism.h"
+#include "util/check.h"
+
+namespace cspdb {
+
+BacktrackingSolver::BacktrackingSolver(const CspInstance& csp,
+                                       SolverOptions options)
+    : csp_(csp), options_(options) {
+  degree_.assign(csp_.num_variables(), 0);
+  for (int v = 0; v < csp_.num_variables(); ++v) {
+    degree_[v] = static_cast<int>(csp_.ConstraintsOn(v).size());
+  }
+}
+
+void BacktrackingSolver::Reset() {
+  stats_ = SolverStats{};
+  active_.assign(csp_.num_variables(),
+                 std::vector<char>(csp_.num_values(), 1));
+  domain_size_.assign(csp_.num_variables(), csp_.num_values());
+  assignment_.assign(csp_.num_variables(), kUnassigned);
+  trail_.clear();
+  residues_.assign(csp_.constraints().size(), {});
+}
+
+bool BacktrackingSolver::Prune(int var, int val) {
+  if (!active_[var][val]) return true;
+  active_[var][val] = 0;
+  --domain_size_[var];
+  ++stats_.prunings;
+  trail_.push_back({var, val});
+  return domain_size_[var] > 0;
+}
+
+void BacktrackingSolver::UndoTo(std::size_t mark) {
+  while (trail_.size() > mark) {
+    auto [var, val] = trail_.back();
+    trail_.pop_back();
+    active_[var][val] = 1;
+    ++domain_size_[var];
+  }
+}
+
+bool BacktrackingSolver::TupleValid(const Constraint& c,
+                                    const Tuple& t) const {
+  for (int q = 0; q < c.arity(); ++q) {
+    if (!active_[c.scope[q]][t[q]]) return false;
+  }
+  return true;
+}
+
+bool BacktrackingSolver::CheckAssignedConstraints(int var) const {
+  Tuple image;
+  for (int ci : csp_.ConstraintsOn(var)) {
+    const Constraint& c = csp_.constraint(ci);
+    bool all_assigned = true;
+    image.clear();
+    for (int v : c.scope) {
+      if (assignment_[v] == kUnassigned) {
+        all_assigned = false;
+        break;
+      }
+      image.push_back(assignment_[v]);
+    }
+    if (all_assigned && c.allowed_set.count(image) == 0) return false;
+  }
+  return true;
+}
+
+bool BacktrackingSolver::ForwardCheck(int var) {
+  for (int ci : csp_.ConstraintsOn(var)) {
+    const Constraint& c = csp_.constraint(ci);
+    // Collect the single unassigned variable, if any.
+    int open_var = kUnassigned;
+    bool exactly_one = true;
+    for (int v : c.scope) {
+      if (assignment_[v] == kUnassigned) {
+        if (open_var != kUnassigned && open_var != v) {
+          exactly_one = false;
+          break;
+        }
+        open_var = v;
+      }
+    }
+    if (open_var == kUnassigned) {
+      // Fully assigned: membership check.
+      Tuple image;
+      image.reserve(c.arity());
+      for (int v : c.scope) image.push_back(assignment_[v]);
+      if (c.allowed_set.count(image) == 0) return false;
+      continue;
+    }
+    if (!exactly_one) continue;
+    // Prune unsupported values of open_var.
+    for (int val = 0; val < csp_.num_values(); ++val) {
+      if (!active_[open_var][val]) continue;
+      bool supported = false;
+      for (const Tuple& t : c.allowed) {
+        bool match = true;
+        for (int q = 0; q < c.arity(); ++q) {
+          int expect =
+              c.scope[q] == open_var ? val : assignment_[c.scope[q]];
+          if (t[q] != expect) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          supported = true;
+          break;
+        }
+      }
+      if (!supported && !Prune(open_var, val)) return false;
+    }
+  }
+  return true;
+}
+
+bool BacktrackingSolver::Revise(int ci, int slot) {
+  const Constraint& c = csp_.constraint(ci);
+  int var = c.scope[slot];
+  std::vector<int>& residues = residues_[ci];
+  if (residues.empty()) {
+    residues.assign(static_cast<std::size_t>(c.arity()) * csp_.num_values(),
+                    0);
+  }
+  // t supports (var, val) if t is valid under current domains and assigns
+  // val to every position of var.
+  auto supports = [&](const Tuple& t, int val) {
+    for (int q = 0; q < c.arity(); ++q) {
+      if (c.scope[q] == var ? (t[q] != val) : !active_[c.scope[q]][t[q]]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  bool changed = false;
+  for (int val = 0; val < csp_.num_values(); ++val) {
+    if (!active_[var][val]) continue;
+    int& residue = residues[slot * csp_.num_values() + val];
+    if (residue < static_cast<int>(c.allowed.size()) &&
+        supports(c.allowed[residue], val)) {
+      continue;  // cached support still valid
+    }
+    bool supported = false;
+    for (std::size_t i = 0; i < c.allowed.size(); ++i) {
+      if (supports(c.allowed[i], val)) {
+        residue = static_cast<int>(i);
+        supported = true;
+        break;
+      }
+    }
+    if (!supported) {
+      if (!Prune(var, val)) return false;
+      changed = true;
+    }
+  }
+  if (changed) {
+    // Signal the caller via domain change; requeue handled there.
+    last_revise_changed_ = true;
+  }
+  return true;
+}
+
+bool BacktrackingSolver::PropagateGac(
+    const std::vector<int>& seed_constraints) {
+  std::deque<int> queue(seed_constraints.begin(), seed_constraints.end());
+  std::vector<char> queued(csp_.constraints().size(), 0);
+  for (int c : queue) queued[c] = 1;
+  while (!queue.empty()) {
+    int ci = queue.front();
+    queue.pop_front();
+    queued[ci] = 0;
+    const Constraint& c = csp_.constraint(ci);
+    bool any_changed = false;
+    for (int q = 0; q < c.arity(); ++q) {
+      int var = c.scope[q];
+      // Skip duplicate positions of the same variable.
+      bool dup = false;
+      for (int p = 0; p < q; ++p) {
+        if (c.scope[p] == var) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      last_revise_changed_ = false;
+      if (!Revise(ci, q)) return false;
+      if (last_revise_changed_) {
+        any_changed = true;
+        for (int other : csp_.ConstraintsOn(var)) {
+          if (other != ci && !queued[other]) {
+            queue.push_back(other);
+            queued[other] = 1;
+          }
+        }
+      }
+    }
+    (void)any_changed;
+  }
+  return true;
+}
+
+bool BacktrackingSolver::AssignAndPropagate(int var, int val) {
+  assignment_[var] = val;
+  for (int other = 0; other < csp_.num_values(); ++other) {
+    if (other != val && !Prune(var, other)) return false;
+  }
+  switch (options_.propagation) {
+    case Propagation::kNone:
+      return CheckAssignedConstraints(var);
+    case Propagation::kForwardChecking:
+      return ForwardCheck(var);
+    case Propagation::kGac:
+      return PropagateGac(csp_.ConstraintsOn(var));
+  }
+  return false;
+}
+
+int BacktrackingSolver::PickVariable() const {
+  int best = kUnassigned;
+  for (int v = 0; v < csp_.num_variables(); ++v) {
+    if (assignment_[v] != kUnassigned) continue;
+    if (best == kUnassigned) {
+      best = v;
+      if (!options_.mrv) return best;  // static order
+      continue;
+    }
+    if (domain_size_[v] < domain_size_[best] ||
+        (domain_size_[v] == domain_size_[best] &&
+         degree_[v] > degree_[best])) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+template <typename Callback>
+bool BacktrackingSolver::Recurse(Callback&& on_solution, bool* stopped) {
+  int var = PickVariable();
+  if (var == kUnassigned) {
+    if (!on_solution(assignment_)) {
+      *stopped = true;
+      return true;
+    }
+    return false;
+  }
+  for (int val = 0; val < csp_.num_values(); ++val) {
+    if (!active_[var][val]) continue;
+    if (options_.node_limit >= 0 && stats_.nodes >= options_.node_limit) {
+      stats_.aborted = true;
+      *stopped = true;
+      return true;
+    }
+    ++stats_.nodes;
+    std::size_t mark = trail_.size();
+    if (AssignAndPropagate(var, val)) {
+      if (Recurse(on_solution, stopped)) return true;
+    }
+    assignment_[var] = kUnassigned;
+    UndoTo(mark);
+    ++stats_.backtracks;
+  }
+  return false;
+}
+
+template <typename Callback>
+bool BacktrackingSolver::Search(Callback&& on_solution) {
+  Reset();
+  if (csp_.num_variables() > 0 && csp_.num_values() == 0) return false;
+  // Empty-relation constraints are unsatisfiable outright.
+  for (const Constraint& c : csp_.constraints()) {
+    if (c.allowed.empty()) return false;
+  }
+  if (options_.propagation == Propagation::kGac) {
+    std::vector<int> all(csp_.constraints().size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+    if (!PropagateGac(all)) return false;
+  }
+  bool stopped = false;
+  Recurse(on_solution, &stopped);
+  return stopped;
+}
+
+std::optional<std::vector<int>> BacktrackingSolver::Solve() {
+  std::optional<std::vector<int>> result;
+  Search([&](const std::vector<int>& a) {
+    result = a;
+    return false;  // stop at first solution
+  });
+  if (stats_.aborted) return std::nullopt;
+  return result;
+}
+
+int64_t BacktrackingSolver::CountSolutions(int64_t limit) {
+  int64_t count = 0;
+  Search([&](const std::vector<int>&) {
+    ++count;
+    return count < limit;
+  });
+  return count;
+}
+
+}  // namespace cspdb

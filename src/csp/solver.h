@@ -1,0 +1,92 @@
+// Complete search for CSP instances: chronological backtracking with
+// optional forward checking or full GAC (generalized arc consistency)
+// maintenance, and MRV/degree variable ordering. This is the generic
+// NP-complete baseline against which the paper's tractable cases
+// (consistency methods, bounded treewidth, dichotomy classes) are
+// measured.
+
+#ifndef CSPDB_CSP_SOLVER_H_
+#define CSPDB_CSP_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "csp/instance.h"
+
+namespace cspdb {
+
+/// Constraint-propagation level maintained during search.
+enum class Propagation {
+  kNone,             ///< check constraints only when fully assigned
+  kForwardChecking,  ///< prune neighbors of the just-assigned variable
+  kGac,              ///< maintain generalized arc consistency (MAC)
+};
+
+/// Knobs for BacktrackingSolver.
+struct SolverOptions {
+  Propagation propagation = Propagation::kGac;
+  bool mrv = true;  ///< dynamic minimum-remaining-values variable order
+  int64_t node_limit = -1;  ///< abort after this many nodes; -1 = unlimited
+};
+
+/// Counters reported by the search.
+struct SolverStats {
+  int64_t nodes = 0;
+  int64_t backtracks = 0;
+  int64_t prunings = 0;
+  bool aborted = false;  ///< node limit hit before the search finished
+};
+
+/// A complete backtracking solver over a CspInstance. The instance must
+/// outlive the solver.
+class BacktrackingSolver {
+ public:
+  explicit BacktrackingSolver(const CspInstance& csp,
+                              SolverOptions options = {});
+
+  /// Finds one solution, or std::nullopt if the instance is unsolvable
+  /// (or the node limit was hit — check stats().aborted).
+  std::optional<std::vector<int>> Solve();
+
+  /// Counts solutions up to `limit`. Restarts the search from scratch.
+  int64_t CountSolutions(int64_t limit = INT64_MAX);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  void Reset();
+  bool Prune(int var, int val);  // returns false if domain wiped out
+  template <typename Callback>
+  bool Search(Callback&& on_solution);  // true = stopped early
+  template <typename Callback>
+  bool Recurse(Callback&& on_solution, bool* stopped);
+  bool AssignAndPropagate(int var, int val);
+  bool CheckAssignedConstraints(int var) const;
+  bool ForwardCheck(int var);
+  bool PropagateGac(const std::vector<int>& seed_constraints);
+  bool Revise(int c, int slot);
+  bool TupleValid(const Constraint& c, const Tuple& t) const;
+  int PickVariable() const;
+  void UndoTo(std::size_t mark);
+
+  const CspInstance& csp_;
+  SolverOptions options_;
+  SolverStats stats_;
+
+  std::vector<std::vector<char>> active_;  // [var][val]
+  std::vector<int> domain_size_;
+  std::vector<int> assignment_;
+  std::vector<std::pair<int, int>> trail_;  // pruned (var, val)
+  std::vector<int> degree_;                 // static degree per variable
+  bool last_revise_changed_ = false;        // out-param of Revise()
+  // Residual supports: residues_[c][slot * num_values + val] is the index
+  // of the last tuple found to support (scope[slot], val) in constraint c
+  // (the classic GAC residue optimization; stale residues are re-checked).
+  std::vector<std::vector<int>> residues_;
+};
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CSP_SOLVER_H_

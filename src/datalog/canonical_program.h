@@ -1,0 +1,54 @@
+// The canonical k-Datalog program rho_B of Theorem 4.5(3): for a fixed
+// finite structure B and fixed k, a k-Datalog program over B's vocabulary
+// whose goal is derivable on input A iff the Spoiler wins the existential
+// k-pebble game on (A, B). Combined with Theorem 4.6, rho_B is the
+// k-Datalog program for ¬CSP(B) whenever one exists.
+//
+// Construction (following Kolaitis-Vardi). IDB predicates:
+//   adom/1            — the active domain of A;
+//   L_{b1..bi}/i      — for 1 <= i <= k-1 and each tuple over B's domain:
+//                       "the Duplicator loses from the position mapping
+//                        the arguments to b1..bi";
+//   __goal/0          — the Spoiler wins from the empty position.
+// Rules:
+//   (adom)   adom(x_j) :- R(x_1..x_r)          for every EDB R, slot j;
+//   (weaken) L_{b}(x)  :- L_{b|T}(x|T), adom padding
+//                        — losing positions are upward closed: the
+//                          Spoiler may simply remove the extra pebbles;
+//   (extend) head :- for every b in B one "witness" conjunct, where a
+//            witness for b is either an EDB atom over the position's
+//            variables plus the pivot y whose image under (b-tuple, b) is
+//            NOT in the corresponding relation of B (the extension is an
+//            immediate loss), or L_{b|S, b}(x|S, y) for a kept subset S of
+//            size <= k-2 (the Duplicator's reply b leads to a position
+//            with a losing sub-position containing y).
+//
+// The program sees only A's active domain; elements of A occurring in no
+// tuple never matter when B is nonempty (any partial map extends to them
+// freely), and the B-empty case is special-cased by the wrapper.
+//
+// The rule set is exponential in |B| and k (both fixed); keep |B| small
+// (<= 4) and k <= 3 in practice.
+
+#ifndef CSPDB_DATALOG_CANONICAL_PROGRAM_H_
+#define CSPDB_DATALOG_CANONICAL_PROGRAM_H_
+
+#include "datalog/program.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// Builds rho_B for the given template and k (requires k >= 1, k-ary
+/// vocabulary, and B nonempty; the B-empty game is handled by
+/// SpoilerWinsViaDatalog).
+DatalogProgram CanonicalKDatalogProgram(const Structure& b, int k);
+
+/// Decides "does the Spoiler win the existential k-pebble game on (A,B)?"
+/// by evaluating rho_B on A (semi-naive). Must agree with
+/// !PebbleGame(a, b, k).DuplicatorWins() — the differential tests rely on
+/// this.
+bool SpoilerWinsViaDatalog(const Structure& a, const Structure& b, int k);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_DATALOG_CANONICAL_PROGRAM_H_

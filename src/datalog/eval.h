@@ -1,0 +1,48 @@
+// Bottom-up least-fixpoint evaluation of Datalog programs over an EDB
+// database given as a relational structure (paper, Section 4: "the
+// bottom-up evaluation of the least fixed-point of the program terminates
+// within a polynomial number of steps").
+
+#ifndef CSPDB_DATALOG_EVAL_H_
+#define CSPDB_DATALOG_EVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/program.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// Derived IDB facts plus evaluation counters.
+struct DatalogResult {
+  /// Facts per IDB predicate (EDB predicates are not duplicated here).
+  std::unordered_map<std::string, TupleSet> idb;
+
+  int64_t iterations = 0;   ///< fixpoint rounds
+  int64_t derivations = 0;  ///< rule firings (including duplicates)
+
+  /// Facts derived for `predicate` (empty set if none).
+  const TupleSet& Facts(const std::string& predicate) const;
+
+  /// True if the program's goal predicate derived any fact. For a 0-ary
+  /// goal this is the Boolean answer.
+  bool GoalDerived(const DatalogProgram& program) const;
+};
+
+/// Naive evaluation: every rule re-fired on all facts each round until no
+/// new fact appears.
+DatalogResult EvaluateNaive(const DatalogProgram& program,
+                            const Structure& edb);
+
+/// Semi-naive evaluation: after the first round, each rule is fired once
+/// per body IDB atom with that atom restricted to the previous round's
+/// delta. Produces the same facts as EvaluateNaive with fewer firings.
+DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
+                                const Structure& edb);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_DATALOG_EVAL_H_

@@ -1,0 +1,92 @@
+// Datalog programs (paper, Section 4): finite sets of rules over
+// intensional (IDB) and extensional (EDB) predicates, with a designated
+// goal. Evaluation lives in datalog/eval.h.
+
+#ifndef CSPDB_DATALOG_PROGRAM_H_
+#define CSPDB_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cspdb {
+
+/// An atom R(x_1, ..., x_n) in a rule; arguments are rule-local variable
+/// ids. Arity 0 is allowed (Boolean goal predicates).
+struct DatalogAtom {
+  std::string predicate;
+  std::vector<int> args;
+};
+
+/// A rule head :- body. Variables are rule-local, numbered
+/// 0..num_variables-1. Safety (every head variable occurs in the body) is
+/// enforced when the rule is added to a program.
+struct DatalogRule {
+  DatalogAtom head;
+  std::vector<DatalogAtom> body;
+  int num_variables = 0;
+
+  /// Number of distinct variables occurring in the body.
+  int BodyWidth() const;
+
+  /// Number of distinct variables occurring in the head.
+  int HeadWidth() const;
+
+  /// "H(x0) :- E(x0,x1), P(x1)" rendering.
+  std::string ToString() const;
+};
+
+/// A Datalog program: rules plus a goal predicate. Predicates occurring
+/// in rule heads are IDBs; all others are EDBs.
+class DatalogProgram {
+ public:
+  DatalogProgram() = default;
+
+  /// Adds a rule. Checks safety and arity consistency with previous uses
+  /// of the predicates involved.
+  void AddRule(DatalogRule rule);
+
+  /// Designates the goal predicate (must already occur in some head).
+  void SetGoal(const std::string& predicate);
+
+  const std::vector<DatalogRule>& rules() const { return rules_; }
+  const std::string& goal() const { return goal_; }
+
+  /// True if `predicate` occurs in some rule head.
+  bool IsIdb(const std::string& predicate) const;
+
+  /// Arity of `predicate` as used in this program; -1 if never seen.
+  int ArityOf(const std::string& predicate) const;
+
+  /// All predicate names seen, in first-use order.
+  const std::vector<std::string>& predicates() const { return predicates_; }
+
+  /// True if this is a k-Datalog program: every rule's body and head have
+  /// at most k distinct variables (paper, Section 4).
+  bool IsKDatalog(int k) const;
+
+  /// The least k for which IsKDatalog(k) holds.
+  int Width() const;
+
+  std::string ToString() const;
+
+ private:
+  void NoteAtom(const DatalogAtom& atom);
+
+  std::vector<DatalogRule> rules_;
+  std::string goal_;
+  std::unordered_map<std::string, int> arity_;
+  std::unordered_map<std::string, bool> is_idb_;
+  std::vector<std::string> predicates_;
+};
+
+/// The Section 4 example: the 4-Datalog program whose goal Q expresses
+/// Non-2-Colorability (an odd cycle exists) over EDB E:
+///   P(X,Y) :- E(X,Y)
+///   P(X,Y) :- P(X,Z), E(Z,W), E(W,Y)
+///   Q      :- P(X,X)
+DatalogProgram NonTwoColorabilityProgram();
+
+}  // namespace cspdb
+
+#endif  // CSPDB_DATALOG_PROGRAM_H_

@@ -1,0 +1,168 @@
+#include "db/acyclic.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "db/algebra.h"
+#include "util/check.h"
+
+namespace cspdb {
+
+Hypergraph HypergraphOfSchemas(const std::vector<DbRelation>& relations) {
+  Hypergraph h;
+  h.edges.reserve(relations.size());
+  for (const DbRelation& r : relations) {
+    std::vector<int> edge = r.schema();
+    std::sort(edge.begin(), edge.end());
+    h.edges.push_back(std::move(edge));
+  }
+  return h;
+}
+
+namespace {
+
+// True if every vertex of `e` that also occurs in another active edge
+// (other than e itself, index `ei`) is contained in edge `f`.
+bool IsEarWithWitness(const Hypergraph& h, const std::vector<char>& active,
+                      int ei, int fi) {
+  const std::vector<int>& e = h.edges[ei];
+  const std::vector<int>& f = h.edges[fi];
+  for (int v : e) {
+    bool shared = false;
+    for (std::size_t j = 0; j < h.edges.size(); ++j) {
+      if (static_cast<int>(j) == ei || !active[j]) continue;
+      if (std::binary_search(h.edges[j].begin(), h.edges[j].end(), v)) {
+        shared = true;
+        break;
+      }
+    }
+    if (shared && !std::binary_search(f.begin(), f.end(), v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<JoinForest> BuildJoinForest(const Hypergraph& input) {
+  // Normalize: the ear test uses binary search within edges.
+  Hypergraph h = input;
+  for (std::vector<int>& edge : h.edges) {
+    std::sort(edge.begin(), edge.end());
+    edge.erase(std::unique(edge.begin(), edge.end()), edge.end());
+  }
+  int m = static_cast<int>(h.edges.size());
+  JoinForest forest;
+  forest.parent.assign(m, -1);
+  std::vector<char> active(m, 1);
+  int remaining = m;
+  while (remaining > 1) {
+    bool removed = false;
+    for (int e = 0; e < m && !removed; ++e) {
+      if (!active[e]) continue;
+      for (int f = 0; f < m; ++f) {
+        if (f == e || !active[f]) continue;
+        if (IsEarWithWitness(h, active, e, f)) {
+          forest.parent[e] = f;
+          forest.order.push_back(e);
+          active[e] = 0;
+          --remaining;
+          removed = true;
+          break;
+        }
+      }
+    }
+    if (!removed) return std::nullopt;  // cyclic
+  }
+  for (int e = 0; e < m; ++e) {
+    if (active[e]) forest.order.push_back(e);  // root(s)
+  }
+  return forest;
+}
+
+bool IsAlphaAcyclic(const Hypergraph& h) {
+  return BuildJoinForest(h).has_value();
+}
+
+void FullReducer(const JoinForest& forest,
+                 std::vector<DbRelation>* relations) {
+  // Upward pass: children before parents (forest.order is removal order).
+  for (int e : forest.order) {
+    int f = forest.parent[e];
+    if (f >= 0) (*relations)[f] = Semijoin((*relations)[f], (*relations)[e]);
+  }
+  // Downward pass: parents before children.
+  for (auto it = forest.order.rbegin(); it != forest.order.rend(); ++it) {
+    int e = *it;
+    int f = forest.parent[e];
+    if (f >= 0) (*relations)[e] = Semijoin((*relations)[e], (*relations)[f]);
+  }
+}
+
+bool AcyclicJoinNonempty(const JoinForest& forest,
+                         std::vector<DbRelation> relations) {
+  if (relations.empty()) return true;
+  FullReducer(forest, &relations);
+  for (const DbRelation& r : relations) {
+    if (r.empty()) return false;
+  }
+  return true;
+}
+
+DbRelation YannakakisEvaluate(const JoinForest& forest,
+                              std::vector<DbRelation> relations,
+                              const std::vector<int>& output_attrs,
+                              int64_t* peak_rows) {
+  CSPDB_CHECK(!relations.empty());
+  std::unordered_set<int> output(output_attrs.begin(), output_attrs.end());
+  for (int a : output_attrs) {
+    bool found = false;
+    for (const DbRelation& r : relations) {
+      if (r.AttributePosition(a) >= 0) {
+        found = true;
+        break;
+      }
+    }
+    CSPDB_CHECK_MSG(found, "output attribute missing from every relation");
+  }
+
+  FullReducer(forest, &relations);
+  int64_t peak = 0;
+  for (const DbRelation& r : relations) {
+    peak = std::max(peak, static_cast<int64_t>(r.size()));
+  }
+
+  // Bottom-up joins: fold each child into its parent, projecting onto the
+  // parent's original schema plus any output attributes present.
+  std::vector<DbRelation> result = relations;
+  std::vector<DbRelation> roots;
+  for (int e : forest.order) {
+    int f = forest.parent[e];
+    if (f < 0) {
+      roots.push_back(result[e]);
+      continue;
+    }
+    DbRelation joined = NaturalJoin(result[f], result[e]);
+    peak = std::max(peak, static_cast<int64_t>(joined.size()));
+    std::vector<int> keep;
+    for (int a : joined.schema()) {
+      if (output.count(a) > 0 ||
+          relations[f].AttributePosition(a) >= 0) {
+        keep.push_back(a);
+      }
+    }
+    result[f] = Project(joined, keep);
+  }
+
+  // Cross-combine the roots (schemas of distinct components are disjoint
+  // except possibly on output attributes already projected).
+  DbRelation acc = roots.front();
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    acc = NaturalJoin(acc, roots[i]);
+    peak = std::max(peak, static_cast<int64_t>(acc.size()));
+  }
+  if (peak_rows != nullptr) *peak_rows = peak;
+  return Project(acc, output_attrs);
+}
+
+}  // namespace cspdb

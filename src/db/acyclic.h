@@ -1,0 +1,60 @@
+// Acyclic joins: hypergraphs of relation schemas, GYO reduction,
+// join forests, and the Yannakakis semijoin algorithm (paper, Section 6's
+// discussion of acyclic joins and acyclic constraints [45, 32]).
+
+#ifndef CSPDB_DB_ACYCLIC_H_
+#define CSPDB_DB_ACYCLIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "db/relation.h"
+
+namespace cspdb {
+
+/// A hypergraph: one hyperedge (set of attribute ids) per relation.
+struct Hypergraph {
+  std::vector<std::vector<int>> edges;
+};
+
+/// The hypergraph whose edges are the schemas of `relations`.
+Hypergraph HypergraphOfSchemas(const std::vector<DbRelation>& relations);
+
+/// A join forest over the edges of a hypergraph: `parent[i]` is the edge
+/// that edge i semijoins into (-1 for roots), and `order` lists edges
+/// children-before-parents (GYO removal order).
+struct JoinForest {
+  std::vector<int> parent;
+  std::vector<int> order;
+};
+
+/// GYO ear removal. Returns a join forest if the hypergraph is
+/// alpha-acyclic, std::nullopt otherwise.
+std::optional<JoinForest> BuildJoinForest(const Hypergraph& h);
+
+/// True iff the hypergraph is alpha-acyclic.
+bool IsAlphaAcyclic(const Hypergraph& h);
+
+/// Full reducer: runs the child->parent and parent->child semijoin passes
+/// over `relations` in place. After this, for an acyclic schema, the join
+/// is nonempty iff every relation is nonempty.
+void FullReducer(const JoinForest& forest, std::vector<DbRelation>* relations);
+
+/// Decides whether the natural join of acyclic `relations` is nonempty in
+/// polynomial time (semijoin program only — no join is materialized).
+bool AcyclicJoinNonempty(const JoinForest& forest,
+                         std::vector<DbRelation> relations);
+
+/// The Yannakakis algorithm: full reducer, then bottom-up joins projecting
+/// onto `output_attrs` plus connector attributes, keeping every
+/// intermediate result polynomial in input + output. `peak_rows`, if
+/// non-null, receives the largest intermediate cardinality.
+DbRelation YannakakisEvaluate(const JoinForest& forest,
+                              std::vector<DbRelation> relations,
+                              const std::vector<int>& output_attrs,
+                              int64_t* peak_rows = nullptr);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_DB_ACYCLIC_H_

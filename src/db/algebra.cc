@@ -1,0 +1,204 @@
+#include "db/algebra.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Positions of the attributes shared by r and s, as parallel vectors.
+void SharedPositions(const DbRelation& r, const DbRelation& s,
+                     std::vector<int>* r_pos, std::vector<int>* s_pos) {
+  r_pos->clear();
+  s_pos->clear();
+  for (std::size_t i = 0; i < r.schema().size(); ++i) {
+    int p = s.AttributePosition(r.schema()[i]);
+    if (p >= 0) {
+      r_pos->push_back(static_cast<int>(i));
+      s_pos->push_back(p);
+    }
+  }
+}
+
+Tuple KeyAt(const Tuple& row, const std::vector<int>& positions) {
+  Tuple key;
+  key.reserve(positions.size());
+  for (int p : positions) key.push_back(row[p]);
+  return key;
+}
+
+}  // namespace
+
+DbRelation NaturalJoin(const DbRelation& r, const DbRelation& s) {
+  std::vector<int> r_pos, s_pos;
+  SharedPositions(r, s, &r_pos, &s_pos);
+
+  // Result schema: r's schema then s's non-shared attributes.
+  std::vector<int> schema = r.schema();
+  std::vector<int> s_extra_pos;
+  for (std::size_t i = 0; i < s.schema().size(); ++i) {
+    if (r.AttributePosition(s.schema()[i]) < 0) {
+      schema.push_back(s.schema()[i]);
+      s_extra_pos.push_back(static_cast<int>(i));
+    }
+  }
+  DbRelation out(std::move(schema));
+
+  // Hash s on the shared key.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+  for (const Tuple& row : s.rows()) {
+    index[KeyAt(row, s_pos)].push_back(&row);
+  }
+  for (const Tuple& row : r.rows()) {
+    auto it = index.find(KeyAt(row, r_pos));
+    if (it == index.end()) continue;
+    for (const Tuple* srow : it->second) {
+      Tuple combined = row;
+      for (int p : s_extra_pos) combined.push_back((*srow)[p]);
+      out.AddRow(std::move(combined));
+    }
+  }
+  return out;
+}
+
+DbRelation Project(const DbRelation& r, const std::vector<int>& attrs) {
+  std::vector<int> positions;
+  positions.reserve(attrs.size());
+  for (int a : attrs) {
+    int p = r.AttributePosition(a);
+    CSPDB_CHECK_MSG(p >= 0, "projection attribute not in schema");
+    positions.push_back(p);
+  }
+  DbRelation out(attrs);
+  for (const Tuple& row : r.rows()) out.AddRow(KeyAt(row, positions));
+  return out;
+}
+
+DbRelation Select(const DbRelation& r,
+                  const std::function<bool(const Tuple&)>& predicate) {
+  DbRelation out(r.schema());
+  for (const Tuple& row : r.rows()) {
+    if (predicate(row)) out.AddRow(row);
+  }
+  return out;
+}
+
+DbRelation SelectEquals(const DbRelation& r, int attr, int value) {
+  int p = r.AttributePosition(attr);
+  CSPDB_CHECK_MSG(p >= 0, "selection attribute not in schema");
+  return Select(r, [p, value](const Tuple& row) { return row[p] == value; });
+}
+
+DbRelation Semijoin(const DbRelation& r, const DbRelation& s) {
+  std::vector<int> r_pos, s_pos;
+  SharedPositions(r, s, &r_pos, &s_pos);
+  TupleSet keys;
+  for (const Tuple& row : s.rows()) keys.insert(KeyAt(row, s_pos));
+  DbRelation out(r.schema());
+  for (const Tuple& row : r.rows()) {
+    if (keys.count(KeyAt(row, r_pos)) > 0) out.AddRow(row);
+  }
+  return out;
+}
+
+DbRelation JoinAll(const std::vector<DbRelation>& relations,
+                   int64_t* peak_rows) {
+  CSPDB_CHECK(!relations.empty());
+  DbRelation acc = relations[0];
+  int64_t peak = static_cast<int64_t>(acc.size());
+  for (std::size_t i = 1; i < relations.size(); ++i) {
+    acc = NaturalJoin(acc, relations[i]);
+    peak = std::max(peak, static_cast<int64_t>(acc.size()));
+  }
+  if (peak_rows != nullptr) *peak_rows = peak;
+  return acc;
+}
+
+DbRelation JoinAllGreedy(const std::vector<DbRelation>& relations,
+                         int64_t* peak_rows) {
+  CSPDB_CHECK(!relations.empty());
+  std::vector<char> used(relations.size(), 0);
+  // Start with the smallest relation.
+  std::size_t first = 0;
+  for (std::size_t i = 1; i < relations.size(); ++i) {
+    if (relations[i].size() < relations[first].size()) first = i;
+  }
+  used[first] = 1;
+  DbRelation acc = relations[first];
+  int64_t peak = static_cast<int64_t>(acc.size());
+  for (std::size_t step = 1; step < relations.size(); ++step) {
+    int best = -1;
+    int best_shared = -1;
+    for (std::size_t i = 0; i < relations.size(); ++i) {
+      if (used[i]) continue;
+      int shared = 0;
+      for (int attr : relations[i].schema()) {
+        if (acc.AttributePosition(attr) >= 0) ++shared;
+      }
+      if (best < 0 || shared > best_shared ||
+          (shared == best_shared &&
+           relations[i].size() < relations[best].size())) {
+        best = static_cast<int>(i);
+        best_shared = shared;
+      }
+    }
+    used[best] = 1;
+    acc = NaturalJoin(acc, relations[best]);
+    peak = std::max(peak, static_cast<int64_t>(acc.size()));
+  }
+  if (peak_rows != nullptr) *peak_rows = peak;
+  return acc;
+}
+
+std::vector<DbRelation> ConstraintsAsRelations(const CspInstance& csp) {
+  std::vector<DbRelation> out;
+  out.reserve(csp.constraints().size());
+  for (const Constraint& c : csp.constraints()) {
+    DbRelation r(c.scope);
+    for (const Tuple& t : c.allowed) r.AddRow(t);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+DbRelation SolutionsAsRelation(const CspInstance& csp) {
+  CspInstance normalized = csp.NormalizedDistinctScopes();
+  std::vector<DbRelation> relations = ConstraintsAsRelations(normalized);
+  // Unconstrained variables contribute their full domain.
+  std::vector<char> covered(normalized.num_variables(), 0);
+  for (const Constraint& c : normalized.constraints()) {
+    for (int v : c.scope) covered[v] = 1;
+  }
+  for (int v = 0; v < normalized.num_variables(); ++v) {
+    if (covered[v]) continue;
+    DbRelation domain({v});
+    for (int d = 0; d < normalized.num_values(); ++d) domain.AddRow({d});
+    relations.push_back(std::move(domain));
+  }
+  if (relations.empty()) {
+    DbRelation truth({});
+    truth.AddRow({});
+    return truth;
+  }
+  DbRelation joined = JoinAll(relations);
+  // Canonical column order 0..n-1.
+  std::vector<int> order;
+  for (int v = 0; v < normalized.num_variables(); ++v) order.push_back(v);
+  return Project(joined, order);
+}
+
+bool SolvableByJoin(const CspInstance& csp, int64_t* peak_rows) {
+  CspInstance normalized = csp.NormalizedDistinctScopes();
+  if (normalized.constraints().empty()) {
+    // No constraints: solvable as long as values exist for the variables.
+    if (peak_rows != nullptr) *peak_rows = 0;
+    return normalized.num_variables() == 0 || normalized.num_values() > 0;
+  }
+  std::vector<DbRelation> relations = ConstraintsAsRelations(normalized);
+  return !JoinAll(relations, peak_rows).empty();
+}
+
+}  // namespace cspdb

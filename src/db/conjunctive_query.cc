@@ -1,0 +1,183 @@
+#include "db/conjunctive_query.h"
+
+#include <utility>
+
+#include "db/algebra.h"
+#include "relational/homomorphism.h"
+#include "util/check.h"
+
+namespace cspdb {
+
+ConjunctiveQuery::ConjunctiveQuery(int num_variables, std::vector<int> head,
+                                   std::vector<Atom> body)
+    : num_variables_(num_variables),
+      head_(std::move(head)),
+      body_(std::move(body)) {
+  CSPDB_CHECK(num_variables >= 0);
+  for (int h : head_) CSPDB_CHECK(h >= 0 && h < num_variables_);
+  for (const Atom& atom : body_) {
+    CSPDB_CHECK(!atom.args.empty());
+    for (int v : atom.args) CSPDB_CHECK(v >= 0 && v < num_variables_);
+    int existing = body_vocabulary_.IndexOf(atom.predicate);
+    if (existing < 0) {
+      body_vocabulary_.AddSymbol(atom.predicate,
+                                 static_cast<int>(atom.args.size()));
+    } else {
+      CSPDB_CHECK_MSG(body_vocabulary_.symbol(existing).arity ==
+                          static_cast<int>(atom.args.size()),
+                      "inconsistent arity for predicate " + atom.predicate);
+    }
+  }
+}
+
+Structure ConjunctiveQuery::CanonicalDatabase() const {
+  Vocabulary voc = body_vocabulary_;
+  std::vector<int> head_marker(head_.size());
+  for (std::size_t i = 0; i < head_.size(); ++i) {
+    head_marker[i] = voc.AddSymbol("__P" + std::to_string(i), 1);
+  }
+  Structure db(voc, num_variables_);
+  for (const Atom& atom : body_) {
+    db.AddTuple(voc.IndexOf(atom.predicate),
+                Tuple(atom.args.begin(), atom.args.end()));
+  }
+  for (std::size_t i = 0; i < head_.size(); ++i) {
+    db.AddTuple(head_marker[i], {head_[i]});
+  }
+  return db;
+}
+
+Structure ConjunctiveQuery::BodyStructure() const {
+  Structure db(body_vocabulary_, num_variables_);
+  for (const Atom& atom : body_) {
+    db.AddTuple(body_vocabulary_.IndexOf(atom.predicate),
+                Tuple(atom.args.begin(), atom.args.end()));
+  }
+  return db;
+}
+
+ConjunctiveQuery ConjunctiveQuery::FromStructure(const Structure& a) {
+  std::vector<Atom> body;
+  for (int r = 0; r < a.vocabulary().size(); ++r) {
+    for (const Tuple& t : a.tuples(r)) {
+      body.push_back({a.vocabulary().symbol(r).name,
+                      std::vector<int>(t.begin(), t.end())});
+    }
+  }
+  return ConjunctiveQuery(a.domain_size(), {}, std::move(body));
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "Q(";
+  for (std::size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "x" + std::to_string(head_[i]);
+  }
+  out += ") :- ";
+  for (std::size_t i = 0; i < body_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body_[i].predicate + "(";
+    for (std::size_t j = 0; j < body_[i].args.size(); ++j) {
+      if (j > 0) out += ",";
+      out += "x" + std::to_string(body_[i].args[j]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+DbRelation Evaluate(const ConjunctiveQuery& q, const Structure& db) {
+  // Per-atom relations keyed by query-variable id (repeated arguments are
+  // turned into equality selections followed by projection).
+  std::vector<DbRelation> parts;
+  bool impossible = false;
+  for (const Atom& atom : q.body()) {
+    std::vector<int> distinct_args;
+    std::vector<int> keep_pos;
+    for (std::size_t i = 0; i < atom.args.size(); ++i) {
+      bool first = true;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (atom.args[j] == atom.args[i]) {
+          first = false;
+          break;
+        }
+      }
+      if (first) {
+        distinct_args.push_back(atom.args[i]);
+        keep_pos.push_back(static_cast<int>(i));
+      }
+    }
+    DbRelation part(distinct_args);
+    int rel = db.vocabulary().IndexOf(atom.predicate);
+    if (rel < 0) {
+      impossible = true;
+    } else {
+      CSPDB_CHECK_MSG(db.vocabulary().symbol(rel).arity ==
+                          static_cast<int>(atom.args.size()),
+                      "atom arity differs from database relation " +
+                          atom.predicate);
+      for (const Tuple& t : db.tuples(rel)) {
+        bool agree = true;
+        for (std::size_t i = 0; i < atom.args.size() && agree; ++i) {
+          for (std::size_t j = 0; j < i; ++j) {
+            if (atom.args[j] == atom.args[i] && t[j] != t[i]) {
+              agree = false;
+              break;
+            }
+          }
+        }
+        if (!agree) continue;
+        Tuple row;
+        row.reserve(keep_pos.size());
+        for (int p : keep_pos) row.push_back(t[p]);
+        part.AddRow(std::move(row));
+      }
+    }
+    parts.push_back(std::move(part));
+  }
+
+  // Result schema: head positions 0..n-1 (attribute i = head slot i).
+  std::vector<int> out_schema(q.head().size());
+  for (std::size_t i = 0; i < out_schema.size(); ++i) {
+    out_schema[i] = static_cast<int>(i);
+  }
+  DbRelation out(out_schema);
+  if (impossible) return out;
+
+  DbRelation joined = parts.empty() ? DbRelation({}) : JoinAll(parts);
+  if (parts.empty()) joined.AddRow({});  // empty body is trivially true
+
+  std::vector<int> head_positions;
+  head_positions.reserve(q.head().size());
+  for (int h : q.head()) {
+    int p = joined.AttributePosition(h);
+    CSPDB_CHECK_MSG(p >= 0,
+                    "unsafe query: head variable missing from the body");
+    head_positions.push_back(p);
+  }
+  for (const Tuple& row : joined.rows()) {
+    Tuple projected;
+    projected.reserve(head_positions.size());
+    for (int p : head_positions) projected.push_back(row[p]);
+    out.AddRow(std::move(projected));
+  }
+  return out;
+}
+
+bool BodySatisfiable(const ConjunctiveQuery& q, const Structure& db) {
+  // Align the body with the database vocabulary, then search for a
+  // homomorphism (cheaper than materializing the full join).
+  Structure body(db.vocabulary(), q.num_variables());
+  for (const Atom& atom : q.body()) {
+    int rel = db.vocabulary().IndexOf(atom.predicate);
+    if (rel < 0) return false;
+    CSPDB_CHECK_MSG(db.vocabulary().symbol(rel).arity ==
+                        static_cast<int>(atom.args.size()),
+                    "atom arity differs from database relation " +
+                        atom.predicate);
+    body.AddTuple(rel, Tuple(atom.args.begin(), atom.args.end()));
+  }
+  return FindHomomorphism(body, db).has_value();
+}
+
+}  // namespace cspdb

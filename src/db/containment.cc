@@ -1,0 +1,77 @@
+#include "db/containment.h"
+
+#include <string>
+#include <vector>
+
+#include "relational/homomorphism.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Builds the canonical database of `q` over the joint vocabulary `voc`
+// (which must contain all of q's body predicates and the head markers).
+Structure CanonicalOver(const ConjunctiveQuery& q, const Vocabulary& voc) {
+  Structure db(voc, q.num_variables());
+  for (const Atom& atom : q.body()) {
+    int rel = voc.IndexOf(atom.predicate);
+    CSPDB_CHECK(rel >= 0);
+    db.AddTuple(rel, Tuple(atom.args.begin(), atom.args.end()));
+  }
+  for (std::size_t i = 0; i < q.head().size(); ++i) {
+    int rel = voc.IndexOf("__P" + std::to_string(i));
+    CSPDB_CHECK(rel >= 0);
+    db.AddTuple(rel, {q.head()[i]});
+  }
+  return db;
+}
+
+// Joint vocabulary: body predicates of both queries plus head markers.
+Vocabulary JointVocabulary(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2) {
+  Vocabulary voc = q1.body_vocabulary();
+  const Vocabulary& v2 = q2.body_vocabulary();
+  for (int r = 0; r < v2.size(); ++r) {
+    int existing = voc.IndexOf(v2.symbol(r).name);
+    if (existing < 0) {
+      voc.AddSymbol(v2.symbol(r).name, v2.symbol(r).arity);
+    } else {
+      CSPDB_CHECK_MSG(voc.symbol(existing).arity == v2.symbol(r).arity,
+                      "queries disagree on arity of " + v2.symbol(r).name);
+    }
+  }
+  for (std::size_t i = 0; i < q1.head().size(); ++i) {
+    voc.AddSymbol("__P" + std::to_string(i), 1);
+  }
+  return voc;
+}
+
+}  // namespace
+
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  CSPDB_CHECK_MSG(q1.head().size() == q2.head().size(),
+                  "containment requires equal head arity");
+  Vocabulary voc = JointVocabulary(q1, q2);
+  Structure d1 = CanonicalOver(q1, voc);
+  Structure d2 = CanonicalOver(q2, voc);
+  return FindHomomorphism(d2, d1).has_value();
+}
+
+bool IsContainedInViaEvaluation(const ConjunctiveQuery& q1,
+                                const ConjunctiveQuery& q2) {
+  CSPDB_CHECK_MSG(q1.head().size() == q2.head().size(),
+                  "containment requires equal head arity");
+  Structure d1 = q1.BodyStructure();
+  DbRelation answers = Evaluate(q2, d1);
+  return answers.HasRow(Tuple(q1.head().begin(), q1.head().end()));
+}
+
+bool AreEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return IsContainedIn(q1, q2) && IsContainedIn(q2, q1);
+}
+
+bool HomomorphismViaQueryEvaluation(const Structure& a, const Structure& b) {
+  return BodySatisfiable(ConjunctiveQuery::FromStructure(a), b);
+}
+
+}  // namespace cspdb

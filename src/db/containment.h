@@ -1,0 +1,34 @@
+// Conjunctive-query containment via the Chandra-Merlin homomorphism
+// theorem (paper, Propositions 2.2 and 2.3).
+
+#ifndef CSPDB_DB_CONTAINMENT_H_
+#define CSPDB_DB_CONTAINMENT_H_
+
+#include "db/conjunctive_query.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// Decides Q1 ⊆ Q2 (same head arity required) by searching for a
+/// homomorphism D^{Q2} -> D^{Q1} between canonical databases (head
+/// markers force distinguished variables onto distinguished variables).
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// The same decision via Proposition 2.2's second formulation: evaluate Q2
+/// on the canonical database of Q1 and test whether Q1's head tuple is in
+/// the answer. Agrees with IsContainedIn; kept separate so the equivalence
+/// is testable.
+bool IsContainedInViaEvaluation(const ConjunctiveQuery& q1,
+                                const ConjunctiveQuery& q2);
+
+/// Q1 ⊆ Q2 and Q2 ⊆ Q1.
+bool AreEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// Proposition 2.3: a homomorphism A -> B exists iff the Boolean query
+/// phi_A is true in B. Decides homomorphism existence by query
+/// evaluation (testable against FindHomomorphism).
+bool HomomorphismViaQueryEvaluation(const Structure& a, const Structure& b);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_DB_CONTAINMENT_H_

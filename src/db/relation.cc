@@ -1,0 +1,49 @@
+#include "db/relation.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cspdb {
+
+DbRelation::DbRelation(std::vector<int> schema)
+    : schema_(std::move(schema)) {
+  std::unordered_set<int> seen;
+  for (int a : schema_) {
+    CSPDB_CHECK_MSG(seen.insert(a).second,
+                    "duplicate attribute in relation schema");
+  }
+}
+
+void DbRelation::AddRow(Tuple row) {
+  CSPDB_CHECK_MSG(row.size() == schema_.size(), "row arity mismatch");
+  if (row_set_.insert(row).second) rows_.push_back(std::move(row));
+}
+
+int DbRelation::AttributePosition(int attr) const {
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i] == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string DbRelation::DebugString() const {
+  std::string out = "DbRelation[";
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "a" + std::to_string(schema_[i]);
+  }
+  out += "] (" + std::to_string(rows_.size()) + " rows)\n";
+  for (const Tuple& r : rows_) {
+    out += "  (";
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(r[i]);
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace cspdb

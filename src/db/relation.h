@@ -1,0 +1,51 @@
+// Database relations with named (integer) attributes. Proposition 2.1 of
+// the paper views every CSP variable as a relational attribute and every
+// constraint as a relation over its scope; this module is that view.
+
+#ifndef CSPDB_DB_RELATION_H_
+#define CSPDB_DB_RELATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// A relation instance: a schema of distinct attribute ids and a
+/// deduplicated set of rows of matching arity. Arity 0 is allowed (the
+/// result of a Boolean query): such a relation holds either zero rows
+/// (false) or the single empty row (true).
+class DbRelation {
+ public:
+  /// Creates an empty relation over `schema` (attributes must be
+  /// distinct).
+  explicit DbRelation(std::vector<int> schema);
+
+  /// Adds a row; duplicates are ignored.
+  void AddRow(Tuple row);
+
+  const std::vector<int>& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  bool HasRow(const Tuple& row) const { return row_set_.count(row) > 0; }
+
+  int arity() const { return static_cast<int>(schema_.size()); }
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Position of attribute `attr` in the schema, or -1 if absent.
+  int AttributePosition(int attr) const;
+
+  /// Multi-line dump for debugging and examples.
+  std::string DebugString() const;
+
+ private:
+  std::vector<int> schema_;
+  std::vector<Tuple> rows_;
+  TupleSet row_set_;
+};
+
+}  // namespace cspdb
+
+#endif  // CSPDB_DB_RELATION_H_

@@ -1,0 +1,278 @@
+#include "games/pebble_game.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "relational/homomorphism.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Inserts (a, b) into the sorted pair list `f`; returns false if a is
+// already present.
+bool InsertPair(PartialHom* f, int a, int b) {
+  auto it = std::lower_bound(
+      f->begin(), f->end(), std::make_pair(a, b),
+      [](const auto& x, const auto& y) { return x.first < y.first; });
+  if (it != f->end() && it->first == a) return false;
+  f->insert(it, {a, b});
+  return true;
+}
+
+}  // namespace
+
+PebbleGame::PebbleGame(const Structure& a, const Structure& b, int k)
+    : a_(a), b_(b), k_(k) {
+  CSPDB_CHECK(k >= 1);
+  CSPDB_CHECK(a.vocabulary() == b.vocabulary());
+  tuples_on_.resize(a_.domain_size());
+  for (int r = 0; r < a_.vocabulary().size(); ++r) {
+    for (const Tuple& t : a_.tuples(r)) {
+      int prev = -1;
+      Tuple sorted = t;
+      std::sort(sorted.begin(), sorted.end());
+      for (int e : sorted) {
+        if (e != prev) tuples_on_[e].push_back({r, &t});
+        prev = e;
+      }
+    }
+  }
+  Enumerate();
+  Eliminate();
+}
+
+bool PebbleGame::ValidExtension(const PartialHom& f, int a, int b) const {
+  // Check every tuple of A involving `a` whose elements all lie in
+  // dom(f) + {a}: its image under f + (a -> b) must be in B.
+  Tuple image;
+  for (const auto& [rel, tuple] : tuples_on_[a]) {
+    bool covered = true;
+    image.clear();
+    for (int e : *tuple) {
+      if (e == a) {
+        image.push_back(b);
+        continue;
+      }
+      auto it = std::lower_bound(
+          f.begin(), f.end(), std::make_pair(e, 0),
+          [](const auto& x, const auto& y) { return x.first < y.first; });
+      if (it == f.end() || it->first != e) {
+        covered = false;
+        break;
+      }
+      image.push_back(it->second);
+    }
+    if (covered && !b_.HasTuple(rel, image)) return false;
+  }
+  return true;
+}
+
+void PebbleGame::Enumerate() {
+  // Level 0: the empty partial homomorphism.
+  homs_.push_back({});
+  id_.emplace(PartialHom{}, 0);
+  std::size_t level_begin = 0;
+  for (int size = 0; size < k_; ++size) {
+    std::size_t level_end = homs_.size();
+    for (std::size_t fi = level_begin; fi < level_end; ++fi) {
+      for (int a = 0; a < a_.domain_size(); ++a) {
+        // Skip elements already in dom(f).
+        // (homs_[fi] may be reallocated by push_back; copy what we need.)
+        PartialHom f = homs_[fi];
+        bool present = false;
+        for (const auto& [x, y] : f) {
+          if (x == a) {
+            present = true;
+            break;
+          }
+        }
+        if (present) continue;
+        for (int b = 0; b < b_.domain_size(); ++b) {
+          if (!ValidExtension(f, a, b)) continue;
+          PartialHom g = f;
+          InsertPair(&g, a, b);
+          if (id_.find(g) == id_.end()) {
+            id_.emplace(g, static_cast<int>(homs_.size()));
+            homs_.push_back(std::move(g));
+          }
+        }
+      }
+    }
+    level_begin = level_end;
+  }
+}
+
+void PebbleGame::Eliminate() {
+  int total = static_cast<int>(homs_.size());
+  alive_.assign(total, 1);
+  children_.assign(total, {});
+  // parents_by_child[g] lists (parent id, extension element) pairs.
+  std::vector<std::vector<std::pair<int, int>>> parents(total);
+
+  for (int g = 0; g < total; ++g) {
+    const PartialHom& hom = homs_[g];
+    if (hom.empty()) continue;
+    for (std::size_t i = 0; i < hom.size(); ++i) {
+      PartialHom parent = hom;
+      int elem = hom[i].first;
+      parent.erase(parent.begin() + static_cast<std::ptrdiff_t>(i));
+      auto it = id_.find(parent);
+      CSPDB_CHECK(it != id_.end());  // subfunctions are always valid
+      children_[it->second][elem].push_back(g);
+      parents[g].push_back({it->second, elem});
+    }
+  }
+
+  // Support counts: for f with |f| < k and element a outside dom(f), the
+  // number of alive extensions of f on a. Zero support kills f.
+  std::vector<std::unordered_map<int, int>> support(total);
+  std::deque<int> dead_queue;
+  for (int f = 0; f < total; ++f) {
+    if (static_cast<int>(homs_[f].size()) >= k_) continue;
+    for (int a = 0; a < a_.domain_size(); ++a) {
+      bool in_dom = false;
+      for (const auto& [x, y] : homs_[f]) {
+        if (x == a) {
+          in_dom = true;
+          break;
+        }
+      }
+      if (in_dom) continue;
+      auto it = children_[f].find(a);
+      int count = it == children_[f].end()
+                      ? 0
+                      : static_cast<int>(it->second.size());
+      support[f][a] = count;
+      if (count == 0 && alive_[f]) {
+        alive_[f] = 0;
+        dead_queue.push_back(f);
+      }
+    }
+  }
+
+  while (!dead_queue.empty()) {
+    int g = dead_queue.front();
+    dead_queue.pop_front();
+    // Down-closure upwards: any extension of a dead map is dead.
+    for (const auto& [elem, kids] : children_[g]) {
+      (void)elem;
+      for (int child : kids) {
+        if (alive_[child]) {
+          alive_[child] = 0;
+          dead_queue.push_back(child);
+        }
+      }
+    }
+    // Forth property: parents lose one unit of support on the extension
+    // element.
+    for (const auto& [parent, elem] : parents[g]) {
+      if (!alive_[parent]) continue;
+      auto it = support[parent].find(elem);
+      CSPDB_CHECK(it != support[parent].end());
+      if (--it->second == 0) {
+        alive_[parent] = 0;
+        dead_queue.push_back(parent);
+      }
+    }
+  }
+}
+
+bool PebbleGame::DuplicatorWins() const {
+  // The empty map has id 0; by down-closure the family is nonempty iff it
+  // contains the empty map.
+  return alive_[0] != 0;
+}
+
+bool PebbleGame::IsAlive(int id) const {
+  CSPDB_CHECK(id >= 0 && id < static_cast<int>(homs_.size()));
+  return alive_[id] != 0;
+}
+
+int PebbleGame::IdOf(PartialHom f) const {
+  std::sort(f.begin(), f.end());
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    if (f[i].first == f[i - 1].first) return -1;  // not a function
+  }
+  auto it = id_.find(f);
+  return it == id_.end() ? -1 : it->second;
+}
+
+bool PebbleGame::InLargestStrategy(PartialHom f) const {
+  int id = IdOf(std::move(f));
+  return id >= 0 && alive_[id] != 0;
+}
+
+bool PebbleGame::IsWinningConfiguration(const Tuple& a_tuple,
+                                        const Tuple& b_tuple) const {
+  CSPDB_CHECK(a_tuple.size() == b_tuple.size());
+  CSPDB_CHECK(static_cast<int>(a_tuple.size()) <= k_);
+  PartialHom f;
+  for (std::size_t i = 0; i < a_tuple.size(); ++i) {
+    // Well-definedness: repeated a's must map to equal b's.
+    bool duplicate = false;
+    for (const auto& [x, y] : f) {
+      if (x == a_tuple[i]) {
+        if (y != b_tuple[i]) return false;
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) InsertPair(&f, a_tuple[i], b_tuple[i]);
+  }
+  return InLargestStrategy(std::move(f));
+}
+
+std::vector<PartialHom> PebbleGame::LargestWinningStrategy() const {
+  std::vector<PartialHom> out;
+  for (std::size_t i = 0; i < homs_.size(); ++i) {
+    if (alive_[i]) out.push_back(homs_[i]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PartialHom& x, const PartialHom& y) {
+              if (x.size() != y.size()) return x.size() < y.size();
+              return x < y;
+            });
+  return out;
+}
+
+bool HasIForthProperty(const Structure& a, const Structure& b, int i) {
+  CSPDB_CHECK(i >= 1);
+  // Enumerate all partial homomorphisms of size exactly i-1 via a game
+  // universe of size i, then test one-point extendability.
+  PebbleGame game(a, b, i);
+  for (const PartialHom& f : game.universe()) {
+    if (static_cast<int>(f.size()) != i - 1) continue;
+    for (int elem = 0; elem < a.domain_size(); ++elem) {
+      bool in_dom = false;
+      for (const auto& [x, y] : f) {
+        if (x == elem) {
+          in_dom = true;
+          break;
+        }
+      }
+      if (in_dom) continue;
+      bool extendable = false;
+      for (int val = 0; val < b.domain_size(); ++val) {
+        PartialHom g = f;
+        InsertPair(&g, elem, val);
+        if (game.IdOf(g) >= 0) {
+          extendable = true;
+          break;
+        }
+      }
+      if (!extendable) return false;
+    }
+  }
+  return true;
+}
+
+bool PairIsStronglyKConsistent(const Structure& a, const Structure& b,
+                               int k) {
+  for (int i = 1; i <= k; ++i) {
+    if (!HasIForthProperty(a, b, i)) return false;
+  }
+  return true;
+}
+
+}  // namespace cspdb

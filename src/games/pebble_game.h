@@ -1,0 +1,116 @@
+// The existential k-pebble game of Kolaitis and Vardi (paper, Section 4).
+//
+// The engine enumerates every partial homomorphism from A to B with at
+// most k elements in its domain and computes, by greatest-fixpoint
+// elimination, the largest family that is closed under subfunctions and
+// has the k-forth property — i.e., the largest winning strategy for the
+// Duplicator (Proposition 5.1). The Duplicator wins iff the family is
+// nonempty; this is the polynomial-time decision procedure of
+// Theorem 4.5(2) (O(n^{2k}) for fixed k, Theorem 4.7).
+
+#ifndef CSPDB_GAMES_PEBBLE_GAME_H_
+#define CSPDB_GAMES_PEBBLE_GAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// A partial function from A's domain to B's domain, represented as pairs
+/// (a, b) sorted by a with distinct a's.
+using PartialHom = std::vector<std::pair<int, int>>;
+
+/// Hash for PartialHom, usable in unordered containers.
+struct PartialHomHash {
+  std::size_t operator()(const PartialHom& f) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (const auto& [a, b] : f) {
+      h ^= (static_cast<std::size_t>(a) * 1000003u) ^
+           static_cast<std::size_t>(b);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// The existential k-pebble game on structures A and B over a common
+/// vocabulary. All computation happens at construction; queries are O(1)
+/// or O(|f| log) afterwards. A and B must outlive the game.
+class PebbleGame {
+ public:
+  /// Requires k >= 1 and matching vocabularies.
+  PebbleGame(const Structure& a, const Structure& b, int k);
+
+  int k() const { return k_; }
+
+  /// True iff the Duplicator has a winning strategy (equivalently, the
+  /// Spoiler does not win; Theorem 4.5(2)).
+  bool DuplicatorWins() const;
+
+  /// All partial homomorphisms of size <= k, the universe of game
+  /// positions. Index into this vector is the position id.
+  const std::vector<PartialHom>& universe() const { return homs_; }
+
+  /// True if position `id` survives elimination, i.e., belongs to the
+  /// largest winning strategy H^k(A, B) (Proposition 5.1).
+  bool IsAlive(int id) const;
+
+  /// Id of partial function `f` (need not be sorted), or -1 if `f` is not
+  /// a partial homomorphism of size <= k (such positions are immediate
+  /// Spoiler wins).
+  int IdOf(PartialHom f) const;
+
+  /// True iff `f` is a member of the largest winning strategy.
+  bool InLargestStrategy(PartialHom f) const;
+
+  /// True iff the configuration (a_tuple, b_tuple) is in W^k(A, B): the
+  /// correspondence is a well-defined partial function belonging to the
+  /// largest winning strategy. Tuples may repeat elements.
+  bool IsWinningConfiguration(const Tuple& a_tuple,
+                              const Tuple& b_tuple) const;
+
+  /// The members of the largest winning strategy, smallest first.
+  std::vector<PartialHom> LargestWinningStrategy() const;
+
+  /// Number of enumerated positions (for the complexity benchmarks).
+  int64_t UniverseSize() const { return static_cast<int64_t>(homs_.size()); }
+
+ private:
+  void Enumerate();
+  bool ValidExtension(const PartialHom& f, int a, int b) const;
+  void Eliminate();
+
+  const Structure& a_;
+  const Structure& b_;
+  int k_;
+
+  std::vector<PartialHom> homs_;
+  std::unordered_map<PartialHom, int, PartialHomHash> id_;
+  std::vector<char> alive_;
+  // For f with |f| < k: children_[f] maps element a (not in dom f) to the
+  // valid one-point extensions of f on a.
+  std::vector<std::unordered_map<int, std::vector<int>>> children_;
+  // Tuples of A indexed by participating element (deduplicated).
+  std::vector<std::vector<std::pair<int, const Tuple*>>> tuples_on_;
+};
+
+/// Proposition 5.3 building block: true iff the family of all partial
+/// homomorphisms from `a` to `b` with exactly i-1 elements in their domain
+/// has the i-forth property (every such map extends to any further
+/// element). With the CSP <-> homomorphism conversion this *is*
+/// i-consistency.
+bool HasIForthProperty(const Structure& a, const Structure& b, int i);
+
+/// True iff HasIForthProperty holds for every i <= k (strong
+/// k-consistency of the pair, Proposition 5.3).
+bool PairIsStronglyKConsistent(const Structure& a, const Structure& b,
+                               int k);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_GAMES_PEBBLE_GAME_H_

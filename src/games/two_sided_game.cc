@@ -1,0 +1,235 @@
+#include "games/two_sided_game.h"
+
+#include <algorithm>
+#include <deque>
+#include <tuple>
+
+#include "relational/homomorphism.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+bool InsertPair(PartialHom* f, int a, int b) {
+  auto it = std::lower_bound(
+      f->begin(), f->end(), std::make_pair(a, b),
+      [](const auto& x, const auto& y) { return x.first < y.first; });
+  if (it != f->end() && it->first == a) return false;
+  f->insert(it, {a, b});
+  return true;
+}
+
+std::vector<std::vector<std::pair<int, const Tuple*>>> IndexTuples(
+    const Structure& s) {
+  std::vector<std::vector<std::pair<int, const Tuple*>>> index(
+      s.domain_size());
+  for (int r = 0; r < s.vocabulary().size(); ++r) {
+    for (const Tuple& t : s.tuples(r)) {
+      Tuple sorted = t;
+      std::sort(sorted.begin(), sorted.end());
+      int prev = -1;
+      for (int e : sorted) {
+        if (e != prev) index[e].push_back({r, &t});
+        prev = e;
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+TwoSidedPebbleGame::TwoSidedPebbleGame(const Structure& a,
+                                       const Structure& b, int k)
+    : a_(a), b_(b), k_(k) {
+  CSPDB_CHECK(k >= 1);
+  CSPDB_CHECK(a.vocabulary() == b.vocabulary());
+  a_tuples_on_ = IndexTuples(a);
+  b_tuples_on_ = IndexTuples(b);
+  Enumerate();
+  Eliminate();
+}
+
+bool TwoSidedPebbleGame::ValidExtension(const PartialHom& f, int a,
+                                        int b) const {
+  // Injectivity: b must be fresh in the range.
+  for (const auto& [x, y] : f) {
+    if (y == b) return false;
+  }
+  auto forward = [&](int e) -> int {
+    if (e == a) return b;
+    auto it = std::lower_bound(
+        f.begin(), f.end(), std::make_pair(e, 0),
+        [](const auto& x, const auto& y) { return x.first < y.first; });
+    if (it == f.end() || it->first != e) return kUnassigned;
+    return it->second;
+  };
+  auto backward = [&](int e) -> int {
+    if (e == b) return a;
+    for (const auto& [x, y] : f) {
+      if (y == e) return x;
+    }
+    return kUnassigned;
+  };
+  // A-tuples inside dom(f)+{a} must map to B-tuples.
+  Tuple image;
+  for (const auto& [rel, tuple] : a_tuples_on_[a]) {
+    bool covered = true;
+    image.clear();
+    for (int e : *tuple) {
+      int v = forward(e);
+      if (v == kUnassigned) {
+        covered = false;
+        break;
+      }
+      image.push_back(v);
+    }
+    if (covered && !b_.HasTuple(rel, image)) return false;
+  }
+  // B-tuples inside range(f)+{b} must have preimages in A.
+  for (const auto& [rel, tuple] : b_tuples_on_[b]) {
+    bool covered = true;
+    image.clear();
+    for (int e : *tuple) {
+      int v = backward(e);
+      if (v == kUnassigned) {
+        covered = false;
+        break;
+      }
+      image.push_back(v);
+    }
+    if (covered && !a_.HasTuple(rel, image)) return false;
+  }
+  return true;
+}
+
+void TwoSidedPebbleGame::Enumerate() {
+  homs_.push_back({});
+  id_.emplace(PartialHom{}, 0);
+  std::size_t level_begin = 0;
+  for (int size = 0; size < k_; ++size) {
+    std::size_t level_end = homs_.size();
+    for (std::size_t fi = level_begin; fi < level_end; ++fi) {
+      for (int a = 0; a < a_.domain_size(); ++a) {
+        PartialHom f = homs_[fi];
+        bool present = false;
+        for (const auto& [x, y] : f) {
+          if (x == a) {
+            present = true;
+            break;
+          }
+        }
+        if (present) continue;
+        for (int b = 0; b < b_.domain_size(); ++b) {
+          if (!ValidExtension(f, a, b)) continue;
+          PartialHom g = f;
+          InsertPair(&g, a, b);
+          if (id_.find(g) == id_.end()) {
+            id_.emplace(g, static_cast<int>(homs_.size()));
+            homs_.push_back(std::move(g));
+          }
+        }
+      }
+    }
+    level_begin = level_end;
+  }
+}
+
+void TwoSidedPebbleGame::Eliminate() {
+  int total = static_cast<int>(homs_.size());
+  alive_.assign(total, 1);
+  children_a_.assign(total, {});
+  children_b_.assign(total, {});
+  std::vector<std::vector<std::tuple<int, int, int>>> parents(total);
+
+  for (int g = 0; g < total; ++g) {
+    const PartialHom& hom = homs_[g];
+    for (std::size_t i = 0; i < hom.size(); ++i) {
+      PartialHom parent = hom;
+      auto [elem_a, elem_b] = hom[i];
+      parent.erase(parent.begin() + static_cast<std::ptrdiff_t>(i));
+      auto it = id_.find(parent);
+      CSPDB_CHECK(it != id_.end());
+      children_a_[it->second][elem_a].push_back(g);
+      children_b_[it->second][elem_b].push_back(g);
+      parents[g].push_back({it->second, elem_a, elem_b});
+    }
+  }
+
+  // Two-sided supports: f (|f| < k) needs an alive extension for every
+  // fresh element of A and onto every fresh element of B.
+  std::vector<std::unordered_map<int, int>> support_a(total);
+  std::vector<std::unordered_map<int, int>> support_b(total);
+  std::deque<int> dead;
+  auto kill = [&](int f) {
+    if (alive_[f]) {
+      alive_[f] = 0;
+      dead.push_back(f);
+    }
+  };
+  for (int f = 0; f < total; ++f) {
+    if (static_cast<int>(homs_[f].size()) >= k_) continue;
+    for (int a = 0; a < a_.domain_size(); ++a) {
+      bool in_dom = false;
+      for (const auto& [x, y] : homs_[f]) {
+        if (x == a) in_dom = true;
+      }
+      if (in_dom) continue;
+      auto it = children_a_[f].find(a);
+      int count = it == children_a_[f].end()
+                      ? 0
+                      : static_cast<int>(it->second.size());
+      support_a[f][a] = count;
+      if (count == 0) kill(f);
+    }
+    for (int b = 0; b < b_.domain_size(); ++b) {
+      bool in_range = false;
+      for (const auto& [x, y] : homs_[f]) {
+        if (y == b) in_range = true;
+      }
+      if (in_range) continue;
+      auto it = children_b_[f].find(b);
+      int count = it == children_b_[f].end()
+                      ? 0
+                      : static_cast<int>(it->second.size());
+      support_b[f][b] = count;
+      if (count == 0) kill(f);
+    }
+  }
+
+  while (!dead.empty()) {
+    int g = dead.front();
+    dead.pop_front();
+    for (const auto& [elem, kids] : children_a_[g]) {
+      (void)elem;
+      for (int child : kids) kill(child);
+    }
+    for (const auto& [parent, elem_a, elem_b] : parents[g]) {
+      if (!alive_[parent]) continue;
+      auto ita = support_a[parent].find(elem_a);
+      CSPDB_CHECK(ita != support_a[parent].end());
+      if (--ita->second == 0) kill(parent);
+      if (!alive_[parent]) continue;
+      auto itb = support_b[parent].find(elem_b);
+      CSPDB_CHECK(itb != support_b[parent].end());
+      if (--itb->second == 0) kill(parent);
+    }
+  }
+}
+
+bool TwoSidedPebbleGame::DuplicatorWins() const { return alive_[0] != 0; }
+
+bool TwoSidedPebbleGame::InLargestFamily(PartialHom f) const {
+  std::sort(f.begin(), f.end());
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    if (f[i].first == f[i - 1].first) return false;
+  }
+  auto it = id_.find(f);
+  return it != id_.end() && alive_[it->second] != 0;
+}
+
+bool KVariableEquivalent(const Structure& a, const Structure& b, int k) {
+  return TwoSidedPebbleGame(a, b, k).DuplicatorWins();
+}
+
+}  // namespace cspdb

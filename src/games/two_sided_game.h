@@ -1,0 +1,61 @@
+// The two-sided k-pebble game: the back-and-forth companion of the
+// existential game of Section 4. The Duplicator maintains partial
+// *isomorphisms* and must answer Spoiler moves played on either
+// structure; a winning strategy characterizes equivalence in the
+// k-variable infinitary logic L^k_{inf,omega} that Section 4 situates
+// Datalog inside. Computed, like the existential game, by
+// greatest-fixpoint elimination over the position universe.
+
+#ifndef CSPDB_GAMES_TWO_SIDED_GAME_H_
+#define CSPDB_GAMES_TWO_SIDED_GAME_H_
+
+#include "games/pebble_game.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// The two-sided (back-and-forth) k-pebble game on A and B.
+class TwoSidedPebbleGame {
+ public:
+  /// Requires k >= 1 and matching vocabularies.
+  TwoSidedPebbleGame(const Structure& a, const Structure& b, int k);
+
+  int k() const { return k_; }
+
+  /// True iff the Duplicator wins: there is a nonempty family of partial
+  /// isomorphisms of size <= k, closed under subfunctions, with the
+  /// two-sided forth property (every f with |f| < k extends on any
+  /// further element of A *and* onto any further element of B).
+  bool DuplicatorWins() const;
+
+  /// Number of enumerated positions (partial isomorphisms).
+  int64_t UniverseSize() const { return static_cast<int64_t>(homs_.size()); }
+
+  /// Membership of a partial map in the largest winning family.
+  bool InLargestFamily(PartialHom f) const;
+
+ private:
+  void Enumerate();
+  bool ValidExtension(const PartialHom& f, int a, int b) const;
+  void Eliminate();
+
+  const Structure& a_;
+  const Structure& b_;
+  int k_;
+
+  std::vector<PartialHom> homs_;
+  std::unordered_map<PartialHom, int, PartialHomHash> id_;
+  std::vector<char> alive_;
+  std::vector<std::unordered_map<int, std::vector<int>>> children_a_;
+  std::vector<std::unordered_map<int, std::vector<int>>> children_b_;
+  std::vector<std::vector<std::pair<int, const Tuple*>>> a_tuples_on_;
+  std::vector<std::vector<std::pair<int, const Tuple*>>> b_tuples_on_;
+};
+
+/// Convenience: do A and B satisfy the same sentences of the k-variable
+/// infinitary logic (Duplicator wins the two-sided game)?
+bool KVariableEquivalent(const Structure& a, const Structure& b, int k);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_GAMES_TWO_SIDED_GAME_H_

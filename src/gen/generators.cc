@@ -1,0 +1,183 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "boolean/hell_nesetril.h"
+#include "util/check.h"
+
+namespace cspdb {
+
+Structure RandomDigraph(int n, double p, Rng* rng, bool allow_loops) {
+  Structure g(GraphVocabulary(), n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v && !allow_loops) continue;
+      if (rng->Bernoulli(p)) g.AddTuple(0, {u, v});
+    }
+  }
+  return g;
+}
+
+Structure RandomUndirectedGraph(int n, double p, Rng* rng) {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng->Bernoulli(p)) edges.push_back({u, v});
+    }
+  }
+  return MakeUndirectedGraph(n, edges);
+}
+
+CnfFormula RandomKSat(int num_variables, int num_clauses, int k, Rng* rng) {
+  CSPDB_CHECK(k <= num_variables);
+  CnfFormula phi;
+  phi.num_variables = num_variables;
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    for (int v : rng->SampleDistinct(num_variables, k)) {
+      clause.literals.push_back({v, rng->Bernoulli(0.5)});
+    }
+    phi.clauses.push_back(std::move(clause));
+  }
+  return phi;
+}
+
+CnfFormula RandomHorn(int num_variables, int num_clauses, int max_size,
+                      Rng* rng) {
+  CSPDB_CHECK(max_size >= 1 && max_size <= num_variables);
+  CnfFormula phi;
+  phi.num_variables = num_variables;
+  for (int c = 0; c < num_clauses; ++c) {
+    int size = rng->UniformInt(1, max_size);
+    Clause clause;
+    std::vector<int> vars = rng->SampleDistinct(num_variables, size);
+    bool with_positive = rng->Bernoulli(0.7);
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      bool positive = with_positive && i == 0;
+      clause.literals.push_back({vars[i], positive});
+    }
+    phi.clauses.push_back(std::move(clause));
+  }
+  CSPDB_CHECK(phi.IsHorn());
+  return phi;
+}
+
+CspInstance RandomBinaryCsp(int num_variables, int num_values,
+                            int num_constraints, double tightness,
+                            Rng* rng) {
+  CspInstance csp(num_variables, num_values);
+  std::set<std::pair<int, int>> used;
+  int max_pairs = num_variables * (num_variables - 1) / 2;
+  CSPDB_CHECK(num_constraints <= max_pairs);
+  int forbidden = static_cast<int>(tightness * num_values * num_values);
+  while (static_cast<int>(used.size()) < num_constraints) {
+    int u = rng->UniformInt(0, num_variables - 1);
+    int v = rng->UniformInt(0, num_variables - 1);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!used.insert({u, v}).second) continue;
+    // Forbid `forbidden` distinct value pairs.
+    std::vector<int> cells = rng->SampleDistinct(num_values * num_values,
+                                                 forbidden);
+    std::set<int> bad(cells.begin(), cells.end());
+    std::vector<Tuple> allowed;
+    for (int x = 0; x < num_values; ++x) {
+      for (int y = 0; y < num_values; ++y) {
+        if (bad.count(x * num_values + y) == 0) allowed.push_back({x, y});
+      }
+    }
+    csp.AddConstraint({u, v}, std::move(allowed));
+  }
+  return csp;
+}
+
+Graph RandomPartialKTree(int n, int k, double keep_p, Rng* rng) {
+  CSPDB_CHECK(k >= 1);
+  Graph g(n);
+  if (n == 0) return g;
+  int clique = std::min(n, k + 1);
+  std::vector<std::pair<int, int>> candidate_edges;
+  for (int u = 0; u < clique; ++u) {
+    for (int v = u + 1; v < clique; ++v) candidate_edges.push_back({u, v});
+  }
+  // Grow: each new vertex attaches to a random k-clique of the current
+  // k-tree. We track k-cliques lazily: attach to the k-subset of an
+  // earlier vertex's bag.
+  std::vector<std::vector<int>> bags;  // (k+1)-cliques created so far
+  std::vector<int> base(clique);
+  for (int i = 0; i < clique; ++i) base[i] = i;
+  bags.push_back(base);
+  for (int v = clique; v < n; ++v) {
+    const std::vector<int>& host = bags[rng->UniformInt(
+        0, static_cast<int>(bags.size()) - 1)];
+    // Choose k vertices of the host clique.
+    std::vector<int> idx = rng->SampleDistinct(
+        static_cast<int>(host.size()),
+        std::min(k, static_cast<int>(host.size())));
+    std::vector<int> attach;
+    for (int i : idx) attach.push_back(host[i]);
+    for (int u : attach) candidate_edges.push_back({u, v});
+    attach.push_back(v);
+    std::sort(attach.begin(), attach.end());
+    bags.push_back(attach);
+  }
+  for (const auto& [u, v] : candidate_edges) {
+    if (rng->Bernoulli(keep_p)) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+CspInstance RandomTreewidthCsp(int n, int k, int num_values,
+                               double tightness, double keep_p, Rng* rng) {
+  Graph g = RandomPartialKTree(n, k, keep_p, rng);
+  CspInstance csp(n, num_values);
+  int forbidden = static_cast<int>(tightness * num_values * num_values);
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.adj[u]) {
+      if (v < u) continue;
+      std::vector<int> cells =
+          rng->SampleDistinct(num_values * num_values, forbidden);
+      std::set<int> bad(cells.begin(), cells.end());
+      std::vector<Tuple> allowed;
+      for (int x = 0; x < num_values; ++x) {
+        for (int y = 0; y < num_values; ++y) {
+          if (bad.count(x * num_values + y) == 0) {
+            allowed.push_back({x, y});
+          }
+        }
+      }
+      csp.AddConstraint({u, v}, std::move(allowed));
+    }
+  }
+  return csp;
+}
+
+Structure RandomTreewidthDigraph(int n, int k, double keep_p, Rng* rng) {
+  Graph g = RandomPartialKTree(n, k, keep_p, rng);
+  Structure a(GraphVocabulary(), n);
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.adj[u]) {
+      if (v < u) continue;
+      // Random orientation (or both).
+      int roll = rng->UniformInt(0, 2);
+      if (roll == 0 || roll == 2) a.AddTuple(0, {u, v});
+      if (roll == 1 || roll == 2) a.AddTuple(0, {v, u});
+    }
+  }
+  return a;
+}
+
+GraphDb RandomGraphDb(int num_nodes, int num_labels, int num_edges,
+                      Rng* rng) {
+  GraphDb db(num_nodes, num_labels);
+  for (int e = 0; e < num_edges; ++e) {
+    db.AddEdge(rng->UniformInt(0, num_nodes - 1),
+               rng->UniformInt(0, num_labels - 1),
+               rng->UniformInt(0, num_nodes - 1));
+  }
+  return db;
+}
+
+}  // namespace cspdb

@@ -1,0 +1,59 @@
+// Seeded workload generators for tests, examples, and the benchmark
+// harness. The paper is a tutorial with no datasets; these generators
+// provide the standard synthetic instance families used throughout the
+// literature it surveys (random digraphs, random k-SAT, model-B random
+// binary CSPs, partial k-trees).
+
+#ifndef CSPDB_GEN_GENERATORS_H_
+#define CSPDB_GEN_GENERATORS_H_
+
+#include "boolean/cnf.h"
+#include "csp/instance.h"
+#include "relational/structure.h"
+#include "rpq/graphdb.h"
+#include "treewidth/gaifman.h"
+#include "util/rng.h"
+
+namespace cspdb {
+
+/// G(n, p) digraph over {E/2} (no loops unless allow_loops).
+Structure RandomDigraph(int n, double p, Rng* rng, bool allow_loops = false);
+
+/// G(n, p) undirected graph over {E/2} (symmetric, loopless).
+Structure RandomUndirectedGraph(int n, double p, Rng* rng);
+
+/// Random k-SAT: `num_clauses` clauses of `k` distinct variables each,
+/// signs fair coin flips.
+CnfFormula RandomKSat(int num_variables, int num_clauses, int k, Rng* rng);
+
+/// Random Horn formula: clauses of up to `max_size` literals with at most
+/// one positive literal.
+CnfFormula RandomHorn(int num_variables, int num_clauses, int max_size,
+                      Rng* rng);
+
+/// Model-B random binary CSP: `num_constraints` distinct variable pairs;
+/// each constraint forbids `tightness * d * d` value pairs.
+CspInstance RandomBinaryCsp(int num_variables, int num_values,
+                            int num_constraints, double tightness, Rng* rng);
+
+/// A random partial k-tree: build a k-tree on n vertices, keep each
+/// non-clique edge with probability keep_p. Treewidth is at most k.
+Graph RandomPartialKTree(int n, int k, double keep_p, Rng* rng);
+
+/// A binary CSP whose primal graph is a random partial k-tree (treewidth
+/// <= k), with per-edge random relations of the given tightness.
+CspInstance RandomTreewidthCsp(int n, int k, int num_values,
+                               double tightness, double keep_p, Rng* rng);
+
+/// A random structure over {E/2} whose Gaifman graph is a partial k-tree
+/// (treewidth <= k); used to exercise the bounded-treewidth game
+/// completeness property.
+Structure RandomTreewidthDigraph(int n, int k, double keep_p, Rng* rng);
+
+/// A random edge-labeled graph database.
+GraphDb RandomGraphDb(int num_nodes, int num_labels, int num_edges,
+                      Rng* rng);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_GEN_GENERATORS_H_

@@ -1,0 +1,186 @@
+#include "io/rule_parser.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// A parsed atom with textual arguments.
+struct RawAtom {
+  std::string predicate;
+  std::vector<std::string> args;
+};
+
+struct RawRule {
+  RawAtom head;
+  std::vector<RawAtom> body;
+};
+
+class RuleLexer {
+ public:
+  explicit RuleLexer(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' || c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : 0;
+  }
+
+  void Expect(char c) {
+    CSPDB_CHECK_MSG(Peek() == c,
+                    std::string("expected '") + c + "' in rule syntax");
+    ++pos_;
+  }
+
+  bool Accept(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // ":-" separator.
+  void ExpectTurnstile() {
+    Expect(':');
+    CSPDB_CHECK_MSG(pos_ < text_.size() && text_[pos_] == '-',
+                    "expected ':-' in rule syntax");
+    ++pos_;
+  }
+
+  std::string Identifier() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    CSPDB_CHECK_MSG(pos_ > start, "expected an identifier in rule syntax");
+    return text_.substr(start, pos_ - start);
+  }
+
+  RawAtom Atom() {
+    RawAtom atom;
+    atom.predicate = Identifier();
+    Expect('(');
+    if (!Accept(')')) {
+      while (true) {
+        atom.args.push_back(Identifier());
+        if (Accept(')')) break;
+        Expect(',');
+      }
+    }
+    return atom;
+  }
+
+  RawRule Rule() {
+    RawRule rule;
+    rule.head = Atom();
+    ExpectTurnstile();
+    while (true) {
+      rule.body.push_back(Atom());
+      if (!Accept(',')) break;
+    }
+    Accept('.');
+    return rule;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ConjunctiveQuery ParseConjunctiveQuery(const std::string& text) {
+  RuleLexer lexer(text);
+  RawRule rule = lexer.Rule();
+  CSPDB_CHECK_MSG(lexer.AtEnd(), "trailing input after the query rule");
+
+  std::unordered_map<std::string, int> variable_ids;
+  auto intern = [&variable_ids](const std::string& name) {
+    auto [it, inserted] =
+        variable_ids.emplace(name, static_cast<int>(variable_ids.size()));
+    return it->second;
+  };
+  std::vector<Atom> body;
+  for (const RawAtom& atom : rule.body) {
+    Atom out{atom.predicate, {}};
+    for (const std::string& arg : atom.args) out.args.push_back(intern(arg));
+    body.push_back(std::move(out));
+  }
+  std::vector<int> head;
+  for (const std::string& arg : rule.head.args) {
+    auto it = variable_ids.find(arg);
+    CSPDB_CHECK_MSG(it != variable_ids.end(),
+                    "unsafe query: head variable '" + arg +
+                        "' missing from the body");
+    head.push_back(it->second);
+  }
+  return ConjunctiveQuery(static_cast<int>(variable_ids.size()),
+                          std::move(head), std::move(body));
+}
+
+DatalogProgram ParseDatalogProgram(const std::string& text,
+                                   const std::string& goal) {
+  RuleLexer lexer(text);
+  DatalogProgram program;
+  std::string last_head;
+  while (!lexer.AtEnd()) {
+    RawRule raw = lexer.Rule();
+    // Rule-local variable interning.
+    std::unordered_map<std::string, int> variable_ids;
+    auto intern = [&variable_ids](const std::string& name) {
+      auto [it, inserted] = variable_ids.emplace(
+          name, static_cast<int>(variable_ids.size()));
+      return it->second;
+    };
+    DatalogRule rule;
+    for (const RawAtom& atom : raw.body) {
+      DatalogAtom out{atom.predicate, {}};
+      for (const std::string& arg : atom.args) {
+        out.args.push_back(intern(arg));
+      }
+      rule.body.push_back(std::move(out));
+    }
+    rule.head.predicate = raw.head.predicate;
+    for (const std::string& arg : raw.head.args) {
+      auto it = variable_ids.find(arg);
+      CSPDB_CHECK_MSG(it != variable_ids.end(),
+                      "unsafe rule: head variable '" + arg +
+                          "' missing from the body");
+      rule.head.args.push_back(it->second);
+    }
+    rule.num_variables = static_cast<int>(variable_ids.size());
+    last_head = rule.head.predicate;
+    program.AddRule(std::move(rule));
+  }
+  CSPDB_CHECK_MSG(!last_head.empty(), "program has no rules");
+  program.SetGoal(goal.empty() ? last_head : goal);
+  return program;
+}
+
+}  // namespace cspdb

@@ -1,0 +1,39 @@
+// Text parsers for rule syntax: conjunctive queries and Datalog programs
+// in the notation the paper itself uses,
+//
+//   Q(X1, X2) :- P(X1, Z1, Z2), R(Z2, Z3), R(Z3, X2).
+//
+//   T(x, y) :- E(x, y).
+//   T(x, y) :- T(x, z), E(z, y).
+//
+// Identifiers are alphanumeric (plus '_'); variables are recognized
+// purely by occurrence (every argument is a variable — the paper's
+// constraint-free fragment); whitespace is free; each rule ends with '.'
+// or a newline.
+
+#ifndef CSPDB_IO_RULE_PARSER_H_
+#define CSPDB_IO_RULE_PARSER_H_
+
+#include <string>
+
+#include "datalog/program.h"
+#include "db/conjunctive_query.h"
+
+namespace cspdb {
+
+/// Parses a single conjunctive query rule "Head(args) :- body atoms".
+/// The head predicate name is ignored (it names the query); head
+/// arguments must occur in the body. Aborts with a diagnostic on
+/// malformed input.
+ConjunctiveQuery ParseConjunctiveQuery(const std::string& text);
+
+/// Parses a Datalog program: one rule per '.'-terminated (or
+/// line-terminated) clause; the goal is the head predicate of the *last*
+/// rule unless `goal` is given. Lines starting with '%' or '#' are
+/// comments.
+DatalogProgram ParseDatalogProgram(const std::string& text,
+                                   const std::string& goal = "");
+
+}  // namespace cspdb
+
+#endif  // CSPDB_IO_RULE_PARSER_H_

@@ -1,0 +1,48 @@
+// Plain-text serialization for the core cspdb types, so instances and
+// structures can be stored, diffed, and shared between tools:
+//
+//   structure                    csp 3 4              (vars, values)
+//   domain 3                     constraint 2 0 1     (arity, scope...)
+//   relation E 2                 allow 0 1
+//   tuple E 0 1                  allow 1 0
+//   tuple E 1 2
+//
+// plus reading/writing CNF formulas in the standard DIMACS format used by
+// SAT solvers.
+
+#ifndef CSPDB_IO_TEXT_FORMAT_H_
+#define CSPDB_IO_TEXT_FORMAT_H_
+
+#include <string>
+
+#include "boolean/cnf.h"
+#include "csp/instance.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// Serializes a structure (relations in vocabulary order, tuples in
+/// insertion order). Element names are not persisted.
+std::string SerializeStructure(const Structure& a);
+
+/// Parses the SerializeStructure format; aborts with a diagnostic on
+/// malformed input. Lines starting with '#' are comments.
+Structure ParseStructure(const std::string& text);
+
+/// Serializes a CSP instance (constraints in insertion order).
+std::string SerializeCsp(const CspInstance& csp);
+
+/// Parses the SerializeCsp format.
+CspInstance ParseCsp(const std::string& text);
+
+/// Writes a formula in DIMACS CNF ("p cnf <vars> <clauses>", clauses as
+/// 1-based signed literals terminated by 0).
+std::string WriteDimacs(const CnfFormula& phi);
+
+/// Reads DIMACS CNF; supports comment lines ('c ...') and multi-line
+/// clauses.
+CnfFormula ReadDimacs(const std::string& text);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_IO_TEXT_FORMAT_H_

@@ -1,0 +1,82 @@
+// Existential-positive bounded-variable formulas (the fragment
+// ∃FO^{k+1}_{∧,+} of Section 6). Proposition 6.1: a structure A has
+// treewidth k iff its canonical Boolean query phi_A is expressible with
+// k+1 variables; the proof of Theorem 6.2 evaluates that bounded-variable
+// formula in polynomial time. This module implements both directions
+// executably: the parse-tree construction of the formula from a tree
+// decomposition, and its polynomial bottom-up evaluation via relational
+// algebra (join = conjunction, projection = existential quantification).
+
+#ifndef CSPDB_LOGIC_BOUNDED_FORMULA_H_
+#define CSPDB_LOGIC_BOUNDED_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/structure.h"
+#include "treewidth/tree_decomposition.h"
+
+namespace cspdb {
+
+/// A formula of ∃FO_{∧,+} over a fixed vocabulary, using integer
+/// "registers" as variables. Registers may be reused under quantifiers
+/// (that is the whole point of the bounded-variable fragment); an
+/// existential quantifier rebinds its register inside its scope.
+class BoundedFormula {
+ public:
+  enum class Kind { kAtom, kAnd, kExists };
+
+  /// Atom R(r_1, ..., r_n): relation index into the vocabulary plus
+  /// register arguments (repeats allowed).
+  static BoundedFormula Atom(int relation, std::vector<int> registers);
+
+  /// Conjunction (empty conjunction is "true").
+  static BoundedFormula And(std::vector<BoundedFormula> children);
+
+  /// Existential quantification of one register.
+  static BoundedFormula Exists(int reg, BoundedFormula child);
+
+  Kind kind() const { return kind_; }
+  int relation() const { return relation_; }
+  const std::vector<int>& registers() const { return registers_; }
+  int quantified_register() const { return registers_[0]; }
+  const std::vector<BoundedFormula>& children() const { return children_; }
+
+  /// Number of distinct registers mentioned anywhere (bound or free):
+  /// the "number of variables" of the formula.
+  int RegisterCount() const;
+
+  /// Rendering such as "Ex0.(E(x0,x1) & Ex1.E(x1,x0))".
+  std::string ToString(const Vocabulary& voc) const;
+
+ private:
+  Kind kind_ = Kind::kAnd;
+  int relation_ = -1;
+  std::vector<int> registers_;  // atom args, or [reg] for kExists
+  std::vector<BoundedFormula> children_;
+};
+
+/// The Proposition 6.1 construction: given a structure A and a tree
+/// decomposition of width w that is valid for A (every tuple inside some
+/// bag — see IsValidForStructure), produces a sentence equivalent to
+/// phi_A using at most w+1 registers. Registers are reused down the tree:
+/// a child keeps the registers of the vertices it shares with its parent
+/// and recycles the rest.
+BoundedFormula FormulaFromTreeDecomposition(const Structure& a,
+                                            const TreeDecomposition& td);
+
+/// Convenience: min-fill decomposition of A's Gaifman graph (always valid
+/// for A: every tuple is a clique of the Gaifman graph and every clique
+/// is contained in some bag of a valid decomposition).
+BoundedFormula FormulaForStructure(const Structure& a);
+
+/// Evaluates a Boolean sentence (no free registers after quantification)
+/// on structure B bottom-up: each subformula becomes a relation over its
+/// free registers; conjunction joins, quantification projects. Polynomial
+/// in |B|^(register count) — the Theorem 6.2 evaluation.
+bool EvaluateSentence(const BoundedFormula& formula, const Structure& b);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_LOGIC_BOUNDED_FORMULA_H_

@@ -1,0 +1,69 @@
+#include "relational/core.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relational/homomorphism.h"
+#include "relational/structure_ops.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Attempts one shrinking retraction: a homomorphism from `a` into the
+// substructure induced by dropping some element. Returns the smaller
+// structure, or nullopt if none exists.
+std::optional<Structure> ShrinkOnce(const Structure& a) {
+  int n = a.domain_size();
+  for (int drop = 0; drop < n; ++drop) {
+    std::vector<int> keep;
+    keep.reserve(n - 1);
+    for (int e = 0; e < n; ++e) {
+      if (e != drop) keep.push_back(e);
+    }
+    Structure sub = InducedSubstructure(a, keep);
+    if (FindHomomorphism(a, sub).has_value()) return sub;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool IsCore(const Structure& a) { return !ShrinkOnce(a).has_value(); }
+
+Structure CoreOf(const Structure& a) {
+  Structure current = a;
+  while (true) {
+    std::optional<Structure> smaller = ShrinkOnce(current);
+    if (!smaller.has_value()) return current;
+    current = std::move(*smaller);
+  }
+}
+
+ConjunctiveQuery MinimizeQuery(const ConjunctiveQuery& q) {
+  Structure canonical = q.CanonicalDatabase();
+  Structure core = CoreOf(canonical);
+  // Rebuild the query: marker relations __P<i> give the head, everything
+  // else the body.
+  const Vocabulary& voc = core.vocabulary();
+  std::vector<int> head(q.head().size(), -1);
+  std::vector<Atom> body;
+  for (int r = 0; r < voc.size(); ++r) {
+    const std::string& name = voc.symbol(r).name;
+    if (name.rfind("__P", 0) == 0) {
+      int slot = std::stoi(name.substr(3));
+      CSPDB_CHECK(core.tuples(r).size() == 1);
+      head[slot] = core.tuples(r)[0][0];
+    } else {
+      for (const Tuple& t : core.tuples(r)) {
+        body.push_back({name, std::vector<int>(t.begin(), t.end())});
+      }
+    }
+  }
+  for (int h : head) CSPDB_CHECK(h >= 0);
+  return ConjunctiveQuery(core.domain_size(), std::move(head),
+                          std::move(body));
+}
+
+}  // namespace cspdb

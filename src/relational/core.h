@@ -1,0 +1,36 @@
+// Homomorphic cores and conjunctive-query minimization. The
+// Chandra-Merlin theorem behind Proposition 2.2 also yields the classical
+// query-minimization procedure: the unique (up to isomorphism) minimal
+// equivalent conjunctive query is the core of the canonical database.
+// Cores are likewise the canonical representatives of the homomorphic-
+// equivalence classes CSP templates live in.
+
+#ifndef CSPDB_RELATIONAL_CORE_H_
+#define CSPDB_RELATIONAL_CORE_H_
+
+#include "db/conjunctive_query.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// True if every endomorphism of `a` is surjective (equivalently: `a`
+/// retracts onto no proper substructure). Exponential-time check by
+/// homomorphism search; intended for small structures.
+bool IsCore(const Structure& a);
+
+/// The core of `a`: an induced substructure that `a` retracts onto and
+/// that admits no further proper retraction. Computed by repeatedly
+/// searching for a homomorphism from the current structure into the
+/// substructure induced by dropping one element. Homomorphically
+/// equivalent to `a`; unique up to isomorphism.
+Structure CoreOf(const Structure& a);
+
+/// Minimizes a conjunctive query by taking the core of its canonical
+/// database (head markers pin the distinguished variables, so they
+/// survive). The result is equivalent to `q` with a minimal number of
+/// body atoms.
+ConjunctiveQuery MinimizeQuery(const ConjunctiveQuery& q);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_RELATIONAL_CORE_H_

@@ -1,0 +1,180 @@
+#include "relational/homomorphism.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Shared backtracking engine: enumerates homomorphisms from a to b and
+// invokes `on_solution` for each; stops when on_solution returns false.
+class HomSearch {
+ public:
+  HomSearch(const Structure& a, const Structure& b) : a_(a), b_(b) {
+    int n = a.domain_size();
+    // Order elements of A by decreasing degree (number of tuple slots).
+    std::vector<int> degree(n, 0);
+    for (int r = 0; r < a.vocabulary().size(); ++r) {
+      for (const Tuple& t : a.tuples(r)) {
+        for (int e : t) ++degree[e];
+      }
+    }
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](int x, int y) { return degree[x] > degree[y]; });
+    position_.assign(n, 0);
+    for (int i = 0; i < n; ++i) position_[order_[i]] = i;
+    // For each order position, the tuples that become fully assigned
+    // exactly when that position is assigned.
+    checks_.resize(n);
+    for (int r = 0; r < a.vocabulary().size(); ++r) {
+      for (const Tuple& t : a.tuples(r)) {
+        int last = 0;
+        for (int e : t) last = std::max(last, position_[e]);
+        if (n > 0) checks_[last].push_back({r, &t});
+      }
+    }
+  }
+
+  // Enumerate. Returns true if enumeration was stopped early by the
+  // callback (i.e., the callback returned false).
+  template <typename Callback>
+  bool Run(Callback&& on_solution, HomSearchStats* stats) {
+    h_.assign(a_.domain_size(), kUnassigned);
+    image_.clear();
+    return Recurse(0, on_solution, stats);
+  }
+
+ private:
+  template <typename Callback>
+  bool Recurse(int pos, Callback&& on_solution, HomSearchStats* stats) {
+    if (pos == static_cast<int>(order_.size())) {
+      return !on_solution(h_);
+    }
+    int elem = order_[pos];
+    for (int v = 0; v < b_.domain_size(); ++v) {
+      h_[elem] = v;
+      if (stats != nullptr) ++stats->nodes;
+      if (Consistent(pos)) {
+        if (Recurse(pos + 1, on_solution, stats)) return true;
+      } else if (stats != nullptr) {
+        ++stats->backtracks;
+      }
+    }
+    h_[elem] = kUnassigned;
+    return false;
+  }
+
+  bool Consistent(int pos) const {
+    image_.clear();
+    for (const auto& [rel, tuple] : checks_[pos]) {
+      image_.resize(tuple->size());
+      for (std::size_t i = 0; i < tuple->size(); ++i) {
+        image_[i] = h_[(*tuple)[i]];
+      }
+      if (!b_.HasTuple(rel, image_)) return false;
+    }
+    return true;
+  }
+
+  const Structure& a_;
+  const Structure& b_;
+  std::vector<int> order_;
+  std::vector<int> position_;
+  std::vector<std::vector<std::pair<int, const Tuple*>>> checks_;
+  std::vector<int> h_;
+  mutable Tuple image_;
+};
+
+}  // namespace
+
+bool IsHomomorphism(const Structure& a, const Structure& b,
+                    const std::vector<int>& h) {
+  CSPDB_CHECK(static_cast<int>(h.size()) == a.domain_size());
+  for (int v : h) {
+    if (v < 0 || v >= b.domain_size()) return false;
+  }
+  return IsPartialHomomorphism(a, b, h);
+}
+
+bool IsPartialHomomorphism(const Structure& a, const Structure& b,
+                           const std::vector<int>& h) {
+  CSPDB_CHECK(static_cast<int>(h.size()) == a.domain_size());
+  CSPDB_CHECK(a.vocabulary() == b.vocabulary());
+  Tuple image;
+  for (int r = 0; r < a.vocabulary().size(); ++r) {
+    for (const Tuple& t : a.tuples(r)) {
+      bool all_assigned = true;
+      image.clear();
+      for (int e : t) {
+        if (h[e] == kUnassigned) {
+          all_assigned = false;
+          break;
+        }
+        image.push_back(h[e]);
+      }
+      if (all_assigned && !b.HasTuple(r, image)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
+                                                 const Structure& b,
+                                                 HomSearchStats* stats) {
+  CSPDB_CHECK(a.vocabulary() == b.vocabulary());
+  if (a.domain_size() > 0 && b.domain_size() == 0) {
+    return std::nullopt;
+  }
+  HomSearch search(a, b);
+  std::optional<std::vector<int>> result;
+  search.Run(
+      [&](const std::vector<int>& h) {
+        result = h;
+        return false;  // stop
+      },
+      stats);
+  return result;
+}
+
+int64_t CountHomomorphisms(const Structure& a, const Structure& b,
+                           int64_t limit) {
+  CSPDB_CHECK(a.vocabulary() == b.vocabulary());
+  if (a.domain_size() > 0 && b.domain_size() == 0) return 0;
+  HomSearch search(a, b);
+  int64_t count = 0;
+  search.Run(
+      [&](const std::vector<int>&) {
+        ++count;
+        return count < limit;  // keep going until limit
+      },
+      nullptr);
+  return count;
+}
+
+int64_t ForEachHomomorphism(
+    const Structure& a, const Structure& b,
+    const std::function<bool(const std::vector<int>&)>& visit) {
+  CSPDB_CHECK(a.vocabulary() == b.vocabulary());
+  if (a.domain_size() > 0 && b.domain_size() == 0) return 0;
+  HomSearch search(a, b);
+  int64_t count = 0;
+  search.Run(
+      [&](const std::vector<int>& h) {
+        ++count;
+        return visit(h);
+      },
+      nullptr);
+  return count;
+}
+
+bool HomomorphicallyEquivalent(const Structure& a, const Structure& b) {
+  return FindHomomorphism(a, b).has_value() &&
+         FindHomomorphism(b, a).has_value();
+}
+
+}  // namespace cspdb

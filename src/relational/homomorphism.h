@@ -1,0 +1,66 @@
+// Homomorphisms between relational structures. By the Feder-Vardi
+// observation (paper, Section 2), CSP solvability *is* the existence of a
+// homomorphism, so this module is the semantic core of the library.
+
+#ifndef CSPDB_RELATIONAL_HOMOMORPHISM_H_
+#define CSPDB_RELATIONAL_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// Sentinel for an unassigned element in a partial mapping.
+inline constexpr int kUnassigned = -1;
+
+/// True if `h` (of size a.domain_size(), with every entry in B's domain)
+/// maps every tuple of every relation of `a` into the corresponding
+/// relation of `b`.
+bool IsHomomorphism(const Structure& a, const Structure& b,
+                    const std::vector<int>& h);
+
+/// True if the partial map `h` (entries may be kUnassigned) is a partial
+/// homomorphism: every tuple of `a` all of whose elements are assigned
+/// maps into the corresponding relation of `b`.
+bool IsPartialHomomorphism(const Structure& a, const Structure& b,
+                           const std::vector<int>& h);
+
+/// Counters reported by the homomorphism search.
+struct HomSearchStats {
+  int64_t nodes = 0;       ///< assignments tried
+  int64_t backtracks = 0;  ///< failed assignments undone
+};
+
+/// Searches for a homomorphism from `a` to `b` by backtracking (elements
+/// of `a` ordered by decreasing relational degree; consistency checked as
+/// soon as a tuple becomes fully mapped). Returns the mapping, or
+/// std::nullopt if none exists.
+std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
+                                                 const Structure& b,
+                                                 HomSearchStats* stats =
+                                                     nullptr);
+
+/// Counts homomorphisms from `a` to `b`, stopping once `limit` have been
+/// found. Useful for property tests (e.g., product structures multiply
+/// counts).
+int64_t CountHomomorphisms(const Structure& a, const Structure& b,
+                           int64_t limit = INT64_MAX);
+
+/// Enumerates every homomorphism from `a` to `b`, invoking `visit` on
+/// each; `visit` returns false to stop the enumeration early. Returns
+/// the number of homomorphisms visited.
+int64_t ForEachHomomorphism(
+    const Structure& a, const Structure& b,
+    const std::function<bool(const std::vector<int>&)>& visit);
+
+/// True if a homomorphism exists in both directions (homomorphic
+/// equivalence).
+bool HomomorphicallyEquivalent(const Structure& a, const Structure& b);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_RELATIONAL_HOMOMORPHISM_H_

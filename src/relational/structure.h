@@ -1,0 +1,84 @@
+// Finite relational structures: the common substrate for the CSP and
+// database views of constraint satisfaction (paper, Section 2).
+
+#ifndef CSPDB_RELATIONAL_STRUCTURE_H_
+#define CSPDB_RELATIONAL_STRUCTURE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/vocabulary.h"
+
+namespace cspdb {
+
+/// A tuple of domain elements (element ids are dense ints).
+using Tuple = std::vector<int>;
+
+/// FNV-style hash for tuples, usable in unordered containers.
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (int x : t) {
+      h ^= static_cast<std::size_t>(x) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// A set of tuples with O(1) membership.
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+/// A finite relational structure A over a vocabulary sigma: a domain
+/// {0, ..., n-1} and, for each relation symbol, a finite set of tuples of
+/// matching arity. Tuples are deduplicated; insertion order is preserved
+/// for deterministic iteration.
+class Structure {
+ public:
+  /// Creates a structure with the given vocabulary and domain size (>= 0).
+  Structure(Vocabulary vocabulary, int domain_size);
+
+  /// Adds `t` to relation `rel` (dense symbol index). Checks arity and
+  /// element range; duplicate insertions are ignored.
+  void AddTuple(int rel, Tuple t);
+
+  /// Convenience overload addressing the relation by name.
+  void AddTuple(const std::string& rel_name, Tuple t);
+
+  /// True if `t` is in relation `rel`.
+  bool HasTuple(int rel, const Tuple& t) const;
+
+  /// All tuples of relation `rel`, in insertion order.
+  const std::vector<Tuple>& tuples(int rel) const;
+
+  /// Total number of tuples across all relations.
+  int TotalTuples() const;
+
+  /// Number of domain elements.
+  int domain_size() const { return domain_size_; }
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  /// Optional human-readable name for element `e` (defaults to "e<i>").
+  void SetElementName(int e, std::string name);
+  std::string ElementName(int e) const;
+
+  /// Structural equality: same vocabulary, domain size, and tuple sets.
+  bool SameTuplesAs(const Structure& other) const;
+
+  /// Multi-line dump for debugging and examples.
+  std::string DebugString() const;
+
+ private:
+  Vocabulary vocabulary_;
+  int domain_size_ = 0;
+  std::vector<std::vector<Tuple>> relations_;  // insertion order
+  std::vector<TupleSet> relation_sets_;        // membership
+  std::vector<std::string> element_names_;
+};
+
+}  // namespace cspdb
+
+#endif  // CSPDB_RELATIONAL_STRUCTURE_H_

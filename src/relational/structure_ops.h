@@ -1,0 +1,46 @@
+// Constructions on relational structures used throughout the paper:
+// the disjoint-sum encoding A+B of Section 4, induced substructures
+// (pebble-game positions), and direct products (homomorphism counting
+// laws used by the property tests).
+
+#ifndef CSPDB_RELATIONAL_STRUCTURE_OPS_H_
+#define CSPDB_RELATIONAL_STRUCTURE_OPS_H_
+
+#include <vector>
+
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// The sigma1+sigma2 encoding of the pair (A, B) as a single structure
+/// (paper, Section 4): for each symbol R of sigma the result has R_1 and
+/// R_2, plus unary D_1 and D_2 marking the two domains. Elements of A keep
+/// their ids; elements of B are shifted by a.domain_size().
+Structure DisjointSum(const Structure& a, const Structure& b);
+
+/// The substructure of `a` induced by `elements` (paper, Section 4: the
+/// substructure pebbled in a game position). Elements are renumbered to
+/// 0..k-1 in the order given; duplicates are collapsed.
+Structure InducedSubstructure(const Structure& a,
+                              const std::vector<int>& elements);
+
+/// The direct (categorical) product A x B: domain is A's domain times B's
+/// domain (pair (x, y) has id x * b.domain_size() + y); a tuple is in
+/// R^{AxB} iff both projections are in R^A and R^B. Satisfies
+/// hom(C, AxB) = hom(C, A) * hom(C, B).
+Structure DirectProduct(const Structure& a, const Structure& b);
+
+/// The disjoint union A + B over the *same* vocabulary (the category-
+/// theoretic coproduct, not the sigma1+sigma2 encoding of DisjointSum):
+/// B's elements are shifted by a.domain_size(). Satisfies
+/// hom(A+B, C) iff hom(A, C) and hom(B, C).
+Structure DisjointUnion(const Structure& a, const Structure& b);
+
+/// True if some bijection maps A's tuples exactly onto B's (brute-force
+/// backtracking; intended for small structures, e.g. checking that cores
+/// are unique up to isomorphism).
+bool AreIsomorphic(const Structure& a, const Structure& b);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_RELATIONAL_STRUCTURE_OPS_H_

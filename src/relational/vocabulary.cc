@@ -1,0 +1,39 @@
+#include "relational/vocabulary.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cspdb {
+
+Vocabulary::Vocabulary(std::vector<RelationSymbol> symbols) {
+  for (const RelationSymbol& s : symbols) AddSymbol(s.name, s.arity);
+}
+
+int Vocabulary::AddSymbol(const std::string& name, int arity) {
+  CSPDB_CHECK_MSG(arity >= 1, "arity must be positive for " + name);
+  CSPDB_CHECK_MSG(index_.find(name) == index_.end(),
+                  "duplicate relation symbol " + name);
+  int id = static_cast<int>(symbols_.size());
+  symbols_.push_back({name, arity});
+  index_[name] = id;
+  return id;
+}
+
+int Vocabulary::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const RelationSymbol& Vocabulary::symbol(int i) const {
+  CSPDB_CHECK(i >= 0 && i < size());
+  return symbols_[i];
+}
+
+int Vocabulary::MaxArity() const {
+  int m = 0;
+  for (const RelationSymbol& s : symbols_) m = std::max(m, s.arity);
+  return m;
+}
+
+}  // namespace cspdb

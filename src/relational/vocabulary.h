@@ -1,0 +1,57 @@
+// Relational vocabularies (signatures): named relation symbols with arities.
+
+#ifndef CSPDB_RELATIONAL_VOCABULARY_H_
+#define CSPDB_RELATIONAL_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cspdb {
+
+/// A relation symbol: a name together with an arity (>= 1).
+struct RelationSymbol {
+  std::string name;
+  int arity = 0;
+
+  friend bool operator==(const RelationSymbol&,
+                         const RelationSymbol&) = default;
+};
+
+/// A finite relational vocabulary sigma: an ordered list of relation
+/// symbols with distinct names. Symbols are addressed by dense index so
+/// structures can store their relations in parallel vectors.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Constructs a vocabulary from a symbol list. Names must be distinct.
+  explicit Vocabulary(std::vector<RelationSymbol> symbols);
+
+  /// Appends a symbol and returns its index. The name must be fresh and
+  /// the arity positive.
+  int AddSymbol(const std::string& name, int arity);
+
+  /// Index of the symbol with `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  /// The symbol at dense index `i`.
+  const RelationSymbol& symbol(int i) const;
+
+  /// Number of relation symbols.
+  int size() const { return static_cast<int>(symbols_.size()); }
+
+  /// Largest arity among the symbols; 0 for an empty vocabulary.
+  int MaxArity() const;
+
+  /// True if both vocabularies list the same symbols in the same order.
+  friend bool operator==(const Vocabulary&, const Vocabulary&) = default;
+
+ private:
+  std::vector<RelationSymbol> symbols_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace cspdb
+
+#endif  // CSPDB_RELATIONAL_VOCABULARY_H_

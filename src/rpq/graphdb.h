@@ -1,0 +1,63 @@
+// Edge-labeled graph databases — the semistructured data model of
+// Section 7: nodes are objects, labeled edges are links.
+
+#ifndef CSPDB_RPQ_GRAPHDB_H_
+#define CSPDB_RPQ_GRAPHDB_H_
+
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// A database DB = (D, {r_e}) over an alphabet of `num_labels` edge
+/// labels.
+class GraphDb {
+ public:
+  GraphDb(int num_nodes, int num_labels);
+
+  /// Adds the labeled edge from --label--> to (duplicates ignored).
+  void AddEdge(int from, int label, int to);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_labels() const { return num_labels_; }
+
+  /// Outgoing edges of `node` as (label, target) pairs.
+  const std::vector<std::pair<int, int>>& OutEdges(int node) const;
+
+  bool HasEdge(int from, int label, int to) const;
+
+  /// Total edge count.
+  int NumEdges() const;
+
+  /// All edges as (from, label, to) triples, in insertion order.
+  const std::vector<std::tuple<int, int, int>>& edges() const {
+    return edges_;
+  }
+
+  std::string DebugString(const std::vector<std::string>& alphabet) const;
+
+ private:
+  int num_nodes_;
+  int num_labels_;
+  std::vector<std::vector<std::pair<int, int>>> out_;
+  std::vector<std::tuple<int, int, int>> edges_;
+};
+
+/// Views a graph database as a relational structure: label i becomes the
+/// binary relation named `alphabet[i]` (or "L<i>" when no alphabet is
+/// given). Bridges Section 7's semistructured data model back to the
+/// Section 2 substrate.
+Structure StructureFromGraphDb(
+    const GraphDb& db, const std::vector<std::string>& alphabet = {});
+
+/// Views a structure whose relations are all binary as a graph database
+/// (relation r becomes label r).
+GraphDb GraphDbFromStructure(const Structure& a);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_RPQ_GRAPHDB_H_

@@ -1,0 +1,346 @@
+#include "rpq/nfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Thompson fragments: single start, single accept.
+class ThompsonBuilder {
+ public:
+  explicit ThompsonBuilder(int num_symbols) { nfa_.num_symbols = num_symbols; }
+
+  std::pair<int, int> Build(const Regex& r) {
+    switch (r.kind()) {
+      case Regex::Kind::kEmpty: {
+        int s = NewState(), t = NewState();
+        return {s, t};
+      }
+      case Regex::Kind::kEpsilon: {
+        int s = NewState(), t = NewState();
+        AddEdge(s, Nfa::kEpsilonSym, t);
+        return {s, t};
+      }
+      case Regex::Kind::kSymbol: {
+        CSPDB_CHECK(r.symbol() < nfa_.num_symbols);
+        int s = NewState(), t = NewState();
+        AddEdge(s, r.symbol(), t);
+        return {s, t};
+      }
+      case Regex::Kind::kConcat: {
+        std::pair<int, int> acc = Build(r.children()[0]);
+        for (std::size_t i = 1; i < r.children().size(); ++i) {
+          std::pair<int, int> next = Build(r.children()[i]);
+          AddEdge(acc.second, Nfa::kEpsilonSym, next.first);
+          acc.second = next.second;
+        }
+        return acc;
+      }
+      case Regex::Kind::kUnion: {
+        int s = NewState(), t = NewState();
+        for (const Regex& c : r.children()) {
+          std::pair<int, int> frag = Build(c);
+          AddEdge(s, Nfa::kEpsilonSym, frag.first);
+          AddEdge(frag.second, Nfa::kEpsilonSym, t);
+        }
+        return {s, t};
+      }
+      case Regex::Kind::kStar: {
+        int s = NewState(), t = NewState();
+        std::pair<int, int> frag = Build(r.children()[0]);
+        AddEdge(s, Nfa::kEpsilonSym, frag.first);
+        AddEdge(s, Nfa::kEpsilonSym, t);
+        AddEdge(frag.second, Nfa::kEpsilonSym, frag.first);
+        AddEdge(frag.second, Nfa::kEpsilonSym, t);
+        return {s, t};
+      }
+    }
+    CSPDB_CHECK(false);
+    return {0, 0};
+  }
+
+  Nfa Finish(std::pair<int, int> frag) {
+    nfa_.start = frag.first;
+    nfa_.accepting.assign(nfa_.num_states, 0);
+    nfa_.accepting[frag.second] = 1;
+    return std::move(nfa_);
+  }
+
+ private:
+  int NewState() {
+    nfa_.transitions.emplace_back();
+    return nfa_.num_states++;
+  }
+
+  void AddEdge(int s, int symbol, int t) {
+    nfa_.transitions[s].push_back({symbol, t});
+  }
+
+  Nfa nfa_;
+};
+
+void SortUnique(std::vector<int>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+Nfa Nfa::FromRegex(const Regex& regex, int num_symbols) {
+  ThompsonBuilder builder(num_symbols);
+  return builder.Finish(builder.Build(regex));
+}
+
+std::vector<int> Nfa::EpsilonClosure(std::vector<int> states) const {
+  std::vector<char> seen(num_states, 0);
+  std::deque<int> queue;
+  for (int s : states) {
+    if (!seen[s]) {
+      seen[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  std::vector<int> closure;
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    closure.push_back(s);
+    for (const auto& [symbol, t] : transitions[s]) {
+      if (symbol == kEpsilonSym && !seen[t]) {
+        seen[t] = 1;
+        queue.push_back(t);
+      }
+    }
+  }
+  SortUnique(&closure);
+  return closure;
+}
+
+std::vector<int> Nfa::Step(const std::vector<int>& states,
+                           int symbol) const {
+  std::vector<int> closed = EpsilonClosure(states);
+  std::vector<int> moved;
+  for (int s : closed) {
+    for (const auto& [sym, t] : transitions[s]) {
+      if (sym == symbol) moved.push_back(t);
+    }
+  }
+  SortUnique(&moved);
+  return EpsilonClosure(std::move(moved));
+}
+
+bool Nfa::Accepts(const std::vector<int>& word) const {
+  std::vector<int> current = EpsilonClosure({start});
+  for (int symbol : word) {
+    current = Step(current, symbol);
+    if (current.empty()) return false;
+  }
+  for (int s : current) {
+    if (accepting[s]) return true;
+  }
+  return false;
+}
+
+Nfa Nfa::RemoveEpsilon() const {
+  Nfa out;
+  out.num_states = num_states;
+  out.num_symbols = num_symbols;
+  out.start = start;
+  out.accepting.assign(num_states, 0);
+  out.transitions.resize(num_states);
+  for (int s = 0; s < num_states; ++s) {
+    std::vector<int> closure = EpsilonClosure({s});
+    for (int u : closure) {
+      if (accepting[u]) out.accepting[s] = 1;
+      for (const auto& [symbol, t] : transitions[u]) {
+        if (symbol != kEpsilonSym) out.transitions[s].push_back({symbol, t});
+      }
+    }
+    std::sort(out.transitions[s].begin(), out.transitions[s].end());
+    out.transitions[s].erase(
+        std::unique(out.transitions[s].begin(), out.transitions[s].end()),
+        out.transitions[s].end());
+  }
+  return out;
+}
+
+bool Dfa::Accepts(const std::vector<int>& word) const {
+  int state = start;
+  for (int symbol : word) {
+    CSPDB_CHECK(symbol >= 0 && symbol < num_symbols);
+    state = next[state][symbol];
+  }
+  return accepting[state] != 0;
+}
+
+Dfa Dfa::Complement() const {
+  Dfa out = *this;
+  for (char& a : out.accepting) a = a ? 0 : 1;
+  return out;
+}
+
+Dfa Dfa::Product(const Dfa& other, bool intersection) const {
+  CSPDB_CHECK(num_symbols == other.num_symbols);
+  Dfa out;
+  out.num_symbols = num_symbols;
+  std::map<std::pair<int, int>, int> ids;
+  std::deque<std::pair<int, int>> queue;
+  auto intern = [&](std::pair<int, int> p) {
+    auto it = ids.find(p);
+    if (it != ids.end()) return it->second;
+    int id = static_cast<int>(ids.size());
+    ids.emplace(p, id);
+    out.next.emplace_back(num_symbols, -1);
+    bool acc = intersection
+                   ? accepting[p.first] && other.accepting[p.second]
+                   : accepting[p.first] || other.accepting[p.second];
+    out.accepting.push_back(acc ? 1 : 0);
+    queue.push_back(p);
+    return id;
+  };
+  out.start = intern({start, other.start});
+  while (!queue.empty()) {
+    auto p = queue.front();
+    queue.pop_front();
+    int id = ids[p];
+    for (int symbol = 0; symbol < num_symbols; ++symbol) {
+      out.next[id][symbol] =
+          intern({next[p.first][symbol], other.next[p.second][symbol]});
+    }
+  }
+  out.num_states = static_cast<int>(out.next.size());
+  return out;
+}
+
+bool Dfa::IsEmpty() const {
+  std::vector<char> seen(num_states, 0);
+  std::deque<int> queue{start};
+  seen[start] = 1;
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    if (accepting[s]) return false;
+    for (int symbol = 0; symbol < num_symbols; ++symbol) {
+      int t = next[s][symbol];
+      if (!seen[t]) {
+        seen[t] = 1;
+        queue.push_back(t);
+      }
+    }
+  }
+  return true;
+}
+
+bool Dfa::ShortestWord(std::vector<int>* word) const {
+  std::vector<int> parent(num_states, -1);
+  std::vector<int> via(num_states, -1);
+  std::vector<char> seen(num_states, 0);
+  std::deque<int> queue{start};
+  seen[start] = 1;
+  int found = accepting[start] ? start : -1;
+  while (!queue.empty() && found < 0) {
+    int s = queue.front();
+    queue.pop_front();
+    for (int symbol = 0; symbol < num_symbols && found < 0; ++symbol) {
+      int t = next[s][symbol];
+      if (!seen[t]) {
+        seen[t] = 1;
+        parent[t] = s;
+        via[t] = symbol;
+        if (accepting[t]) found = t;
+        queue.push_back(t);
+      }
+    }
+  }
+  if (found < 0) return false;
+  word->clear();
+  for (int s = found; s != start; s = parent[s]) word->push_back(via[s]);
+  std::reverse(word->begin(), word->end());
+  return true;
+}
+
+Dfa Dfa::Minimize() const {
+  // Moore partition refinement.
+  std::vector<int> cls(num_states);
+  for (int s = 0; s < num_states; ++s) cls[s] = accepting[s] ? 1 : 0;
+  while (true) {
+    std::map<std::vector<int>, int> signature_ids;
+    std::vector<int> next_cls(num_states);
+    for (int s = 0; s < num_states; ++s) {
+      std::vector<int> sig{cls[s]};
+      for (int symbol = 0; symbol < num_symbols; ++symbol) {
+        sig.push_back(cls[next[s][symbol]]);
+      }
+      auto [it, inserted] =
+          signature_ids.emplace(std::move(sig),
+                                static_cast<int>(signature_ids.size()));
+      next_cls[s] = it->second;
+    }
+    bool stable = true;
+    for (int s = 0; s < num_states; ++s) {
+      if (next_cls[s] != cls[s]) {
+        stable = false;
+        break;
+      }
+    }
+    cls = std::move(next_cls);
+    if (stable) break;
+  }
+  int num_classes = 0;
+  for (int c : cls) num_classes = std::max(num_classes, c + 1);
+  Dfa out;
+  out.num_states = num_classes;
+  out.num_symbols = num_symbols;
+  out.start = cls[start];
+  out.accepting.assign(num_classes, 0);
+  out.next.assign(num_classes, std::vector<int>(num_symbols, -1));
+  for (int s = 0; s < num_states; ++s) {
+    out.accepting[cls[s]] = accepting[s];
+    for (int symbol = 0; symbol < num_symbols; ++symbol) {
+      out.next[cls[s]][symbol] = cls[next[s][symbol]];
+    }
+  }
+  return out;
+}
+
+Dfa Determinize(const Nfa& nfa) {
+  Dfa out;
+  out.num_symbols = nfa.num_symbols;
+  std::map<std::vector<int>, int> ids;
+  std::deque<std::vector<int>> queue;
+  auto intern = [&](std::vector<int> set) {
+    auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    int id = static_cast<int>(ids.size());
+    bool acc = false;
+    for (int s : set) acc = acc || nfa.accepting[s];
+    ids.emplace(set, id);
+    out.next.emplace_back(nfa.num_symbols, -1);
+    out.accepting.push_back(acc ? 1 : 0);
+    queue.push_back(std::move(set));
+    return id;
+  };
+  out.start = intern(nfa.EpsilonClosure({nfa.start}));
+  while (!queue.empty()) {
+    std::vector<int> set = queue.front();
+    queue.pop_front();
+    int id = ids[set];
+    for (int symbol = 0; symbol < nfa.num_symbols; ++symbol) {
+      out.next[id][symbol] = intern(nfa.Step(set, symbol));
+    }
+  }
+  out.num_states = static_cast<int>(out.next.size());
+  return out;
+}
+
+bool SameLanguage(const Dfa& a, const Dfa& b) {
+  return a.Product(b.Complement(), true).IsEmpty() &&
+         b.Product(a.Complement(), true).IsEmpty();
+}
+
+}  // namespace cspdb

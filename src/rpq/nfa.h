@@ -1,0 +1,82 @@
+// Finite automata over dense symbol alphabets: Thompson construction,
+// epsilon removal, subset construction, product, and complement. These
+// are the machinery behind RPQ evaluation, view-based query answering
+// (the constraint template of Theorem 7.5 is built from the query
+// automaton), and RPQ rewriting.
+
+#ifndef CSPDB_RPQ_NFA_H_
+#define CSPDB_RPQ_NFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpq/regex.h"
+
+namespace cspdb {
+
+/// A nondeterministic finite automaton. Transitions labeled kEpsilonSym
+/// are epsilon moves.
+struct Nfa {
+  static constexpr int kEpsilonSym = -1;
+
+  int num_states = 0;
+  int num_symbols = 0;
+  int start = 0;
+  std::vector<char> accepting;
+  /// transitions[s] = list of (symbol, target).
+  std::vector<std::vector<std::pair<int, int>>> transitions;
+
+  /// Thompson construction from a regex over `num_symbols` symbols.
+  static Nfa FromRegex(const Regex& regex, int num_symbols);
+
+  /// True if the automaton accepts the word (sequence of symbol ids).
+  bool Accepts(const std::vector<int>& word) const;
+
+  /// An equivalent automaton without epsilon transitions.
+  Nfa RemoveEpsilon() const;
+
+  /// Epsilon closure of a state set (sorted state list in, sorted out).
+  std::vector<int> EpsilonClosure(std::vector<int> states) const;
+
+  /// States reachable from `states` by `symbol` then epsilon closure.
+  std::vector<int> Step(const std::vector<int>& states, int symbol) const;
+};
+
+/// A complete deterministic automaton (every state has a transition on
+/// every symbol; a non-accepting sink absorbs dead words).
+struct Dfa {
+  int num_states = 0;
+  int num_symbols = 0;
+  int start = 0;
+  std::vector<char> accepting;
+  /// next[s][symbol]
+  std::vector<std::vector<int>> next;
+
+  bool Accepts(const std::vector<int>& word) const;
+
+  /// Swaps accepting and rejecting states.
+  Dfa Complement() const;
+
+  /// Product automaton; accepting = and/or of the components.
+  Dfa Product(const Dfa& other, bool intersection) const;
+
+  /// True if no accepting state is reachable from the start.
+  bool IsEmpty() const;
+
+  /// A shortest accepted word, or std::nullopt-like empty signal: returns
+  /// false if the language is empty.
+  bool ShortestWord(std::vector<int>* word) const;
+
+  /// Hopcroft-style minimization (partition refinement).
+  Dfa Minimize() const;
+};
+
+/// Subset construction (reachable subsets only).
+Dfa Determinize(const Nfa& nfa);
+
+/// Language equality via product of minimal DFAs.
+bool SameLanguage(const Dfa& a, const Dfa& b);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_RPQ_NFA_H_

@@ -1,0 +1,60 @@
+// Regular expressions over an abstract alphabet of labeled symbols — the
+// query mechanism for semistructured data (paper, Section 7: regular-path
+// queries are expressed by regular expressions or finite automata).
+
+#ifndef CSPDB_RPQ_REGEX_H_
+#define CSPDB_RPQ_REGEX_H_
+
+#include <string>
+#include <vector>
+
+namespace cspdb {
+
+/// A regular expression AST with value semantics. Symbols are alphabet
+/// ids (dense ints).
+class Regex {
+ public:
+  enum class Kind {
+    kEmpty,    ///< the empty language
+    kEpsilon,  ///< the empty word
+    kSymbol,   ///< a single alphabet symbol
+    kConcat,   ///< children in sequence
+    kUnion,    ///< any child
+    kStar,     ///< Kleene star of the single child
+  };
+
+  static Regex Empty();
+  static Regex Epsilon();
+  static Regex Symbol(int symbol);
+  static Regex Concat(std::vector<Regex> children);
+  static Regex Union(std::vector<Regex> children);
+  static Regex Star(Regex child);
+  /// r+ == r . r*
+  static Regex Plus(Regex child);
+  /// r? == r | epsilon
+  static Regex Optional(Regex child);
+
+  Kind kind() const { return kind_; }
+  int symbol() const { return symbol_; }
+  const std::vector<Regex>& children() const { return children_; }
+
+  /// Rendering with `alphabet` names for symbols.
+  std::string ToString(const std::vector<std::string>& alphabet) const;
+
+ private:
+  Kind kind_ = Kind::kEmpty;
+  int symbol_ = -1;
+  std::vector<Regex> children_;
+};
+
+/// Parses a regular expression. Syntax: single-character symbols matched
+/// against one-character alphabet entries, '|' union, juxtaposition for
+/// concatenation, postfix '*', '+', '?', parentheses, '()' not allowed —
+/// use '%' for epsilon and '~' for the empty language. Aborts on
+/// malformed input or symbols missing from the alphabet.
+Regex ParseRegex(const std::string& pattern,
+                 const std::vector<std::string>& alphabet);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_RPQ_REGEX_H_

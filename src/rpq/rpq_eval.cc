@@ -1,0 +1,69 @@
+#include "rpq/rpq_eval.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Targets of `y` reachable from node x in the product construction.
+// Works on the epsilon-free form of q.
+std::vector<int> ReachableFrom(const GraphDb& db, const Nfa& q, int x) {
+  CSPDB_CHECK(q.num_symbols == db.num_labels());
+  // Product states: node * num_states + state.
+  std::vector<char> seen(
+      static_cast<std::size_t>(db.num_nodes()) * q.num_states, 0);
+  std::deque<std::pair<int, int>> queue;
+  std::vector<char> found(db.num_nodes(), 0);
+  auto visit = [&](int node, int state) {
+    std::size_t id =
+        static_cast<std::size_t>(node) * q.num_states + state;
+    if (!seen[id]) {
+      seen[id] = 1;
+      queue.push_back({node, state});
+      if (q.accepting[state]) found[node] = 1;
+    }
+  };
+  visit(x, q.start);
+  while (!queue.empty()) {
+    auto [node, state] = queue.front();
+    queue.pop_front();
+    for (const auto& [label, target] : db.OutEdges(node)) {
+      for (const auto& [symbol, next_state] : q.transitions[state]) {
+        if (symbol == label) visit(target, next_state);
+      }
+    }
+  }
+  std::vector<int> result;
+  for (int y = 0; y < db.num_nodes(); ++y) {
+    if (found[y]) result.push_back(y);
+  }
+  return result;
+}
+
+}  // namespace
+
+bool RpqHolds(const GraphDb& db, const Nfa& q, int x, int y) {
+  Nfa eps_free = q.RemoveEpsilon();
+  std::vector<int> reachable = ReachableFrom(db, eps_free, x);
+  return std::binary_search(reachable.begin(), reachable.end(), y);
+}
+
+std::vector<std::pair<int, int>> EvaluateRpq(const GraphDb& db,
+                                             const Nfa& q) {
+  Nfa eps_free = q.RemoveEpsilon();
+  std::vector<std::pair<int, int>> answers;
+  for (int x = 0; x < db.num_nodes(); ++x) {
+    for (int y : ReachableFrom(db, eps_free, x)) answers.push_back({x, y});
+  }
+  return answers;
+}
+
+std::vector<std::pair<int, int>> EvaluateRpq(const GraphDb& db,
+                                             const Regex& q) {
+  return EvaluateRpq(db, Nfa::FromRegex(q, db.num_labels()));
+}
+
+}  // namespace cspdb

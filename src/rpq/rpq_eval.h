@@ -1,0 +1,32 @@
+// Regular-path query evaluation (paper, Section 7): ans(Q, DB) is the set
+// of node pairs connected by a path spelling a word of L(Q). Evaluated by
+// reachability in the product of the database with the query automaton.
+
+#ifndef CSPDB_RPQ_RPQ_EVAL_H_
+#define CSPDB_RPQ_RPQ_EVAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "rpq/graphdb.h"
+#include "rpq/nfa.h"
+#include "rpq/regex.h"
+
+namespace cspdb {
+
+/// True if some path from x to y spells a word of the automaton's
+/// language (epsilon transitions allowed in `q`).
+bool RpqHolds(const GraphDb& db, const Nfa& q, int x, int y);
+
+/// ans(Q, DB): all pairs (x, y) with a Q-path from x to y, in
+/// lexicographic order.
+std::vector<std::pair<int, int>> EvaluateRpq(const GraphDb& db,
+                                             const Nfa& q);
+
+/// Convenience: compile the regex and evaluate.
+std::vector<std::pair<int, int>> EvaluateRpq(const GraphDb& db,
+                                             const Regex& q);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_RPQ_RPQ_EVAL_H_

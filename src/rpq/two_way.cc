@@ -1,0 +1,91 @@
+#include "rpq/two_way.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace cspdb {
+
+int InverseSymbol(int symbol, int num_labels) {
+  CSPDB_CHECK(symbol >= 0 && symbol < 2 * num_labels);
+  return symbol < num_labels ? symbol + num_labels : symbol - num_labels;
+}
+
+namespace {
+
+std::vector<int> ReachableTwoWay(const GraphDb& db, const Nfa& q,
+                                 const std::vector<std::vector<
+                                     std::pair<int, int>>>& in_edges,
+                                 int x) {
+  std::vector<char> seen(
+      static_cast<std::size_t>(db.num_nodes()) * q.num_states, 0);
+  std::vector<char> found(db.num_nodes(), 0);
+  std::deque<std::pair<int, int>> queue;
+  auto visit = [&](int node, int state) {
+    std::size_t id = static_cast<std::size_t>(node) * q.num_states + state;
+    if (!seen[id]) {
+      seen[id] = 1;
+      queue.push_back({node, state});
+      if (q.accepting[state]) found[node] = 1;
+    }
+  };
+  visit(x, q.start);
+  int labels = db.num_labels();
+  while (!queue.empty()) {
+    auto [node, state] = queue.front();
+    queue.pop_front();
+    for (const auto& [symbol, next_state] : q.transitions[state]) {
+      if (symbol < labels) {
+        for (const auto& [label, target] : db.OutEdges(node)) {
+          if (label == symbol) visit(target, next_state);
+        }
+      } else {
+        for (const auto& [label, source] : in_edges[node]) {
+          if (label == symbol - labels) visit(source, next_state);
+        }
+      }
+    }
+  }
+  std::vector<int> result;
+  for (int y = 0; y < db.num_nodes(); ++y) {
+    if (found[y]) result.push_back(y);
+  }
+  return result;
+}
+
+std::vector<std::vector<std::pair<int, int>>> InEdges(const GraphDb& db) {
+  std::vector<std::vector<std::pair<int, int>>> in(db.num_nodes());
+  for (const auto& [from, label, to] : db.edges()) {
+    in[to].push_back({label, from});
+  }
+  return in;
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> EvaluateTwoWayRpq(const GraphDb& db,
+                                                   const Nfa& q) {
+  CSPDB_CHECK_MSG(q.num_symbols == 2 * db.num_labels(),
+                  "2RPQ automaton must use the doubled alphabet");
+  Nfa eps_free = q.RemoveEpsilon();
+  auto in_edges = InEdges(db);
+  std::vector<std::pair<int, int>> answers;
+  for (int x = 0; x < db.num_nodes(); ++x) {
+    for (int y : ReachableTwoWay(db, eps_free, in_edges, x)) {
+      answers.push_back({x, y});
+    }
+  }
+  return answers;
+}
+
+bool TwoWayRpqHolds(const GraphDb& db, const Nfa& q, int x, int y) {
+  CSPDB_CHECK_MSG(q.num_symbols == 2 * db.num_labels(),
+                  "2RPQ automaton must use the doubled alphabet");
+  Nfa eps_free = q.RemoveEpsilon();
+  auto in_edges = InEdges(db);
+  std::vector<int> reachable = ReachableTwoWay(db, eps_free, in_edges, x);
+  return std::binary_search(reachable.begin(), reachable.end(), y);
+}
+
+}  // namespace cspdb

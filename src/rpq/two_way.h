@@ -1,0 +1,32 @@
+// Two-way regular-path queries (2RPQs) — the extension with inverse
+// roles from Calvanese-De Giacomo-Lenzerini-Vardi [11], cited by the
+// paper as the companion PODS 2000 work. The alphabet is doubled: symbol
+// s < L traverses an s-labeled edge forward, symbol L + s traverses one
+// backward.
+
+#ifndef CSPDB_RPQ_TWO_WAY_H_
+#define CSPDB_RPQ_TWO_WAY_H_
+
+#include <utility>
+#include <vector>
+
+#include "rpq/graphdb.h"
+#include "rpq/nfa.h"
+#include "rpq/regex.h"
+
+namespace cspdb {
+
+/// The symbol traversing label `label` in the opposite direction
+/// (involution: applying it twice returns `symbol`).
+int InverseSymbol(int symbol, int num_labels);
+
+/// ans(Q, DB) for a 2RPQ automaton `q` over 2 * db.num_labels() symbols.
+std::vector<std::pair<int, int>> EvaluateTwoWayRpq(const GraphDb& db,
+                                                   const Nfa& q);
+
+/// Membership test for one pair.
+bool TwoWayRpqHolds(const GraphDb& db, const Nfa& q, int x, int y);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_RPQ_TWO_WAY_H_

@@ -1,0 +1,89 @@
+#include "temporal/stp.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace cspdb {
+
+void StpInstance::AddInterval(int from, int to, int64_t lo, int64_t hi) {
+  CSPDB_CHECK(from >= 0 && from < num_points);
+  CSPDB_CHECK(to >= 0 && to < num_points);
+  CSPDB_CHECK(lo <= hi);
+  constraints.push_back({from, to, hi});    // to - from <= hi
+  constraints.push_back({to, from, -lo});   // from - to <= -lo
+}
+
+bool StpInstance::Satisfies(const std::vector<int64_t>& schedule) const {
+  CSPDB_CHECK(static_cast<int>(schedule.size()) == num_points);
+  for (const DifferenceConstraint& c : constraints) {
+    if (schedule[c.to] - schedule[c.from] > c.bound) return false;
+  }
+  return true;
+}
+
+namespace {
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+
+// Bellman-Ford from a virtual origin connected to every point with
+// weight 0. Returns distances, or nullopt on a negative cycle.
+std::optional<std::vector<int64_t>> BellmanFord(const StpInstance& stp) {
+  std::vector<int64_t> dist(stp.num_points, 0);  // origin edges
+  for (int round = 0; round < stp.num_points; ++round) {
+    bool changed = false;
+    for (const DifferenceConstraint& c : stp.constraints) {
+      if (dist[c.from] + c.bound < dist[c.to]) {
+        dist[c.to] = dist[c.from] + c.bound;
+        changed = true;
+      }
+    }
+    if (!changed) return dist;
+  }
+  // One more relaxation detects a negative cycle.
+  for (const DifferenceConstraint& c : stp.constraints) {
+    if (dist[c.from] + c.bound < dist[c.to]) return std::nullopt;
+  }
+  return dist;
+}
+
+}  // namespace
+
+StpSolution SolveStp(const StpInstance& stp) {
+  StpSolution result;
+  for (const DifferenceConstraint& c : stp.constraints) {
+    CSPDB_CHECK(c.from >= 0 && c.from < stp.num_points);
+    CSPDB_CHECK(c.to >= 0 && c.to < stp.num_points);
+  }
+  auto dist = BellmanFord(stp);
+  if (!dist.has_value()) return result;
+  result.consistent = true;
+  result.schedule = std::move(*dist);
+  CSPDB_CHECK(stp.Satisfies(result.schedule));
+  return result;
+}
+
+std::optional<int64_t> TightestBound(const StpInstance& stp, int from,
+                                     int to) {
+  CSPDB_CHECK(from >= 0 && from < stp.num_points);
+  CSPDB_CHECK(to >= 0 && to < stp.num_points);
+  CSPDB_CHECK_MSG(SolveStp(stp).consistent,
+                  "tightest bounds need a consistent STP");
+  // Single-source shortest paths from `from`.
+  std::vector<int64_t> dist(stp.num_points, kInf);
+  dist[from] = 0;
+  for (int round = 0; round < stp.num_points; ++round) {
+    bool changed = false;
+    for (const DifferenceConstraint& c : stp.constraints) {
+      if (dist[c.from] < kInf && dist[c.from] + c.bound < dist[c.to]) {
+        dist[c.to] = dist[c.from] + c.bound;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  if (dist[to] >= kInf) return std::nullopt;
+  return dist[to];
+}
+
+}  // namespace cspdb

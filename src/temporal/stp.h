@@ -1,0 +1,59 @@
+// Simple Temporal Problems (STPs): conjunctions of difference constraints
+// x_j - x_i <= c over real-valued time points. Temporal reasoning heads
+// the paper's Section 1 list of CSP application areas; the STP is its
+// tractable backbone — consistency and tightest bounds are shortest-path
+// computations (Bellman-Ford / negative-cycle detection), another
+// instance of "local propagation decides".
+
+#ifndef CSPDB_TEMPORAL_STP_H_
+#define CSPDB_TEMPORAL_STP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace cspdb {
+
+/// One difference constraint: to - from <= bound.
+struct DifferenceConstraint {
+  int from = 0;
+  int to = 0;
+  int64_t bound = 0;
+};
+
+/// A Simple Temporal Problem over time points 0..num_points-1.
+struct StpInstance {
+  int num_points = 0;
+  std::vector<DifferenceConstraint> constraints;
+
+  /// Adds `lo <= to - from <= hi` (the interval form of an STP edge).
+  void AddInterval(int from, int to, int64_t lo, int64_t hi);
+
+  /// True if the integer-valued schedule satisfies every constraint.
+  bool Satisfies(const std::vector<int64_t>& schedule) const;
+};
+
+/// Result of the consistency check.
+struct StpSolution {
+  bool consistent = false;
+  /// A feasible schedule (earliest times relative to an implicit origin);
+  /// empty when inconsistent.
+  std::vector<int64_t> schedule;
+};
+
+/// Decides consistency by Bellman-Ford on the distance graph (edge
+/// from -> to with weight bound); a negative cycle certifies
+/// inconsistency, otherwise shortest path distances from a virtual origin
+/// yield a feasible schedule.
+StpSolution SolveStp(const StpInstance& stp);
+
+/// The tightest implied bound on to - from (shortest path from `from` to
+/// `to` in the distance graph), or std::nullopt when unbounded. Requires
+/// a consistent instance. This is the "minimal network" computation of
+/// temporal-reasoning practice — all-pairs constraint propagation.
+std::optional<int64_t> TightestBound(const StpInstance& stp, int from,
+                                     int to);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_TEMPORAL_STP_H_

@@ -1,0 +1,117 @@
+#include "treewidth/exact.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// q(S, v): number of vertices outside S + {v} reachable from v along
+// paths whose internal vertices lie in S. This is the degree v would have
+// when eliminated after exactly the vertices of S.
+int EliminationDegree(const Graph& g, uint32_t s, int v) {
+  std::vector<char> seen(g.n, 0);
+  std::deque<int> queue{v};
+  seen[v] = 1;
+  int degree = 0;
+  while (!queue.empty()) {
+    int x = queue.front();
+    queue.pop_front();
+    for (int y : g.adj[x]) {
+      if (seen[y]) continue;
+      seen[y] = 1;
+      if (s & (1u << y)) {
+        queue.push_back(y);  // internal vertex, keep walking
+      } else if (y != v) {
+        ++degree;  // neighbor in the fill graph
+      }
+    }
+  }
+  return degree;
+}
+
+void ComputeDp(const Graph& g, std::vector<int8_t>* f,
+               std::vector<int8_t>* choice) {
+  CSPDB_CHECK_MSG(g.n <= 24, "exact treewidth DP limited to 24 vertices");
+  uint32_t full = g.n == 0 ? 0 : (1u << g.n) - 1;
+  f->assign(static_cast<std::size_t>(full) + 1, 0);
+  if (choice != nullptr) {
+    choice->assign(static_cast<std::size_t>(full) + 1, -1);
+  }
+  (*f)[0] = -1;
+  for (uint32_t s = 1; s <= full; ++s) {
+    int best = 127;
+    int best_v = -1;
+    for (int v = 0; v < g.n; ++v) {
+      if (!(s & (1u << v))) continue;
+      uint32_t rest = s & ~(1u << v);
+      int width = std::max(static_cast<int>((*f)[rest]),
+                           EliminationDegree(g, rest, v));
+      if (width < best) {
+        best = width;
+        best_v = v;
+      }
+    }
+    (*f)[s] = static_cast<int8_t>(best);
+    if (choice != nullptr) (*choice)[s] = static_cast<int8_t>(best_v);
+    if (s == full) break;
+  }
+}
+
+}  // namespace
+
+int ExactTreewidth(const Graph& g) {
+  if (g.n == 0) return -1;
+  std::vector<int8_t> f;
+  ComputeDp(g, &f, nullptr);
+  return f[(1u << g.n) - 1];
+}
+
+int TreewidthLowerBound(const Graph& g) {
+  if (g.n == 0) return -1;
+  // Repeatedly delete a minimum-degree vertex (no fill edges); the
+  // largest minimum degree seen is the degeneracy, a treewidth lower
+  // bound.
+  std::vector<int> degree(g.n);
+  std::vector<char> removed(g.n, 0);
+  for (int v = 0; v < g.n; ++v) {
+    degree[v] = static_cast<int>(g.adj[v].size());
+  }
+  int bound = 0;
+  for (int step = 0; step < g.n; ++step) {
+    int best = -1;
+    for (int v = 0; v < g.n; ++v) {
+      if (!removed[v] && (best < 0 || degree[v] < degree[best])) best = v;
+    }
+    bound = std::max(bound, degree[best]);
+    removed[best] = 1;
+    for (int u : g.adj[best]) {
+      if (!removed[u]) --degree[u];
+    }
+  }
+  return bound;
+}
+
+std::vector<int> OptimalEliminationOrdering(const Graph& g) {
+  std::vector<int> order;
+  if (g.n == 0) return order;
+  std::vector<int8_t> f;
+  std::vector<int8_t> choice;
+  ComputeDp(g, &f, &choice);
+  uint32_t s = (1u << g.n) - 1;
+  while (s != 0) {
+    int v = choice[s];
+    CSPDB_CHECK(v >= 0);
+    order.push_back(v);
+    s &= ~(1u << v);
+  }
+  // The DP picks the vertex eliminated *last* in the prefix S; reverse to
+  // get elimination order.
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace cspdb

@@ -1,0 +1,28 @@
+// Exact treewidth by dynamic programming over vertex subsets
+// (O(2^n * n^2)); practical for n up to ~20. Used by the tests to
+// validate the heuristics and to generate structures of known treewidth.
+
+#ifndef CSPDB_TREEWIDTH_EXACT_H_
+#define CSPDB_TREEWIDTH_EXACT_H_
+
+#include <vector>
+
+#include "treewidth/gaifman.h"
+
+namespace cspdb {
+
+/// The exact treewidth of g (0 for edgeless graphs, -1 for the empty
+/// graph). Requires g.n <= 24.
+int ExactTreewidth(const Graph& g);
+
+/// An optimal elimination ordering realizing ExactTreewidth(g).
+std::vector<int> OptimalEliminationOrdering(const Graph& g);
+
+/// A fast lower bound on treewidth: the graph's degeneracy (maximum over
+/// the min-degree elimination process of the minimum degree; the MMD
+/// bound). Works on any graph size. -1 for the empty graph.
+int TreewidthLowerBound(const Graph& g);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_TREEWIDTH_EXACT_H_

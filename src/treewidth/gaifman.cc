@@ -1,0 +1,55 @@
+#include "treewidth/gaifman.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cspdb {
+
+void Graph::AddEdge(int u, int v) {
+  CSPDB_CHECK(u >= 0 && u < n && v >= 0 && v < n);
+  if (u == v) return;
+  auto it = std::lower_bound(adj[u].begin(), adj[u].end(), v);
+  if (it != adj[u].end() && *it == v) return;
+  adj[u].insert(it, v);
+  adj[v].insert(std::lower_bound(adj[v].begin(), adj[v].end(), u), u);
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  CSPDB_CHECK(u >= 0 && u < n && v >= 0 && v < n);
+  return std::binary_search(adj[u].begin(), adj[u].end(), v);
+}
+
+int Graph::NumEdges() const {
+  int total = 0;
+  for (const auto& neighbors : adj) total += static_cast<int>(neighbors.size());
+  return total / 2;
+}
+
+Graph GaifmanGraph(const Structure& a) {
+  Graph g(a.domain_size());
+  for (int r = 0; r < a.vocabulary().size(); ++r) {
+    for (const Tuple& t : a.tuples(r)) {
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+          g.AddEdge(t[i], t[j]);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph GaifmanGraphOfCsp(const CspInstance& csp) {
+  Graph g(csp.num_variables());
+  for (const Constraint& c : csp.constraints()) {
+    for (int i = 0; i < c.arity(); ++i) {
+      for (int j = i + 1; j < c.arity(); ++j) {
+        g.AddEdge(c.scope[i], c.scope[j]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace cspdb

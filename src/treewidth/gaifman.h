@@ -1,0 +1,42 @@
+// Gaifman (primal) graphs of relational structures and CSP instances:
+// vertices are elements/variables, with an edge whenever two of them
+// co-occur in a tuple/constraint. Treewidth of a structure (paper,
+// Section 6) is the treewidth of this graph.
+
+#ifndef CSPDB_TREEWIDTH_GAIFMAN_H_
+#define CSPDB_TREEWIDTH_GAIFMAN_H_
+
+#include <vector>
+
+#include "csp/instance.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// A simple undirected graph on vertices 0..n-1 (no loops, no parallel
+/// edges; adjacency lists are kept sorted).
+struct Graph {
+  int n = 0;
+  std::vector<std::vector<int>> adj;
+
+  explicit Graph(int num_vertices = 0) : n(num_vertices), adj(num_vertices) {}
+
+  /// Adds the undirected edge {u, v}; loops and duplicates are ignored.
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+
+  int NumEdges() const;
+};
+
+/// The Gaifman graph of a structure: elements u, v adjacent iff they
+/// co-occur in some tuple.
+Graph GaifmanGraph(const Structure& a);
+
+/// The primal (constraint) graph of a CSP instance: variables adjacent
+/// iff they share a constraint scope.
+Graph GaifmanGraphOfCsp(const CspInstance& csp);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_TREEWIDTH_GAIFMAN_H_

@@ -1,0 +1,143 @@
+#include "treewidth/heuristics.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// Mutable adjacency as sets, supporting elimination.
+class FillGraph {
+ public:
+  explicit FillGraph(const Graph& g) : adj_(g.n) {
+    for (int u = 0; u < g.n; ++u) {
+      adj_[u] = std::set<int>(g.adj[u].begin(), g.adj[u].end());
+    }
+    eliminated_.assign(g.n, 0);
+  }
+
+  int Degree(int v) const { return static_cast<int>(adj_[v].size()); }
+
+  int FillCount(int v) const {
+    int fill = 0;
+    for (auto it = adj_[v].begin(); it != adj_[v].end(); ++it) {
+      auto jt = it;
+      for (++jt; jt != adj_[v].end(); ++jt) {
+        if (adj_[*it].count(*jt) == 0) ++fill;
+      }
+    }
+    return fill;
+  }
+
+  // Eliminates v: connects its neighborhood into a clique, removes v.
+  // Returns the neighborhood at elimination time.
+  std::vector<int> Eliminate(int v) {
+    std::vector<int> neighbors(adj_[v].begin(), adj_[v].end());
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+        adj_[neighbors[i]].insert(neighbors[j]);
+        adj_[neighbors[j]].insert(neighbors[i]);
+      }
+    }
+    for (int u : neighbors) adj_[u].erase(v);
+    adj_[v].clear();
+    eliminated_[v] = 1;
+    return neighbors;
+  }
+
+  bool Eliminated(int v) const { return eliminated_[v] != 0; }
+
+ private:
+  std::vector<std::set<int>> adj_;
+  std::vector<char> eliminated_;
+};
+
+template <typename Score>
+std::vector<int> GreedyOrdering(const Graph& g, Score&& score) {
+  FillGraph fg(g);
+  std::vector<int> order;
+  order.reserve(g.n);
+  for (int step = 0; step < g.n; ++step) {
+    int best = -1;
+    long best_score = 0;
+    for (int v = 0; v < g.n; ++v) {
+      if (fg.Eliminated(v)) continue;
+      long s = score(fg, v);
+      if (best == -1 || s < best_score) {
+        best = v;
+        best_score = s;
+      }
+    }
+    fg.Eliminate(best);
+    order.push_back(best);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> MinDegreeOrdering(const Graph& g) {
+  return GreedyOrdering(
+      g, [](const FillGraph& fg, int v) { return fg.Degree(v); });
+}
+
+std::vector<int> MinFillOrdering(const Graph& g) {
+  return GreedyOrdering(g, [](const FillGraph& fg, int v) {
+    return static_cast<long>(fg.FillCount(v)) * 10000 + fg.Degree(v);
+  });
+}
+
+TreeDecomposition DecompositionFromOrdering(const Graph& g,
+                                            const std::vector<int>& order) {
+  CSPDB_CHECK(static_cast<int>(order.size()) == g.n);
+  std::vector<int> position(g.n, -1);
+  for (int i = 0; i < g.n; ++i) {
+    CSPDB_CHECK(order[i] >= 0 && order[i] < g.n);
+    CSPDB_CHECK_MSG(position[order[i]] == -1, "ordering repeats a vertex");
+    position[order[i]] = i;
+  }
+
+  FillGraph fg(g);
+  TreeDecomposition td;
+  td.bags.resize(g.n);
+  std::vector<int> bag_of(g.n);  // vertex -> its bag node
+  for (int i = 0; i < g.n; ++i) {
+    int v = order[i];
+    std::vector<int> neighbors = fg.Eliminate(v);
+    std::vector<int> bag = neighbors;
+    bag.push_back(v);
+    std::sort(bag.begin(), bag.end());
+    td.bags[i] = std::move(bag);
+    bag_of[v] = i;
+    if (!neighbors.empty()) {
+      // Parent: the neighbor eliminated next (smallest position).
+      int parent_vertex = neighbors[0];
+      for (int u : neighbors) {
+        if (position[u] < position[parent_vertex]) parent_vertex = u;
+      }
+      // Its bag exists later in the loop; record the edge lazily by
+      // vertex, resolved after all bags exist.
+      td.edges.push_back({i, position[parent_vertex]});
+    }
+  }
+  return td;
+}
+
+int InducedWidth(const Graph& g, const std::vector<int>& order) {
+  CSPDB_CHECK(static_cast<int>(order.size()) == g.n);
+  FillGraph fg(g);
+  int width = -1;
+  for (int v : order) {
+    width = std::max(width, static_cast<int>(fg.Eliminate(v).size()));
+  }
+  return width;
+}
+
+TreeDecomposition MinFillDecomposition(const Graph& g) {
+  return DecompositionFromOrdering(g, MinFillOrdering(g));
+}
+
+}  // namespace cspdb

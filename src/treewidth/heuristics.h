@@ -1,0 +1,39 @@
+// Elimination-ordering heuristics (min-fill, min-degree) and the standard
+// construction of a tree decomposition from an elimination ordering.
+// These provide the decompositions consumed by bucket elimination
+// (Theorem 6.2's polynomial algorithm for bounded-treewidth CSP).
+
+#ifndef CSPDB_TREEWIDTH_HEURISTICS_H_
+#define CSPDB_TREEWIDTH_HEURISTICS_H_
+
+#include <vector>
+
+#include "treewidth/gaifman.h"
+#include "treewidth/tree_decomposition.h"
+
+namespace cspdb {
+
+/// Min-degree elimination ordering: repeatedly eliminate a vertex of
+/// minimum current degree (making its neighborhood a clique).
+std::vector<int> MinDegreeOrdering(const Graph& g);
+
+/// Min-fill elimination ordering: repeatedly eliminate a vertex adding
+/// the fewest fill edges.
+std::vector<int> MinFillOrdering(const Graph& g);
+
+/// Builds a tree decomposition from an elimination ordering: the bag of v
+/// is v plus its not-yet-eliminated neighbors in the fill graph; its
+/// parent is the bag of the earliest-eliminated such neighbor. Valid for
+/// any ordering; width is the induced width of the ordering.
+TreeDecomposition DecompositionFromOrdering(const Graph& g,
+                                            const std::vector<int>& order);
+
+/// Width of the ordering without materializing the decomposition.
+int InducedWidth(const Graph& g, const std::vector<int>& order);
+
+/// Min-fill decomposition in one call.
+TreeDecomposition MinFillDecomposition(const Graph& g);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_TREEWIDTH_HEURISTICS_H_

@@ -1,0 +1,41 @@
+#include "treewidth/incidence.h"
+
+#include <algorithm>
+
+#include "db/algebra.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+Graph BuildIncidence(const Hypergraph& h, int num_vertices) {
+  Graph g(num_vertices + static_cast<int>(h.edges.size()));
+  for (std::size_t e = 0; e < h.edges.size(); ++e) {
+    for (int v : h.edges[e]) {
+      CSPDB_CHECK(v < num_vertices);
+      g.AddEdge(v, num_vertices + static_cast<int>(e));
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph IncidenceGraph(const Hypergraph& h, int* num_vertices_out) {
+  int n = 0;
+  for (const auto& edge : h.edges) {
+    for (int v : edge) n = std::max(n, v + 1);
+  }
+  if (num_vertices_out != nullptr) *num_vertices_out = n;
+  return BuildIncidence(h, n);
+}
+
+Graph IncidenceGraphOfCsp(const CspInstance& csp, int* num_vertices_out) {
+  CspInstance normalized = csp.NormalizedDistinctScopes();
+  Hypergraph h = HypergraphOfSchemas(ConstraintsAsRelations(normalized));
+  int n = csp.num_variables();
+  if (num_vertices_out != nullptr) *num_vertices_out = n;
+  return BuildIncidence(h, n);
+}
+
+}  // namespace cspdb

@@ -1,0 +1,31 @@
+// Incidence graphs and width comparisons (paper, Section 6's discussion
+// of Chekuri-Ramajaran [14] and Gottlob-Leone-Scarcello [29, 30]): the
+// incidence graph of a query/hypergraph is the bipartite graph between
+// atoms and variables; its treewidth upper-bounds querywidth, which in
+// turn upper-bounds hypertree width. This module builds incidence graphs
+// so those relationships can be measured empirically (see the width
+// tests and EXPERIMENTS.md).
+
+#ifndef CSPDB_TREEWIDTH_INCIDENCE_H_
+#define CSPDB_TREEWIDTH_INCIDENCE_H_
+
+#include "csp/instance.h"
+#include "db/acyclic.h"
+#include "treewidth/gaifman.h"
+
+namespace cspdb {
+
+/// The incidence graph of a hypergraph: one node per vertex (ids
+/// 0..n-1) and one node per hyperedge (ids n..n+m-1), adjacent iff the
+/// vertex belongs to the hyperedge. `num_vertices_out`, if non-null,
+/// receives n (the split point).
+Graph IncidenceGraph(const Hypergraph& h, int* num_vertices_out = nullptr);
+
+/// Incidence graph of a CSP instance's constraint hypergraph (scopes are
+/// normalized to distinct variables first).
+Graph IncidenceGraphOfCsp(const CspInstance& csp,
+                          int* num_vertices_out = nullptr);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_TREEWIDTH_INCIDENCE_H_

@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cspdb::internal {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::fprintf(stderr, "CSPDB_CHECK failed: %s at %s:%d %s\n", expr, file,
+               line, message.c_str());
+  std::abort();
+}
+
+}  // namespace cspdb::internal

@@ -1,0 +1,34 @@
+// Lightweight runtime-check macros used across cspdb.
+//
+// The library does not use exceptions in its public API (Google style);
+// violated preconditions are programmer errors and abort with a message.
+
+#ifndef CSPDB_UTIL_CHECK_H_
+#define CSPDB_UTIL_CHECK_H_
+
+#include <string>
+
+namespace cspdb::internal {
+
+/// Prints a check-failure message to stderr and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& message);
+
+}  // namespace cspdb::internal
+
+/// Aborts with a diagnostic if `cond` is false. Always evaluated (not
+/// compiled out in release builds): cspdb checks guard API contracts, not
+/// hot inner loops.
+#define CSPDB_CHECK(cond)                                               \
+  (static_cast<bool>(cond)                                              \
+       ? (void)0                                                        \
+       : ::cspdb::internal::CheckFailed(#cond, __FILE__, __LINE__, ""))
+
+/// Like CSPDB_CHECK but appends `msg` (anything convertible to
+/// std::string via operator+) to the diagnostic.
+#define CSPDB_CHECK_MSG(cond, msg)                                        \
+  (static_cast<bool>(cond)                                                \
+       ? (void)0                                                          \
+       : ::cspdb::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg)))
+
+#endif  // CSPDB_UTIL_CHECK_H_

@@ -1,0 +1,39 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cspdb {
+
+int Rng::UniformInt(int lo, int hi) {
+  CSPDB_CHECK(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+void Rng::Shuffle(std::vector<int>* v) {
+  std::shuffle(v->begin(), v->end(), engine_);
+}
+
+std::vector<int> Rng::SampleDistinct(int n, int k) {
+  CSPDB_CHECK(k <= n);
+  std::vector<int> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  Shuffle(&all);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace cspdb

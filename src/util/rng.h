@@ -1,0 +1,43 @@
+// Deterministic random-number helper used by the workload generators.
+
+#ifndef CSPDB_UTIL_RNG_H_
+#define CSPDB_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cspdb {
+
+/// A seeded pseudo-random generator. All cspdb instance generators take an
+/// Rng so experiments are reproducible run to run.
+class Rng {
+ public:
+  /// Creates a generator from a fixed seed.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `v`.
+  void Shuffle(std::vector<int>* v);
+
+  /// `k` distinct integers sampled uniformly from [0, n). Requires k <= n.
+  std::vector<int> SampleDistinct(int n, int k);
+
+  /// Access to the underlying engine for use with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cspdb
+
+#endif  // CSPDB_UTIL_RNG_H_

@@ -1,0 +1,181 @@
+#include "views/certain_answers.h"
+
+#include <string>
+
+#include "csp/convert.h"
+#include "csp/solver.h"
+#include "games/pebble_game.h"
+#include "rpq/rpq_eval.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// All words over [0, sigma) of length <= max_len accepted by `dfa`.
+std::vector<std::vector<int>> AcceptedWordsUpTo(const Dfa& dfa,
+                                                int max_len) {
+  std::vector<std::vector<int>> accepted;
+  std::vector<int> word;
+  // Iterative deepening over word length.
+  struct Frame {
+    int state;
+    int next_symbol;
+  };
+  for (int len = 0; len <= max_len; ++len) {
+    // DFS enumerating words of exactly `len`.
+    std::vector<Frame> stack{{dfa.start, 0}};
+    word.clear();
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (static_cast<int>(word.size()) == len) {
+        if (dfa.accepting[top.state]) accepted.push_back(word);
+        stack.pop_back();
+        if (!word.empty()) word.pop_back();
+        continue;
+      }
+      if (top.next_symbol == dfa.num_symbols) {
+        stack.pop_back();
+        if (!word.empty()) word.pop_back();
+        continue;
+      }
+      int symbol = top.next_symbol++;
+      word.push_back(symbol);
+      stack.push_back({dfa.next[top.state][symbol], 0});
+    }
+  }
+  return accepted;
+}
+
+}  // namespace
+
+bool CertainAnswerViaCsp(const ConstraintTemplate& tmpl,
+                         const ViewSetting& setting,
+                         const ViewInstance& instance, int c, int d) {
+  Structure a = BuildViewInstanceStructure(setting, instance,
+                                           tmpl.b.vocabulary(), c, d);
+  // Theorem 7.5: (c, d) is NOT certain iff a counterexample annotation
+  // (a homomorphism A -> B) exists. The template domain is the powerset
+  // of the query DFA, so solve with full propagation (MAC + MRV) rather
+  // than plain homomorphism search.
+  CspInstance csp = ToCspInstance(a, tmpl.b);
+  BacktrackingSolver solver(csp);
+  return !solver.Solve().has_value();
+}
+
+bool CertainAnswerViaCsp(const ViewSetting& setting,
+                         const ViewInstance& instance, int c, int d) {
+  ConstraintTemplate tmpl = BuildConstraintTemplate(setting);
+  return CertainAnswerViaCsp(tmpl, setting, instance, c, d);
+}
+
+bool CertainByKConsistency(const ConstraintTemplate& tmpl,
+                           const ViewSetting& setting,
+                           const ViewInstance& instance, int c, int d,
+                           int k) {
+  Structure a = BuildViewInstanceStructure(setting, instance,
+                                           tmpl.b.vocabulary(), c, d);
+  // Spoiler win => no homomorphism => no counterexample database =>
+  // certain. Duplicator win proves nothing (the game is incomplete).
+  return !PebbleGame(a, tmpl.b, k).DuplicatorWins();
+}
+
+std::vector<std::pair<int, int>> CertainAnswers(
+    const ViewSetting& setting, const ViewInstance& instance) {
+  ConstraintTemplate tmpl = BuildConstraintTemplate(setting);
+  std::vector<std::pair<int, int>> result;
+  for (int c = 0; c < instance.num_objects; ++c) {
+    for (int d = 0; d < instance.num_objects; ++d) {
+      if (CertainAnswerViaCsp(tmpl, setting, instance, c, d)) {
+        result.push_back({c, d});
+      }
+    }
+  }
+  return result;
+}
+
+bool CertainAnswerBruteForce(const ViewSetting& setting,
+                             const ViewInstance& instance, int c, int d,
+                             int max_word_length, long max_combinations) {
+  int sigma = static_cast<int>(setting.alphabet.size());
+  CSPDB_CHECK(instance.ext.size() == setting.views.size());
+
+  // Witness word choices per view edge.
+  struct EdgeChoice {
+    int x, y;
+    const std::vector<std::vector<int>>* words;
+  };
+  std::vector<std::vector<std::vector<int>>> view_words;
+  for (const ViewDefinition& view : setting.views) {
+    Dfa dfa = Determinize(Nfa::FromRegex(view.definition, sigma));
+    view_words.push_back(AcceptedWordsUpTo(dfa, max_word_length));
+  }
+  std::vector<EdgeChoice> edges;
+  for (std::size_t i = 0; i < setting.views.size(); ++i) {
+    for (const auto& [x, y] : instance.ext[i]) {
+      edges.push_back({x, y, &view_words[i]});
+    }
+  }
+
+  long combinations = 1;
+  for (const EdgeChoice& e : edges) {
+    // Epsilon only realizes an extension pair with equal endpoints.
+    long usable = 0;
+    for (const auto& w : *e.words) {
+      if (!w.empty() || e.x == e.y) ++usable;
+    }
+    if (usable == 0) return true;  // no bounded realization; inconclusive
+    combinations *= usable;
+    if (combinations > max_combinations) return true;  // inconclusive
+  }
+
+  // Enumerate combinations with a mixed-radix counter over usable words.
+  std::vector<std::vector<const std::vector<int>*>> usable_words(
+      edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    for (const auto& w : *edges[e].words) {
+      if (!w.empty() || edges[e].x == edges[e].y) {
+        usable_words[e].push_back(&w);
+      }
+    }
+  }
+  Nfa query_nfa = Nfa::FromRegex(setting.query, sigma);
+  std::vector<int> pick(edges.size(), 0);
+  while (true) {
+    // Build the candidate database: objects plus fresh path nodes.
+    int nodes = instance.num_objects;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      int len = static_cast<int>(usable_words[e][pick[e]]->size());
+      if (len > 1) nodes += len - 1;
+    }
+    GraphDb db(nodes, sigma);
+    int fresh = instance.num_objects;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const std::vector<int>& w = *usable_words[e][pick[e]];
+      if (w.empty()) continue;  // x == y, nothing to add
+      int current = edges[e].x;
+      for (std::size_t j = 0; j < w.size(); ++j) {
+        int target = j + 1 == w.size() ? edges[e].y : fresh++;
+        db.AddEdge(current, w[j], target);
+        current = target;
+      }
+    }
+    if (!RpqHolds(db, query_nfa, c, d)) return false;  // counterexample
+    // Advance.
+    std::size_t pos = 0;
+    while (pos < pick.size()) {
+      if (++pick[pos] < static_cast<int>(usable_words[pos].size())) break;
+      pick[pos] = 0;
+      ++pos;
+    }
+    if (pos == pick.size()) break;
+    if (edges.empty()) break;
+  }
+  if (edges.empty()) {
+    // Single candidate: the empty database.
+    GraphDb db(instance.num_objects, sigma);
+    return RpqHolds(db, query_nfa, c, d);
+  }
+  return true;
+}
+
+}  // namespace cspdb

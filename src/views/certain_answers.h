@@ -1,0 +1,60 @@
+// View-based query answering (paper, Section 7): deciding membership in
+// the certain answer set cert(Q, V) under sound views and open domain.
+// The primary decision procedure is the Theorem 7.5 reduction to CSP; a
+// bounded brute-force counterexample search is provided for differential
+// testing.
+
+#ifndef CSPDB_VIEWS_CERTAIN_ANSWERS_H_
+#define CSPDB_VIEWS_CERTAIN_ANSWERS_H_
+
+#include <utility>
+#include <vector>
+
+#include "views/constraint_template.h"
+#include "views/view.h"
+
+namespace cspdb {
+
+/// True iff (c, d) is a certain answer of the query w.r.t. the views:
+/// every database consistent with the extensions connects c to d by a
+/// Q-path. Decided by the Theorem 7.5 reduction: (c,d) not-in cert iff
+/// CSP(A, B) is solvable for the constraint template B.
+bool CertainAnswerViaCsp(const ViewSetting& setting,
+                         const ViewInstance& instance, int c, int d);
+
+/// As above, reusing a prebuilt template (Theorem 7.5's B depends only on
+/// the query and the view definitions).
+bool CertainAnswerViaCsp(const ConstraintTemplate& tmpl,
+                         const ViewSetting& setting,
+                         const ViewInstance& instance, int c, int d);
+
+/// The full certain answer set over D_V x D_V.
+std::vector<std::pair<int, int>> CertainAnswers(const ViewSetting& setting,
+                                                const ViewInstance& instance);
+
+/// The Datalog/consistency route of the paper's closing remark ([10]):
+/// the complement of CSP(B) is approximated from above by the existential
+/// k-pebble game, so "the Spoiler wins on (A, B)" is a *sound* Datalog-
+/// expressible certificate that (c, d) is certain. Returns true only if
+/// (c, d) is provably certain at consistency level k; a false result
+/// means "not proved" (the exact decision may still be certain). Runs in
+/// polynomial time for fixed k, unlike the exact co-NP decision.
+bool CertainByKConsistency(const ConstraintTemplate& tmpl,
+                           const ViewSetting& setting,
+                           const ViewInstance& instance, int c, int d,
+                           int k);
+
+/// Bounded counterexample search: tries every combination of witness
+/// words (length <= max_word_length, at most max_combinations candidate
+/// databases) in which each view edge is realized by a fresh path. A
+/// `false` result is definitive (a counterexample database was found); a
+/// `true` result is only as trustworthy as the bounds. Used to cross-check
+/// CertainAnswerViaCsp on small cases.
+bool CertainAnswerBruteForce(const ViewSetting& setting,
+                             const ViewInstance& instance, int c, int d,
+                             int max_word_length,
+                             long max_combinations = 1000000);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_VIEWS_CERTAIN_ANSWERS_H_

@@ -1,0 +1,106 @@
+#include "views/constraint_template.h"
+
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cspdb {
+
+ConstraintTemplate BuildConstraintTemplate(const ViewSetting& setting) {
+  int sigma = static_cast<int>(setting.alphabet.size());
+  Dfa dfa = Determinize(Nfa::FromRegex(setting.query, sigma)).Minimize();
+  int s = dfa.num_states;
+  CSPDB_CHECK_MSG(s <= 12, "query automaton too large for the powerset "
+                           "construction");
+  int domain = 1 << s;
+
+  Vocabulary voc;
+  for (const ViewDefinition& view : setting.views) {
+    voc.AddSymbol(view.name, 2);
+  }
+  int u_c = voc.AddSymbol("U_c", 1);
+  int u_d = voc.AddSymbol("U_d", 1);
+
+  Structure b(voc, domain);
+
+  // V_i relations: for each start mask, BFS over (view automaton state,
+  // image mask) pairs; images reached at accepting view states are the
+  // obligations rho(s1, w); every superset qualifies as s2.
+  for (std::size_t i = 0; i < setting.views.size(); ++i) {
+    Nfa view_nfa =
+        Nfa::FromRegex(setting.views[i].definition, sigma).RemoveEpsilon();
+    for (int start_mask = 0; start_mask < domain; ++start_mask) {
+      std::set<std::pair<int, int>> seen;
+      std::deque<std::pair<int, int>> queue;
+      std::set<int> images;
+      auto visit = [&](int view_state, int mask) {
+        if (seen.insert({view_state, mask}).second) {
+          queue.push_back({view_state, mask});
+          if (view_nfa.accepting[view_state]) images.insert(mask);
+        }
+      };
+      visit(view_nfa.start, start_mask);
+      while (!queue.empty()) {
+        auto [view_state, mask] = queue.front();
+        queue.pop_front();
+        for (const auto& [symbol, next_view] :
+             view_nfa.transitions[view_state]) {
+          // Image of `mask` under the DFA on `symbol`.
+          int next_mask = 0;
+          for (int q = 0; q < dfa.num_states; ++q) {
+            if (mask & (1 << q)) next_mask |= 1 << dfa.next[q][symbol];
+          }
+          visit(next_view, next_mask);
+        }
+      }
+      for (int s2 = 0; s2 < domain; ++s2) {
+        for (int image : images) {
+          if ((image & ~s2) == 0) {  // image is a subset of s2
+            b.AddTuple(static_cast<int>(i), {start_mask, s2});
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // U_c: masks containing the DFA start state.
+  for (int mask = 0; mask < domain; ++mask) {
+    if (mask & (1 << dfa.start)) b.AddTuple(u_c, {mask});
+  }
+  // U_d: masks avoiding every accepting state.
+  for (int mask = 0; mask < domain; ++mask) {
+    bool touches_accepting = false;
+    for (int q = 0; q < dfa.num_states; ++q) {
+      if ((mask & (1 << q)) && dfa.accepting[q]) {
+        touches_accepting = true;
+        break;
+      }
+    }
+    if (!touches_accepting) b.AddTuple(u_d, {mask});
+  }
+
+  return {std::move(b), std::move(dfa)};
+}
+
+Structure BuildViewInstanceStructure(const ViewSetting& setting,
+                                     const ViewInstance& instance,
+                                     const Vocabulary& template_vocabulary,
+                                     int c, int d) {
+  CSPDB_CHECK(instance.ext.size() == setting.views.size());
+  CSPDB_CHECK(c >= 0 && c < instance.num_objects);
+  CSPDB_CHECK(d >= 0 && d < instance.num_objects);
+  Structure a(template_vocabulary, instance.num_objects);
+  for (std::size_t i = 0; i < setting.views.size(); ++i) {
+    int rel = template_vocabulary.IndexOf(setting.views[i].name);
+    CSPDB_CHECK(rel >= 0);
+    for (const auto& [x, y] : instance.ext[i]) a.AddTuple(rel, {x, y});
+  }
+  a.AddTuple(template_vocabulary.IndexOf("U_c"), {c});
+  a.AddTuple(template_vocabulary.IndexOf("U_d"), {d});
+  return a;
+}
+
+}  // namespace cspdb

@@ -1,0 +1,40 @@
+// The constraint template of Theorem 7.5: from a query Q and view
+// definitions def(V), a structure B over the vocabulary
+// {V_1/2, ..., V_k/2, U_c/1, U_d/1} whose domain is the powerset of the
+// query automaton's states, such that deciding (c,d) not-in cert(Q, V)
+// reduces to CSP(A, B) where A encodes the view extensions.
+
+#ifndef CSPDB_VIEWS_CONSTRAINT_TEMPLATE_H_
+#define CSPDB_VIEWS_CONSTRAINT_TEMPLATE_H_
+
+#include "relational/structure.h"
+#include "rpq/nfa.h"
+#include "views/view.h"
+
+namespace cspdb {
+
+/// The template together with the query DFA it was built from.
+struct ConstraintTemplate {
+  Structure b;  ///< domain 2^S, indexed by bitmask
+  Dfa query_dfa;  ///< minimal complete DFA for the query (state set S)
+};
+
+/// Builds the Theorem 7.5 template. The query automaton is determinized
+/// and minimized first; its state count must stay <= 12 (the domain of B
+/// is its powerset).
+///
+/// Relations: (s1, s2) in V_i^B iff some word w of L(def(V_i)) satisfies
+/// rho(s1, w) contained in s2; s in U_c^B iff the DFA start state is in
+/// s; s in U_d^B iff s avoids every accepting state.
+ConstraintTemplate BuildConstraintTemplate(const ViewSetting& setting);
+
+/// The instance side of the reduction: A has the objects as domain, view
+/// extensions as the V_i relations, and U_c = {c}, U_d = {d}.
+Structure BuildViewInstanceStructure(const ViewSetting& setting,
+                                     const ViewInstance& instance,
+                                     const Vocabulary& template_vocabulary,
+                                     int c, int d);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_VIEWS_CONSTRAINT_TEMPLATE_H_

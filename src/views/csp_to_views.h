@@ -1,0 +1,36 @@
+// Theorem 7.3: every CSP over directed graphs reduces polynomially to
+// view-based query answering. For a digraph template B the query and view
+// definitions depend only on B; only the view extensions depend on the
+// input digraph A, so non-uniform CSP(B) reduces to query rewriting.
+//
+// Gadget: a "choice" view (one base symbol per node of B) forces every
+// consistent database to pick a B-node for each A-node; the query spells
+// s . (union of bad pairs a_i e a_j) . t and therefore connects c to d
+// exactly when some A-edge is mapped to a non-edge of B. Hence
+// (c, d) not-in cert(Q, V) iff a homomorphism A -> B exists.
+
+#ifndef CSPDB_VIEWS_CSP_TO_VIEWS_H_
+#define CSPDB_VIEWS_CSP_TO_VIEWS_H_
+
+#include "relational/structure.h"
+#include "views/view.h"
+
+namespace cspdb {
+
+/// The produced view-answering instance.
+struct CspToViewsReduction {
+  ViewSetting setting;    ///< depends only on the template B
+  ViewInstance instance;  ///< depends only on the input A
+  int c = 0;
+  int d = 1;
+};
+
+/// Builds the reduction for digraphs `a`, `b` over the vocabulary {E/2}.
+/// Postcondition (Theorem 7.3): (c, d) not-in cert(Q, V) iff CSP(A, B) is
+/// solvable.
+CspToViewsReduction ReduceCspToViewAnswering(const Structure& a,
+                                             const Structure& b);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_VIEWS_CSP_TO_VIEWS_H_

@@ -1,0 +1,89 @@
+#include "views/rewriting.h"
+
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "rpq/rpq_eval.h"
+#include "util/check.h"
+
+namespace cspdb {
+
+Nfa NfaFromDfa(const Dfa& dfa) {
+  Nfa nfa;
+  nfa.num_states = dfa.num_states;
+  nfa.num_symbols = dfa.num_symbols;
+  nfa.start = dfa.start;
+  nfa.accepting = dfa.accepting;
+  nfa.transitions.resize(dfa.num_states);
+  for (int s = 0; s < dfa.num_states; ++s) {
+    for (int symbol = 0; symbol < dfa.num_symbols; ++symbol) {
+      nfa.transitions[s].push_back({symbol, dfa.next[s][symbol]});
+    }
+  }
+  return nfa;
+}
+
+Dfa MaximalRpqRewriting(const ViewSetting& setting) {
+  int sigma = static_cast<int>(setting.alphabet.size());
+  int k = static_cast<int>(setting.views.size());
+  Dfa query_dfa =
+      Determinize(Nfa::FromRegex(setting.query, sigma)).Minimize();
+
+  // For each query-DFA state q and view i: the set of states reachable by
+  // reading some word of L(def V_i).
+  std::vector<std::vector<std::vector<int>>> via_view(
+      query_dfa.num_states, std::vector<std::vector<int>>(k));
+  for (int i = 0; i < k; ++i) {
+    Nfa view_nfa =
+        Nfa::FromRegex(setting.views[i].definition, sigma).RemoveEpsilon();
+    for (int q = 0; q < query_dfa.num_states; ++q) {
+      std::set<std::pair<int, int>> seen;
+      std::deque<std::pair<int, int>> queue;
+      std::set<int> reached;
+      auto visit = [&](int view_state, int dfa_state) {
+        if (seen.insert({view_state, dfa_state}).second) {
+          queue.push_back({view_state, dfa_state});
+          if (view_nfa.accepting[view_state]) reached.insert(dfa_state);
+        }
+      };
+      visit(view_nfa.start, q);
+      while (!queue.empty()) {
+        auto [view_state, dfa_state] = queue.front();
+        queue.pop_front();
+        for (const auto& [symbol, next_view] :
+             view_nfa.transitions[view_state]) {
+          visit(next_view, query_dfa.next[dfa_state][symbol]);
+        }
+      }
+      via_view[q][i].assign(reached.begin(), reached.end());
+    }
+  }
+
+  // Bad-word NFA over the view alphabet: states of the query DFA,
+  // accepting in non-accepting query states.
+  Nfa bad;
+  bad.num_states = query_dfa.num_states;
+  bad.num_symbols = k;
+  bad.start = query_dfa.start;
+  bad.accepting.resize(query_dfa.num_states);
+  bad.transitions.resize(query_dfa.num_states);
+  for (int q = 0; q < query_dfa.num_states; ++q) {
+    bad.accepting[q] = query_dfa.accepting[q] ? 0 : 1;
+    for (int i = 0; i < k; ++i) {
+      for (int target : via_view[q][i]) {
+        bad.transitions[q].push_back({i, target});
+      }
+    }
+  }
+  return Determinize(bad).Complement().Minimize();
+}
+
+std::vector<std::pair<int, int>> RewritingAnswers(
+    const ViewSetting& setting, const ViewInstance& instance) {
+  Dfa rewriting = MaximalRpqRewriting(setting);
+  GraphDb ext = ExtensionGraph(setting, instance);
+  return EvaluateRpq(ext, NfaFromDfa(rewriting));
+}
+
+}  // namespace cspdb

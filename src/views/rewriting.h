@@ -1,0 +1,38 @@
+// Maximal RPQ rewriting of a query with respect to RPQ views
+// ([8] in the paper, Calvanese-De Giacomo-Lenzerini-Vardi PODS'99): the
+// largest regular language R over the view alphabet such that every
+// expansion of every word of R is contained in L(Q). Evaluating the
+// rewriting over the view extensions yields a sound (generally
+// non-perfect) approximation of the certain answers.
+
+#ifndef CSPDB_VIEWS_REWRITING_H_
+#define CSPDB_VIEWS_REWRITING_H_
+
+#include <utility>
+#include <vector>
+
+#include "rpq/nfa.h"
+#include "views/view.h"
+
+namespace cspdb {
+
+/// Computes the maximal RPQ rewriting as a DFA over the view alphabet
+/// (symbol i = view i). Construction: a word V_{i1}..V_{il} is *bad* iff
+/// some expansion w_1..w_l (w_j in L(def V_{ij})) falls outside L(Q);
+/// bad words are recognized by simulating the query DFA through each view
+/// language, accepting in a non-accepting query state. The rewriting is
+/// the complement.
+Dfa MaximalRpqRewriting(const ViewSetting& setting);
+
+/// Evaluates the rewriting over the extension graph. Always sound:
+/// the result is contained in cert(Q, V) (tested against the Theorem 7.5
+/// decision procedure).
+std::vector<std::pair<int, int>> RewritingAnswers(
+    const ViewSetting& setting, const ViewInstance& instance);
+
+/// Nfa view of a DFA (for RPQ evaluation over the view alphabet).
+Nfa NfaFromDfa(const Dfa& dfa);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_VIEWS_REWRITING_H_

@@ -1,0 +1,164 @@
+// Tests for GYO reduction, join forests, the full reducer, and the
+// Yannakakis algorithm (Section 6's acyclic-join discussion).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "db/acyclic.h"
+#include "db/algebra.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+DbRelation Rel(std::vector<int> schema, std::vector<Tuple> rows) {
+  DbRelation r(std::move(schema));
+  for (Tuple& t : rows) r.AddRow(std::move(t));
+  return r;
+}
+
+TEST(Gyo, PathSchemaIsAcyclic) {
+  Hypergraph h{{{0, 1}, {1, 2}, {2, 3}}};
+  EXPECT_TRUE(IsAlphaAcyclic(h));
+}
+
+TEST(Gyo, TriangleSchemaIsCyclic) {
+  Hypergraph h{{{0, 1}, {1, 2}, {0, 2}}};
+  EXPECT_FALSE(IsAlphaAcyclic(h));
+}
+
+TEST(Gyo, TriangleWithCoveringEdgeIsAcyclic) {
+  // Alpha-acyclicity: adding the big edge {0,1,2} makes it acyclic.
+  Hypergraph h{{{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}}};
+  EXPECT_TRUE(IsAlphaAcyclic(h));
+}
+
+TEST(Gyo, StarSchemaIsAcyclic) {
+  Hypergraph h{{{0, 1}, {0, 2}, {0, 3}, {0, 4}}};
+  auto forest = BuildJoinForest(h);
+  ASSERT_TRUE(forest.has_value());
+  EXPECT_EQ(forest->order.size(), 4u);
+}
+
+TEST(Gyo, DisconnectedComponentsFormForest) {
+  Hypergraph h{{{0, 1}, {2, 3}}};
+  EXPECT_TRUE(IsAlphaAcyclic(h));
+}
+
+TEST(Gyo, CycleOfLengthFourIsCyclic) {
+  Hypergraph h{{{0, 1}, {1, 2}, {2, 3}, {3, 0}}};
+  EXPECT_FALSE(IsAlphaAcyclic(h));
+}
+
+TEST(Yannakakis, MatchesJoinAllOnPathQuery) {
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<DbRelation> rels;
+    for (int i = 0; i < 4; ++i) {
+      DbRelation r({i, i + 1});
+      for (int row = 0; row < 12; ++row) {
+        r.AddRow({rng.UniformInt(0, 4), rng.UniformInt(0, 4)});
+      }
+      rels.push_back(std::move(r));
+    }
+    auto forest = BuildJoinForest(HypergraphOfSchemas(rels));
+    ASSERT_TRUE(forest.has_value());
+    DbRelation direct = JoinAll(rels);
+    EXPECT_EQ(AcyclicJoinNonempty(*forest, rels), !direct.empty());
+    DbRelation yan =
+        YannakakisEvaluate(*forest, rels, {0, 4});
+    DbRelation expected = Project(direct, {0, 4});
+    EXPECT_EQ(yan.size(), expected.size()) << trial;
+    for (const Tuple& row : expected.rows()) {
+      EXPECT_TRUE(yan.HasRow(row));
+    }
+  }
+}
+
+TEST(Yannakakis, FullReducerRemovesDanglingTuples) {
+  std::vector<DbRelation> rels;
+  rels.push_back(Rel({0, 1}, {{1, 2}, {5, 6}}));
+  rels.push_back(Rel({1, 2}, {{2, 3}}));
+  auto forest = BuildJoinForest(HypergraphOfSchemas(rels));
+  ASSERT_TRUE(forest.has_value());
+  FullReducer(*forest, &rels);
+  // (5,6) dangles: no continuation in the second relation.
+  EXPECT_EQ(rels[0].size(), 1u);
+  EXPECT_TRUE(rels[0].HasRow({1, 2}));
+  EXPECT_EQ(rels[1].size(), 1u);
+}
+
+TEST(Yannakakis, EmptyJoinDetected) {
+  std::vector<DbRelation> rels;
+  rels.push_back(Rel({0, 1}, {{1, 2}}));
+  rels.push_back(Rel({1, 2}, {{9, 9}}));
+  auto forest = BuildJoinForest(HypergraphOfSchemas(rels));
+  ASSERT_TRUE(forest.has_value());
+  EXPECT_FALSE(AcyclicJoinNonempty(*forest, rels));
+}
+
+TEST(Yannakakis, CrossProductComponents) {
+  std::vector<DbRelation> rels;
+  rels.push_back(Rel({0}, {{1}, {2}}));
+  rels.push_back(Rel({1}, {{7}}));
+  auto forest = BuildJoinForest(HypergraphOfSchemas(rels));
+  ASSERT_TRUE(forest.has_value());
+  DbRelation result = YannakakisEvaluate(*forest, rels, {0, 1});
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.HasRow({1, 7}));
+  EXPECT_TRUE(result.HasRow({2, 7}));
+}
+
+TEST(Yannakakis, StarQueryIntermediatesStayPolynomial) {
+  // Star query: center attribute 0 shared by all relations. A bad join
+  // order blows up; Yannakakis stays linear in input+output.
+  Rng rng(13);
+  std::vector<DbRelation> rels;
+  int legs = 4;
+  for (int i = 0; i < legs; ++i) {
+    DbRelation r({0, i + 1});
+    for (int row = 0; row < 30; ++row) {
+      // Most rows share center value 0 so the cross-blowup is real on
+      // the full join but the Boolean answer stays cheap.
+      r.AddRow({rng.UniformInt(0, 1), rng.UniformInt(0, 29)});
+    }
+    rels.push_back(std::move(r));
+  }
+  auto forest = BuildJoinForest(HypergraphOfSchemas(rels));
+  ASSERT_TRUE(forest.has_value());
+  int64_t yan_peak = 0;
+  DbRelation center_only =
+      YannakakisEvaluate(*forest, rels, {0}, &yan_peak);
+  EXPECT_FALSE(center_only.empty());
+  int64_t direct_peak = 0;
+  JoinAll(rels, &direct_peak);
+  // The left-to-right join materializes the multiplicative blowup; the
+  // Yannakakis projections keep intermediates small.
+  EXPECT_LT(yan_peak, direct_peak);
+}
+
+TEST(Yannakakis, RandomAcyclicSchemasAgreeWithDirectJoin) {
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Random tree-shaped schema: attribute tree, relation per edge.
+    int n = 5;
+    std::vector<DbRelation> rels;
+    for (int v = 1; v < n; ++v) {
+      int parent = rng.UniformInt(0, v - 1);
+      DbRelation r({parent, v});
+      for (int row = 0; row < 8; ++row) {
+        r.AddRow({rng.UniformInt(0, 3), rng.UniformInt(0, 3)});
+      }
+      rels.push_back(std::move(r));
+    }
+    auto forest = BuildJoinForest(HypergraphOfSchemas(rels));
+    ASSERT_TRUE(forest.has_value());
+    EXPECT_EQ(AcyclicJoinNonempty(*forest, rels),
+              !JoinAll(rels).empty())
+        << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,172 @@
+// Algebraic-law property tests for the relational algebra and the
+// automata layer: the identities query optimizers rely on, checked on
+// random inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "db/algebra.h"
+#include "db/relation.h"
+#include "rpq/nfa.h"
+#include "rpq/regex.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+DbRelation RandomRelation(const std::vector<int>& schema, int rows,
+                          int domain, Rng* rng) {
+  DbRelation r(schema);
+  for (int i = 0; i < rows; ++i) {
+    Tuple t;
+    for (std::size_t j = 0; j < schema.size(); ++j) {
+      t.push_back(rng->UniformInt(0, domain - 1));
+    }
+    r.AddRow(std::move(t));
+  }
+  return r;
+}
+
+// Set equality up to column order.
+bool SameContent(const DbRelation& a, const DbRelation& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<int> positions;
+  for (int attr : a.schema()) {
+    int p = b.AttributePosition(attr);
+    if (p < 0) return false;
+    positions.push_back(p);
+  }
+  for (const Tuple& row : b.rows()) {
+    Tuple reordered;
+    for (int p : positions) reordered.push_back(row[p]);
+    if (!a.HasRow(reordered)) return false;
+  }
+  return true;
+}
+
+TEST(AlgebraLaws, JoinIsCommutative) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    DbRelation r = RandomRelation({0, 1}, 12, 4, &rng);
+    DbRelation s = RandomRelation({1, 2}, 12, 4, &rng);
+    EXPECT_TRUE(SameContent(NaturalJoin(r, s), NaturalJoin(s, r)))
+        << trial;
+  }
+}
+
+TEST(AlgebraLaws, JoinIsAssociative) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    DbRelation r = RandomRelation({0, 1}, 10, 3, &rng);
+    DbRelation s = RandomRelation({1, 2}, 10, 3, &rng);
+    DbRelation t = RandomRelation({2, 3}, 10, 3, &rng);
+    EXPECT_TRUE(SameContent(NaturalJoin(NaturalJoin(r, s), t),
+                            NaturalJoin(r, NaturalJoin(s, t))))
+        << trial;
+  }
+}
+
+TEST(AlgebraLaws, JoinIsIdempotent) {
+  Rng rng(7);
+  DbRelation r = RandomRelation({0, 1}, 15, 4, &rng);
+  EXPECT_TRUE(SameContent(NaturalJoin(r, r), r));
+}
+
+TEST(AlgebraLaws, SemijoinAbsorption) {
+  // (r semijoin s) join s == r join s.
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    DbRelation r = RandomRelation({0, 1}, 12, 4, &rng);
+    DbRelation s = RandomRelation({1, 2}, 12, 4, &rng);
+    EXPECT_TRUE(SameContent(NaturalJoin(Semijoin(r, s), s),
+                            NaturalJoin(r, s)))
+        << trial;
+  }
+}
+
+TEST(AlgebraLaws, SemijoinIsProjectionOfJoin) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    DbRelation r = RandomRelation({0, 1}, 12, 4, &rng);
+    DbRelation s = RandomRelation({1, 2}, 12, 4, &rng);
+    DbRelation expected = Project(NaturalJoin(r, s), {0, 1});
+    EXPECT_TRUE(SameContent(Semijoin(r, s), expected)) << trial;
+  }
+}
+
+TEST(AlgebraLaws, ProjectionCascade) {
+  Rng rng(13);
+  DbRelation r = RandomRelation({0, 1, 2}, 20, 3, &rng);
+  DbRelation direct = Project(r, {0});
+  DbRelation cascaded = Project(Project(r, {0, 1}), {0});
+  EXPECT_TRUE(SameContent(direct, cascaded));
+}
+
+TEST(AlgebraLaws, SelectionCommutesWithJoin) {
+  // sigma_{0=c}(r join s) == sigma_{0=c}(r) join s when attr 0 is r's.
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    DbRelation r = RandomRelation({0, 1}, 12, 3, &rng);
+    DbRelation s = RandomRelation({1, 2}, 12, 3, &rng);
+    DbRelation lhs = SelectEquals(NaturalJoin(r, s), 0, 1);
+    DbRelation rhs = NaturalJoin(SelectEquals(r, 0, 1), s);
+    EXPECT_TRUE(SameContent(lhs, rhs)) << trial;
+  }
+}
+
+const std::vector<std::string> kAb{"a", "b"};
+
+bool Equivalent(const std::string& p1, const std::string& p2) {
+  Dfa d1 = Determinize(Nfa::FromRegex(ParseRegex(p1, kAb), 2));
+  Dfa d2 = Determinize(Nfa::FromRegex(ParseRegex(p2, kAb), 2));
+  return SameLanguage(d1, d2);
+}
+
+TEST(AutomataLaws, KleeneIdentities) {
+  EXPECT_TRUE(Equivalent("(a*)*", "a*"));
+  EXPECT_TRUE(Equivalent("a*a*", "a*"));
+  EXPECT_TRUE(Equivalent("(a|b)*", "(a*b*)*"));
+  EXPECT_TRUE(Equivalent("%|aa*", "a*"));
+  EXPECT_TRUE(Equivalent("a(ba)*", "(ab)*a"));
+  EXPECT_FALSE(Equivalent("(ab)*", "a*b*"));
+}
+
+TEST(AutomataLaws, UnionAndConcatDistribute) {
+  EXPECT_TRUE(Equivalent("a(b|a)", "ab|aa"));
+  EXPECT_TRUE(Equivalent("(a|b)b", "ab|bb"));
+  EXPECT_TRUE(Equivalent("a|a", "a"));
+  EXPECT_TRUE(Equivalent("~|a", "a"));
+  EXPECT_TRUE(Equivalent("~a", "~"));
+  EXPECT_TRUE(Equivalent("%a", "a"));
+}
+
+TEST(AutomataLaws, ComplementIsInvolution) {
+  Rng rng(19);
+  const std::vector<std::string> patterns{"(ab)*", "a*b", "a|bb",
+                                          "(a|b)*a"};
+  for (const std::string& p : patterns) {
+    Dfa d = Determinize(Nfa::FromRegex(ParseRegex(p, kAb), 2));
+    EXPECT_TRUE(SameLanguage(d, d.Complement().Complement())) << p;
+    // L and its complement partition every word: their intersection is
+    // empty and their union is total.
+    EXPECT_TRUE(d.Product(d.Complement(), true).IsEmpty()) << p;
+    EXPECT_TRUE(
+        d.Product(d.Complement(), false).Complement().IsEmpty())
+        << p;
+  }
+}
+
+TEST(AutomataLaws, MinimizationIsIdempotent) {
+  const std::vector<std::string> patterns{"(ab)*", "a*b*", "(a|b)*abb"};
+  for (const std::string& p : patterns) {
+    Dfa d = Determinize(Nfa::FromRegex(ParseRegex(p, kAb), 2));
+    Dfa m1 = d.Minimize();
+    Dfa m2 = m1.Minimize();
+    EXPECT_EQ(m1.num_states, m2.num_states) << p;
+    EXPECT_TRUE(SameLanguage(m1, m2)) << p;
+  }
+}
+
+}  // namespace
+}  // namespace cspdb

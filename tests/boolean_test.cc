@@ -1,0 +1,355 @@
+// Tests for Section 3's dichotomies: the Schaefer classifier and its
+// dedicated solvers (Horn, 2-SAT, affine), the CNF <-> structure
+// encoding, and the Hell-Nešetřil graph dichotomy.
+
+#include <gtest/gtest.h>
+
+#include "boolean/affine_sat.h"
+#include "boolean/cnf.h"
+#include "boolean/hell_nesetril.h"
+#include "boolean/horn_sat.h"
+#include "boolean/schaefer.h"
+#include "boolean/two_sat.h"
+#include "csp/convert.h"
+#include "csp/solver.h"
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+int64_t BruteForceSatisfiable(const CnfFormula& phi) {
+  std::vector<int> a(phi.num_variables);
+  for (int code = 0; code < (1 << phi.num_variables); ++code) {
+    for (int v = 0; v < phi.num_variables; ++v) a[v] = (code >> v) & 1;
+    if (phi.Evaluate(a)) return true;
+  }
+  return phi.num_variables == 0 && phi.clauses.empty();
+}
+
+TEST(Cnf, EvaluateAndShapePredicates) {
+  // (x0 | ~x1) & (~x0 | x1 | x2)
+  CnfFormula phi;
+  phi.num_variables = 3;
+  phi.clauses.push_back({{{0, true}, {1, false}}});
+  phi.clauses.push_back({{{0, false}, {1, true}, {2, true}}});
+  EXPECT_TRUE(phi.Evaluate({1, 1, 0}));
+  EXPECT_FALSE(phi.Evaluate({0, 1, 0}));
+  EXPECT_FALSE(phi.IsHorn());  // second clause has two positives
+  EXPECT_TRUE(phi.IsDualHorn());
+  EXPECT_FALSE(phi.Is2Cnf());
+  EXPECT_EQ(phi.MaxClauseSize(), 3);
+}
+
+TEST(Cnf, StructureEncodingPreservesSatisfiability) {
+  Rng rng(7);
+  Vocabulary voc = CnfVocabulary(3);
+  Structure b = SatTemplate(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    CnfFormula phi = RandomKSat(5, rng.UniformInt(4, 12), 3, &rng);
+    Structure a = CnfToStructure(phi, voc);
+    EXPECT_EQ(FindHomomorphism(a, b).has_value(),
+              BruteForceSatisfiable(phi))
+        << trial;
+  }
+}
+
+TEST(Cnf, HomomorphismsAreModels) {
+  Rng rng(11);
+  Vocabulary voc = CnfVocabulary(3);
+  Structure b = SatTemplate(3);
+  CnfFormula phi = RandomKSat(5, 8, 3, &rng);
+  Structure a = CnfToStructure(phi, voc);
+  auto h = FindHomomorphism(a, b);
+  if (h.has_value()) {
+    EXPECT_TRUE(phi.Evaluate(*h));
+  }
+}
+
+TEST(HornSat, SolvesAndReturnsMinimalModel) {
+  // (x0) & (~x0 | x1) & (~x1 | ~x2): minimal model {1,1,0}.
+  CnfFormula phi;
+  phi.num_variables = 3;
+  phi.clauses.push_back({{{0, true}}});
+  phi.clauses.push_back({{{0, false}, {1, true}}});
+  phi.clauses.push_back({{{1, false}, {2, false}}});
+  auto model = SolveHorn(phi);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(*model, (std::vector<int>{1, 1, 0}));
+}
+
+TEST(HornSat, DetectsUnsat) {
+  // (x0) & (~x0).
+  CnfFormula phi;
+  phi.num_variables = 1;
+  phi.clauses.push_back({{{0, true}}});
+  phi.clauses.push_back({{{0, false}}});
+  EXPECT_FALSE(SolveHorn(phi).has_value());
+}
+
+TEST(HornSat, MatchesBruteForceOnRandomHorn) {
+  Rng rng(13);
+  for (int trial = 0; trial < 15; ++trial) {
+    CnfFormula phi = RandomHorn(6, rng.UniformInt(4, 14), 3, &rng);
+    EXPECT_EQ(SolveHorn(phi).has_value(), BruteForceSatisfiable(phi))
+        << trial;
+  }
+}
+
+TEST(TwoSat, SolvesImplicationChain) {
+  // (x0 | x1) & (~x1 | x2) & (~x2 | ~x0).
+  CnfFormula phi;
+  phi.num_variables = 3;
+  phi.clauses.push_back({{{0, true}, {1, true}}});
+  phi.clauses.push_back({{{1, false}, {2, true}}});
+  phi.clauses.push_back({{{2, false}, {0, false}}});
+  auto model = SolveTwoSat(phi);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(phi.Evaluate(*model));
+}
+
+TEST(TwoSat, DetectsUnsat) {
+  // (x0|x0) & (~x0|~x0).
+  CnfFormula phi;
+  phi.num_variables = 1;
+  phi.clauses.push_back({{{0, true}}});
+  phi.clauses.push_back({{{0, false}}});
+  EXPECT_FALSE(SolveTwoSat(phi).has_value());
+}
+
+TEST(TwoSat, MatchesBruteForceOnRandom2Sat) {
+  Rng rng(17);
+  for (int trial = 0; trial < 15; ++trial) {
+    CnfFormula phi = RandomKSat(6, rng.UniformInt(4, 16), 2, &rng);
+    EXPECT_EQ(SolveTwoSat(phi).has_value(), BruteForceSatisfiable(phi))
+        << trial;
+  }
+}
+
+TEST(AffineSat, GaussianElimination) {
+  // x0 ^ x1 = 1, x1 ^ x2 = 1, x0 ^ x2 = 0: solvable.
+  XorSystem sys;
+  sys.num_variables = 3;
+  sys.clauses.push_back({{0, 1}, 1});
+  sys.clauses.push_back({{1, 2}, 1});
+  sys.clauses.push_back({{0, 2}, 0});
+  auto model = SolveXor(sys);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(sys.Evaluate(*model));
+  // Adding x0 ^ x2 = 1 contradicts.
+  sys.clauses.push_back({{0, 2}, 1});
+  EXPECT_FALSE(SolveXor(sys).has_value());
+}
+
+TEST(AffineSat, EmptyEquationHandling) {
+  XorSystem sys;
+  sys.num_variables = 2;
+  sys.clauses.push_back({{}, 1});
+  EXPECT_FALSE(SolveXor(sys).has_value());
+  sys.clauses.clear();
+  sys.clauses.push_back({{}, 0});
+  EXPECT_TRUE(SolveXor(sys).has_value());
+}
+
+TEST(AffineSat, RandomDifferentialAgainstBruteForce) {
+  Rng rng(19);
+  for (int trial = 0; trial < 12; ++trial) {
+    XorSystem sys;
+    sys.num_variables = 5;
+    int m = rng.UniformInt(3, 8);
+    for (int i = 0; i < m; ++i) {
+      XorClause clause;
+      int size = rng.UniformInt(1, 3);
+      clause.vars = rng.SampleDistinct(5, size);
+      clause.rhs = rng.UniformInt(0, 1);
+      sys.clauses.push_back(std::move(clause));
+    }
+    bool brute = false;
+    for (int code = 0; code < 32 && !brute; ++code) {
+      std::vector<int> a(5);
+      for (int v = 0; v < 5; ++v) a[v] = (code >> v) & 1;
+      brute = sys.Evaluate(a);
+    }
+    EXPECT_EQ(SolveXor(sys).has_value(), brute) << trial;
+  }
+}
+
+TEST(Schaefer, ClassifiesHornTemplate) {
+  SchaeferClassification cls = ClassifyBooleanTemplate(HornTemplate(3));
+  EXPECT_TRUE(cls.horn);
+  EXPECT_TRUE(cls.Tractable());
+  EXPECT_FALSE(cls.one_valid);
+}
+
+TEST(Schaefer, ClassifiesTwoSatTemplate) {
+  SchaeferClassification cls = ClassifyBooleanTemplate(TwoSatTemplate());
+  EXPECT_TRUE(cls.bijunctive);
+  EXPECT_FALSE(cls.horn);  // (x | y) is not min-closed
+}
+
+TEST(Schaefer, ThreeSatTemplateIsNpComplete) {
+  SchaeferClassification cls = ClassifyBooleanTemplate(SatTemplate(3));
+  EXPECT_FALSE(cls.Tractable());
+  EXPECT_EQ(cls.ToString(), "NP-complete");
+}
+
+TEST(Schaefer, ClassifiesAffineTemplate) {
+  // Template with x ^ y ^ z = 0 and x ^ y ^ z = 1 relations.
+  Vocabulary voc;
+  voc.AddSymbol("XOR0", 3);
+  voc.AddSymbol("XOR1", 3);
+  Structure b(voc, 2);
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int z = 0; z < 2; ++z) {
+        b.AddTuple((x ^ y ^ z) == 0 ? 0 : 1, {x, y, z});
+      }
+    }
+  }
+  SchaeferClassification cls = ClassifyBooleanTemplate(b);
+  EXPECT_TRUE(cls.affine);
+  EXPECT_FALSE(cls.bijunctive);
+}
+
+TEST(Schaefer, SolveDispatchesHorn) {
+  Rng rng(23);
+  Vocabulary voc = HornVocabulary(3);
+  Structure b = HornTemplate(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    CnfFormula phi = RandomHorn(6, rng.UniformInt(5, 15), 3, &rng);
+    Structure a = CnfToStructure(phi, voc);
+    BooleanSolveResult result = SolveBooleanCsp(a, b);
+    ASSERT_TRUE(result.decided);
+    EXPECT_EQ(result.solvable, SolveHorn(phi).has_value()) << trial;
+    if (result.solvable) {
+      EXPECT_TRUE(phi.Evaluate(result.model));
+    }
+  }
+}
+
+TEST(Schaefer, SolveDispatchesTwoSat) {
+  Rng rng(29);
+  Vocabulary voc = CnfVocabulary(2);
+  Structure b = TwoSatTemplate();
+  for (int trial = 0; trial < 10; ++trial) {
+    CnfFormula phi = RandomKSat(6, rng.UniformInt(5, 18), 2, &rng);
+    Structure a = CnfToStructure(phi, voc);
+    BooleanSolveResult result = SolveBooleanCsp(a, b);
+    ASSERT_TRUE(result.decided);
+    EXPECT_EQ(result.solvable, SolveTwoSat(phi).has_value()) << trial;
+    if (result.solvable) {
+      EXPECT_TRUE(phi.Evaluate(result.model));
+    }
+  }
+}
+
+TEST(Schaefer, SolveDispatchesAffine) {
+  Vocabulary voc;
+  voc.AddSymbol("XOR0", 3);
+  voc.AddSymbol("XOR1", 3);
+  Structure b(voc, 2);
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int z = 0; z < 2; ++z) {
+        b.AddTuple((x ^ y ^ z) == 0 ? 0 : 1, {x, y, z});
+      }
+    }
+  }
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    Structure a(voc, 5);
+    int m = rng.UniformInt(3, 7);
+    for (int i = 0; i < m; ++i) {
+      std::vector<int> vars = rng.SampleDistinct(5, 3);
+      a.AddTuple(rng.UniformInt(0, 1), {vars[0], vars[1], vars[2]});
+    }
+    BooleanSolveResult result = SolveBooleanCsp(a, b);
+    ASSERT_TRUE(result.decided);
+    EXPECT_EQ(result.solvable, FindHomomorphism(a, b).has_value())
+        << trial;
+  }
+}
+
+TEST(Schaefer, ZeroValidTemplateAlwaysSolvable) {
+  Vocabulary voc;
+  voc.AddSymbol("R", 2);
+  Structure b(voc, 2);
+  b.AddTuple(0, {0, 0});
+  b.AddTuple(0, {1, 0});
+  Structure a(voc, 3);
+  a.AddTuple(0, {0, 1});
+  a.AddTuple(0, {1, 2});
+  BooleanSolveResult result = SolveBooleanCsp(a, b);
+  ASSERT_TRUE(result.decided);
+  EXPECT_TRUE(result.solvable);
+  EXPECT_TRUE(IsHomomorphism(a, b, result.model));
+}
+
+TEST(ClosedUnder, BasicChecks) {
+  std::vector<Tuple> implication{{0, 0}, {0, 1}, {1, 1}};  // x -> y
+  auto op_and = [](const int* x) { return x[0] & x[1]; };
+  auto op_or = [](const int* x) { return x[0] | x[1]; };
+  EXPECT_TRUE(ClosedUnder(implication, 2, +op_and));
+  EXPECT_TRUE(ClosedUnder(implication, 2, +op_or));
+  std::vector<Tuple> parity{{0, 1}, {1, 0}};  // x != y
+  EXPECT_FALSE(ClosedUnder(parity, 2, +op_and));
+}
+
+TEST(HellNesetril, GraphBuilders) {
+  Structure k3 = CliqueGraph(3);
+  EXPECT_TRUE(IsSymmetric(k3));
+  EXPECT_FALSE(HasLoop(k3));
+  EXPECT_FALSE(IsBipartite(k3));
+  EXPECT_TRUE(IsBipartite(CycleGraph(6)));
+  EXPECT_FALSE(IsBipartite(CycleGraph(7)));
+  EXPECT_TRUE(IsBipartite(PathGraph(5)));
+  EXPECT_TRUE(HasLoop(CycleGraph(1)));
+}
+
+TEST(HellNesetril, LoopTemplateAlwaysColorable) {
+  Structure h = MakeUndirectedGraph(2, {{0, 0}, {0, 1}});
+  Structure a = CliqueGraph(4);
+  HColoringResult result = DecideHColoring(a, h);
+  ASSERT_TRUE(result.tractable);
+  EXPECT_TRUE(result.colorable);
+  EXPECT_TRUE(IsHomomorphism(a, h, result.coloring));
+}
+
+TEST(HellNesetril, BipartiteTemplateMatchesTwoColorability) {
+  Rng rng(37);
+  Structure h = PathGraph(4);  // bipartite with edges
+  for (int trial = 0; trial < 10; ++trial) {
+    Structure a = RandomUndirectedGraph(6, 0.3, &rng);
+    HColoringResult result = DecideHColoring(a, h);
+    ASSERT_TRUE(result.tractable);
+    EXPECT_EQ(result.colorable, FindHomomorphism(a, h).has_value())
+        << trial;
+    if (result.colorable) {
+      EXPECT_TRUE(IsHomomorphism(a, h, result.coloring));
+    }
+  }
+}
+
+TEST(HellNesetril, EdgelessTemplate) {
+  Structure h(GraphVocabulary(), 2);
+  Structure edgeless_a(GraphVocabulary(), 3);
+  HColoringResult result = DecideHColoring(edgeless_a, h);
+  ASSERT_TRUE(result.tractable);
+  EXPECT_TRUE(result.colorable);
+  Structure with_edge = PathGraph(2);
+  result = DecideHColoring(with_edge, h);
+  ASSERT_TRUE(result.tractable);
+  EXPECT_FALSE(result.colorable);
+}
+
+TEST(HellNesetril, NonBipartiteLooplessIsIntractableSide) {
+  HColoringResult result =
+      DecideHColoring(CycleGraph(5), CliqueGraph(3));
+  EXPECT_FALSE(result.tractable);
+  // The generic search still answers.
+  EXPECT_TRUE(FindHomomorphism(CycleGraph(5), CliqueGraph(3)).has_value());
+}
+
+}  // namespace
+}  // namespace cspdb

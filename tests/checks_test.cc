@@ -1,0 +1,91 @@
+// Failure-injection tests: the library aborts (CSPDB_CHECK) on contract
+// violations rather than proceeding with corrupt state. Death tests pin
+// down that the guards actually fire.
+
+#include <gtest/gtest.h>
+
+#include "boolean/horn_sat.h"
+#include "csp/instance.h"
+#include "relational/homomorphism.h"
+#include "datalog/program.h"
+#include "relational/structure.h"
+#include "rpq/regex.h"
+
+namespace cspdb {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, DuplicateRelationSymbol) {
+  Vocabulary voc;
+  voc.AddSymbol("E", 2);
+  EXPECT_DEATH(voc.AddSymbol("E", 3), "duplicate relation symbol");
+}
+
+TEST(CheckDeathTest, TupleArityMismatch) {
+  Vocabulary voc;
+  voc.AddSymbol("E", 2);
+  Structure s(voc, 3);
+  EXPECT_DEATH(s.AddTuple(0, {0, 1, 2}), "arity mismatch");
+}
+
+TEST(CheckDeathTest, TupleElementOutOfRange) {
+  Vocabulary voc;
+  voc.AddSymbol("E", 2);
+  Structure s(voc, 2);
+  EXPECT_DEATH(s.AddTuple(0, {0, 5}), "element out of range");
+}
+
+TEST(CheckDeathTest, ConstraintVariableOutOfRange) {
+  CspInstance csp(2, 2);
+  EXPECT_DEATH(csp.AddConstraint({0, 7}, {{0, 0}}),
+               "variable out of range");
+}
+
+TEST(CheckDeathTest, ConstraintValueOutOfRange) {
+  CspInstance csp(2, 2);
+  EXPECT_DEATH(csp.AddConstraint({0, 1}, {{0, 9}}), "value out of range");
+}
+
+TEST(CheckDeathTest, UnsafeDatalogRule) {
+  DatalogProgram program;
+  // Head variable 1 does not occur in the body.
+  EXPECT_DEATH(program.AddRule({{"P", {0, 1}}, {{"E", {0, 0}}}, 2}),
+               "unsafe rule");
+}
+
+TEST(CheckDeathTest, InconsistentPredicateArity) {
+  DatalogProgram program;
+  program.AddRule({{"P", {0}}, {{"E", {0, 0}}}, 1});
+  EXPECT_DEATH(program.AddRule({{"P", {0, 1}}, {{"E", {0, 1}}}, 2}),
+               "inconsistent arity");
+}
+
+TEST(CheckDeathTest, HornSolverRejectsNonHorn) {
+  CnfFormula phi;
+  phi.num_variables = 2;
+  phi.clauses.push_back({{{0, true}, {1, true}}});  // two positives
+  EXPECT_DEATH(SolveHorn(phi), "requires a Horn formula");
+}
+
+TEST(CheckDeathTest, MalformedRegex) {
+  EXPECT_DEATH(ParseRegex("(ab", {"a", "b"}), "missing '\\)'");
+  EXPECT_DEATH(ParseRegex("ax", {"a", "b"}), "unknown symbol");
+}
+
+TEST(CheckDeathTest, GoalRequiredBeforeGoalDerived) {
+  DatalogProgram program;
+  program.AddRule({{"P", {0}}, {{"E", {0, 0}}}, 1});
+  EXPECT_DEATH(program.SetGoal("E"), "goal must be an IDB");
+}
+
+TEST(CheckDeathTest, StructureOpsVocabularyMismatch) {
+  Vocabulary v1, v2;
+  v1.AddSymbol("E", 2);
+  v2.AddSymbol("F", 2);
+  Structure a(v1, 2), b(v2, 2);
+  EXPECT_DEATH(IsPartialHomomorphism(a, b, {0, 1}), "CSPDB_CHECK");
+}
+
+}  // namespace
+}  // namespace cspdb

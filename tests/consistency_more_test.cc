@@ -1,0 +1,126 @@
+// Additional Section 5 coverage: the consistency ladder (GAC < SAC,
+// GAC vs PC incomparabilities), higher-arity i-consistency, and
+// establishing strong 3-consistency end to end.
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "consistency/arc_consistency.h"
+#include "consistency/establish.h"
+#include "consistency/local_consistency.h"
+#include "consistency/path_consistency.h"
+#include "csp/convert.h"
+#include "csp/solver.h"
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(ConsistencyLadder, RefutationPowerOnOddCycles) {
+  // C7 with two colors: GAC passes, PC and SAC both refute, and so does
+  // establishing strong 3-consistency.
+  CspInstance csp = ToCspInstance(CycleGraph(7), CliqueGraph(2));
+  EXPECT_TRUE(EnforceGac(csp).consistent);
+  EXPECT_FALSE(EnforcePathConsistency(csp).consistent);
+  EXPECT_FALSE(EnforceSingletonArcConsistency(csp).consistent);
+  HomInstance hom = ToHomomorphismInstance(csp);
+  EXPECT_FALSE(EstablishStrongKConsistency(hom.a, hom.b, 3).possible);
+}
+
+TEST(ConsistencyLadder, AllPassOnSolvableColorings) {
+  Rng rng(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    Structure g = RandomUndirectedGraph(6, 0.3, &rng);
+    if (!IsBipartite(g)) continue;
+    CspInstance csp = ToCspInstance(g, CliqueGraph(2));
+    EXPECT_TRUE(EnforceGac(csp).consistent) << trial;
+    EXPECT_TRUE(EnforcePathConsistency(csp).consistent) << trial;
+    EXPECT_TRUE(EnforceSingletonArcConsistency(csp).consistent) << trial;
+  }
+}
+
+TEST(IConsistency, HigherArityInstances) {
+  // A ternary parity chain is 2-consistent but parity forces failures at
+  // higher levels when a unary pin conflicts.
+  CspInstance csp(3, 2);
+  std::vector<Tuple> even;
+  for (int code = 0; code < 8; ++code) {
+    Tuple t{code & 1, (code >> 1) & 1, (code >> 2) & 1};
+    if ((t[0] ^ t[1] ^ t[2]) == 0) even.push_back(t);
+  }
+  csp.AddConstraint({0, 1, 2}, even);
+  EXPECT_TRUE(IsIConsistent(csp, 1));
+  EXPECT_TRUE(IsIConsistent(csp, 2));
+  EXPECT_TRUE(IsIConsistent(csp, 3));
+  // Pin two variables oddly: partial solutions on {0,1} still extend
+  // (the third variable absorbs parity), so 3-consistency holds even
+  // with a unary constraint.
+  csp.AddConstraint({0}, {{1}});
+  EXPECT_EQ(IsIConsistent(csp, 3), IsIConsistentViaGames(csp, 3));
+}
+
+TEST(IConsistency, DirectAndGameAgreeOnTernaryInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    CspInstance csp(4, 2);
+    for (int c = 0; c < 3; ++c) {
+      std::vector<int> scope = rng.SampleDistinct(4, 3);
+      std::vector<Tuple> allowed;
+      for (int code = 0; code < 8; ++code) {
+        if (rng.Bernoulli(0.75)) {
+          allowed.push_back({code & 1, (code >> 1) & 1, (code >> 2) & 1});
+        }
+      }
+      if (allowed.empty()) allowed.push_back({0, 0, 0});
+      csp.AddConstraint(scope, allowed);
+    }
+    for (int i = 1; i <= 3; ++i) {
+      EXPECT_EQ(IsIConsistent(csp, i), IsIConsistentViaGames(csp, i))
+          << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(Establish, StrongThreeConsistencyOutputValidated) {
+  Rng rng(11);
+  int checked = 0;
+  for (int trial = 0; trial < 10 && checked < 3; ++trial) {
+    Structure a = RandomDigraph(4, 0.35, &rng);
+    Structure b = RandomDigraph(3, 0.6, &rng, /*allow_loops=*/true);
+    EstablishResult result = EstablishStrongKConsistency(a, b, 3);
+    if (!result.possible) continue;
+    ++checked;
+    EXPECT_TRUE(IsStronglyKConsistent(result.csp, 3)) << trial;
+    EXPECT_TRUE(IsCoherent(result.csp)) << trial;
+    // Solutions preserved (Definition 5.4 property 4) for k = 3 too.
+    std::vector<int> h(4);
+    for (int code = 0; code < 81; ++code) {
+      int c = code;
+      for (int v = 0; v < 4; ++v) {
+        h[v] = c % 3;
+        c /= 3;
+      }
+      EXPECT_EQ(IsHomomorphism(a, b, h), result.csp.IsSolution(h))
+          << trial << " code " << code;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Establish, ImpossibleMatchesUnsolvableOnTreewidthTwo) {
+  // For inputs of treewidth <= 2 the 3-pebble game is exact, so
+  // "establishing strong 3-consistency is impossible" == unsolvable.
+  Rng rng(13);
+  for (int trial = 0; trial < 6; ++trial) {
+    Structure a = RandomTreewidthDigraph(5, 2, 0.85, &rng);
+    Structure b = RandomDigraph(2, 0.5, &rng, /*allow_loops=*/true);
+    EstablishResult result = EstablishStrongKConsistency(a, b, 3);
+    EXPECT_EQ(result.possible, FindHomomorphism(a, b).has_value())
+        << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,133 @@
+// Tests for homomorphic cores and Chandra-Merlin query minimization.
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "db/containment.h"
+#include "gen/generators.h"
+#include "relational/core.h"
+#include "relational/structure_ops.h"
+#include "relational/homomorphism.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(Core, EvenCycleRetractsToEdge) {
+  Structure core = CoreOf(CycleGraph(6));
+  EXPECT_EQ(core.domain_size(), 2);
+  EXPECT_TRUE(HomomorphicallyEquivalent(core, CycleGraph(6)));
+  EXPECT_TRUE(IsCore(core));
+}
+
+TEST(Core, OddCycleIsItsOwnCore) {
+  Structure c5 = CycleGraph(5);
+  EXPECT_TRUE(IsCore(c5));
+  EXPECT_EQ(CoreOf(c5).domain_size(), 5);
+}
+
+TEST(Core, CliquesAreCores) {
+  for (int k = 2; k <= 4; ++k) {
+    EXPECT_TRUE(IsCore(CliqueGraph(k))) << k;
+  }
+}
+
+TEST(Core, DisjointUnionCollapses) {
+  // C4 plus an isolated triangle: the core is the triangle (C4 maps into
+  // it).
+  Structure g(GraphVocabulary(), 7);
+  for (int i = 0; i < 4; ++i) {
+    g.AddTuple(0, {i, (i + 1) % 4});
+    g.AddTuple(0, {(i + 1) % 4, i});
+  }
+  int t[3] = {4, 5, 6};
+  for (int i = 0; i < 3; ++i) {
+    g.AddTuple(0, {t[i], t[(i + 1) % 3]});
+    g.AddTuple(0, {t[(i + 1) % 3], t[i]});
+  }
+  Structure core = CoreOf(g);
+  EXPECT_EQ(core.domain_size(), 3);
+  EXPECT_TRUE(HomomorphicallyEquivalent(core, CliqueGraph(3)));
+}
+
+TEST(Core, IdempotentAndEquivalent) {
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    Structure g = RandomDigraph(5, 0.3, &rng, /*allow_loops=*/true);
+    Structure core = CoreOf(g);
+    EXPECT_TRUE(IsCore(core)) << trial;
+    EXPECT_TRUE(HomomorphicallyEquivalent(g, core)) << trial;
+    EXPECT_EQ(CoreOf(core).domain_size(), core.domain_size()) << trial;
+  }
+}
+
+TEST(Core, LoopCollapsesEverything) {
+  Structure g = MakeUndirectedGraph(4, {{0, 0}, {0, 1}, {1, 2}, {2, 3}});
+  Structure core = CoreOf(g);
+  EXPECT_EQ(core.domain_size(), 1);
+}
+
+TEST(Core, IsomorphicInputsGiveIsomorphicCores) {
+  // Cores are canonical: relabeling the input cannot change the core's
+  // isomorphism type.
+  Rng rng(23);
+  for (int trial = 0; trial < 6; ++trial) {
+    Structure g = RandomDigraph(5, 0.35, &rng, /*allow_loops=*/true);
+    // A relabeled copy: apply the permutation (0 1 2 3 4) -> rotate.
+    int n = g.domain_size();
+    Structure rotated(g.vocabulary(), n);
+    for (const Tuple& t : g.tuples(0)) {
+      rotated.AddTuple(0, {(t[0] + 1) % n, (t[1] + 1) % n});
+    }
+    EXPECT_TRUE(AreIsomorphic(g, rotated)) << trial;
+    EXPECT_TRUE(AreIsomorphic(CoreOf(g), CoreOf(rotated))) << trial;
+  }
+}
+
+TEST(Isomorphism, BasicProperties) {
+  EXPECT_TRUE(AreIsomorphic(CycleGraph(5), CycleGraph(5)));
+  EXPECT_FALSE(AreIsomorphic(CycleGraph(5), CycleGraph(6)));
+  EXPECT_FALSE(AreIsomorphic(PathGraph(4), CycleGraph(4)));
+  // Same size and edge count, different shape: path P4 vs star K1,3.
+  Structure star = MakeUndirectedGraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_FALSE(AreIsomorphic(PathGraph(4), star));
+}
+
+TEST(MinimizeQuery, RemovesRedundantAtom) {
+  // Q(x,y) :- E(x,z), E(z,y), E(x,w): the last atom is implied.
+  ConjunctiveQuery q(4, {0, 1},
+                     {{"E", {0, 2}}, {"E", {2, 1}}, {"E", {0, 3}}});
+  ConjunctiveQuery minimized = MinimizeQuery(q);
+  EXPECT_EQ(minimized.body().size(), 2u);
+  EXPECT_TRUE(AreEquivalent(q, minimized));
+}
+
+TEST(MinimizeQuery, KeepsIrredundantQueries) {
+  ConjunctiveQuery q(3, {0, 1}, {{"E", {0, 2}}, {"E", {2, 1}}});
+  ConjunctiveQuery minimized = MinimizeQuery(q);
+  EXPECT_EQ(minimized.body().size(), 2u);
+  EXPECT_TRUE(AreEquivalent(q, minimized));
+}
+
+TEST(MinimizeQuery, CollapsesDuplicatedPattern) {
+  // Two parallel 2-paths between the head variables fold into one.
+  ConjunctiveQuery q(4, {0, 1},
+                     {{"E", {0, 2}},
+                      {"E", {2, 1}},
+                      {"E", {0, 3}},
+                      {"E", {3, 1}}});
+  ConjunctiveQuery minimized = MinimizeQuery(q);
+  EXPECT_EQ(minimized.body().size(), 2u);
+  EXPECT_TRUE(AreEquivalent(q, minimized));
+}
+
+TEST(MinimizeQuery, BooleanQueries) {
+  // Boolean query of an even cycle minimizes to a single (two-way) edge.
+  ConjunctiveQuery q = ConjunctiveQuery::FromStructure(CycleGraph(4));
+  ConjunctiveQuery minimized = MinimizeQuery(q);
+  EXPECT_EQ(minimized.num_variables(), 2);
+  EXPECT_TRUE(AreEquivalent(q, minimized));
+}
+
+}  // namespace
+}  // namespace cspdb

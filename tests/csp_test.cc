@@ -1,0 +1,158 @@
+// Tests for CspInstance and the CSP <-> homomorphism conversions of
+// Section 2.
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "csp/convert.h"
+#include "csp/instance.h"
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+// A small 3-coloring instance over a triangle.
+CspInstance Triangle3Color() {
+  CspInstance csp(3, 3);
+  std::vector<Tuple> neq;
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      if (x != y) neq.push_back({x, y});
+    }
+  }
+  csp.AddConstraint({0, 1}, neq);
+  csp.AddConstraint({1, 2}, neq);
+  csp.AddConstraint({0, 2}, neq);
+  return csp;
+}
+
+TEST(CspInstance, IsSolutionChecksConstraints) {
+  CspInstance csp = Triangle3Color();
+  EXPECT_TRUE(csp.IsSolution({0, 1, 2}));
+  EXPECT_FALSE(csp.IsSolution({0, 0, 2}));
+}
+
+TEST(CspInstance, PartialSolutionIgnoresUncoveredConstraints) {
+  CspInstance csp = Triangle3Color();
+  EXPECT_TRUE(csp.IsPartialSolution({0, kUnassigned, kUnassigned}));
+  EXPECT_TRUE(csp.IsPartialSolution({0, 1, kUnassigned}));
+  EXPECT_FALSE(csp.IsPartialSolution({0, 0, kUnassigned}));
+}
+
+TEST(CspInstance, ConsolidationIntersectsSameScope) {
+  CspInstance csp(2, 3);
+  csp.AddConstraint({0, 1}, {{0, 1}, {1, 2}, {2, 0}});
+  int id = csp.AddConstraint({0, 1}, {{1, 2}, {2, 0}, {2, 2}});
+  EXPECT_EQ(csp.constraints().size(), 1u);
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(csp.constraint(0).allowed.size(), 2u);
+  EXPECT_TRUE(csp.constraint(0).allowed_set.count({1, 2}) > 0);
+  EXPECT_TRUE(csp.constraint(0).allowed_set.count({2, 0}) > 0);
+}
+
+TEST(CspInstance, ConstraintsOnTracksMembership) {
+  CspInstance csp = Triangle3Color();
+  EXPECT_EQ(csp.ConstraintsOn(0).size(), 2u);
+  EXPECT_EQ(csp.ConstraintsOn(1).size(), 2u);
+}
+
+TEST(CspInstance, NormalizedDistinctScopesDropsDisagreeingTuples) {
+  CspInstance csp(2, 2);
+  // Scope (x0, x0): only tuples with equal entries survive, projected.
+  csp.AddConstraint({0, 0}, {{0, 0}, {0, 1}, {1, 1}});
+  CspInstance norm = csp.NormalizedDistinctScopes();
+  ASSERT_EQ(norm.constraints().size(), 1u);
+  EXPECT_EQ(norm.constraint(0).scope, (std::vector<int>{0}));
+  EXPECT_EQ(norm.constraint(0).allowed.size(), 2u);  // {0} and {1}
+}
+
+TEST(CspInstance, NormalizationPreservesSolutions) {
+  Rng rng(3);
+  CspInstance csp(3, 2);
+  csp.AddConstraint({0, 1, 0}, {{0, 1, 0}, {1, 0, 0}, {1, 1, 1}});
+  csp.AddConstraint({2, 2}, {{0, 0}, {0, 1}});
+  CspInstance norm = csp.NormalizedDistinctScopes();
+  // Enumerate all assignments; both instances must agree.
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<int> a{bits & 1, (bits >> 1) & 1, (bits >> 2) & 1};
+    EXPECT_EQ(csp.IsSolution(a), norm.IsSolution(a)) << bits;
+  }
+}
+
+TEST(CspInstance, Names) {
+  CspInstance csp(2, 2);
+  EXPECT_EQ(csp.VariableName(0), "x0");
+  EXPECT_EQ(csp.ValueName(1), "v1");
+  csp.SetVariableName(0, "left");
+  csp.SetValueName(1, "red");
+  EXPECT_EQ(csp.VariableName(0), "left");
+  EXPECT_EQ(csp.ValueName(1), "red");
+}
+
+TEST(Convert, RoundTripPreservesSolvability) {
+  CspInstance csp = Triangle3Color();
+  HomInstance hom = ToHomomorphismInstance(csp);
+  auto h = FindHomomorphism(hom.a, hom.b);
+  ASSERT_TRUE(h.has_value());
+  // A homomorphism of the converted instance is a solution of the CSP.
+  EXPECT_TRUE(csp.IsSolution(*h));
+}
+
+TEST(Convert, DistinctRelationsShared) {
+  // Two constraints with the same allowed set share a template relation.
+  CspInstance csp = Triangle3Color();
+  HomInstance hom = ToHomomorphismInstance(csp);
+  EXPECT_EQ(hom.b.vocabulary().size(), 1);
+  EXPECT_EQ(hom.a.tuples(0).size(), 3u);
+}
+
+TEST(Convert, ToCspInstanceBreaksUpRelations) {
+  Structure a = CycleGraph(5);
+  Structure b = CliqueGraph(3);
+  CspInstance csp = ToCspInstance(a, b);
+  // One constraint per (deduplicated) tuple of A.
+  EXPECT_EQ(csp.constraints().size(), a.tuples(0).size());
+  EXPECT_EQ(csp.num_variables(), 5);
+  EXPECT_EQ(csp.num_values(), 3);
+}
+
+TEST(Convert, SolutionsAreHomomorphisms) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    Structure a = RandomDigraph(4, 0.4, &rng);
+    Structure b = RandomDigraph(3, 0.6, &rng, /*allow_loops=*/true);
+    CspInstance csp = ToCspInstance(a, b);
+    bool csp_solvable = false;
+    // Enumerate all assignments of 4 variables over 3 values.
+    std::vector<int> assignment(4);
+    for (int code = 0; code < 81; ++code) {
+      int c = code;
+      for (int v = 0; v < 4; ++v) {
+        assignment[v] = c % 3;
+        c /= 3;
+      }
+      if (csp.IsSolution(assignment)) {
+        csp_solvable = true;
+        EXPECT_TRUE(IsHomomorphism(a, b, assignment));
+      }
+    }
+    EXPECT_EQ(csp_solvable, FindHomomorphism(a, b).has_value());
+  }
+}
+
+TEST(Convert, RoundTripBothDirections) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    Structure a = RandomDigraph(4, 0.5, &rng);
+    Structure b = RandomDigraph(3, 0.5, &rng, /*allow_loops=*/true);
+    CspInstance csp = ToCspInstance(a, b);
+    HomInstance hom = ToHomomorphismInstance(csp);
+    EXPECT_EQ(FindHomomorphism(a, b).has_value(),
+              FindHomomorphism(hom.a, hom.b).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,161 @@
+// Tests for singleton arc consistency, the dual encoding, and the
+// treewidth lower bound.
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "consistency/arc_consistency.h"
+#include "csp/convert.h"
+#include "csp/dual_encoding.h"
+#include "csp/solver.h"
+#include "gen/generators.h"
+#include "treewidth/exact.h"
+#include "treewidth/heuristics.h"
+#include "treewidth/gaifman.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(SingletonArcConsistency, StrongerThanGac) {
+  // C5 with 2 colors: GAC-consistent but SAC detects unsolvability.
+  CspInstance odd = ToCspInstance(CycleGraph(5), CliqueGraph(2));
+  EXPECT_TRUE(EnforceGac(odd).consistent);
+  EXPECT_FALSE(EnforceSingletonArcConsistency(odd).consistent);
+  CspInstance even = ToCspInstance(CycleGraph(6), CliqueGraph(2));
+  EXPECT_TRUE(EnforceSingletonArcConsistency(even).consistent);
+}
+
+TEST(SingletonArcConsistency, SoundNeverPrunesSolutions) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    CspInstance csp = RandomBinaryCsp(5, 3, 6, 0.45, &rng);
+    AcResult sac = EnforceSingletonArcConsistency(csp);
+    BacktrackingSolver solver(csp);
+    auto solution = solver.Solve();
+    if (!solution.has_value()) continue;
+    ASSERT_TRUE(sac.consistent) << trial;
+    for (int v = 0; v < csp.num_variables(); ++v) {
+      EXPECT_TRUE(sac.domains[v][(*solution)[v]]) << trial;
+    }
+  }
+}
+
+TEST(SingletonArcConsistency, PrunesAtLeastAsMuchAsGac) {
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    CspInstance csp = RandomBinaryCsp(5, 3, 7, 0.5, &rng);
+    AcResult gac = EnforceGac(csp);
+    AcResult sac = EnforceSingletonArcConsistency(csp);
+    if (!gac.consistent || !sac.consistent) continue;
+    for (int v = 0; v < csp.num_variables(); ++v) {
+      for (int d = 0; d < csp.num_values(); ++d) {
+        // SAC-surviving values survive GAC too.
+        if (sac.domains[v][d]) {
+          EXPECT_TRUE(gac.domains[v][d]) << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST(DualEncoding, SolvabilityPreserved) {
+  Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    CspInstance csp = RandomBinaryCsp(5, 3, 6, 0.5, &rng);
+    auto via_dual = SolveViaDual(csp);
+    BacktrackingSolver solver(csp);
+    EXPECT_EQ(via_dual.has_value(), solver.Solve().has_value()) << trial;
+    if (via_dual.has_value()) {
+      EXPECT_TRUE(csp.IsSolution(*via_dual)) << trial;
+    }
+  }
+}
+
+TEST(DualEncoding, TernaryBecomesBinary) {
+  CspInstance csp(4, 2);
+  std::vector<Tuple> parity;
+  for (int code = 0; code < 8; ++code) {
+    Tuple t{code & 1, (code >> 1) & 1, (code >> 2) & 1};
+    if ((t[0] ^ t[1] ^ t[2]) == 0) parity.push_back(t);
+  }
+  csp.AddConstraint({0, 1, 2}, parity);
+  csp.AddConstraint({1, 2, 3}, parity);
+  DualEncoding encoding = BuildDualEncoding(csp);
+  for (const Constraint& c : encoding.dual.constraints()) {
+    EXPECT_LE(c.arity(), 2);
+  }
+  auto solution = SolveViaDual(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(DualEncoding, EdgeCases) {
+  CspInstance no_constraints(3, 2);
+  auto s = SolveViaDual(no_constraints);
+  ASSERT_TRUE(s.has_value());
+  CspInstance empty_rel(2, 2);
+  empty_rel.AddConstraint({0, 1}, {});
+  EXPECT_FALSE(SolveViaDual(empty_rel).has_value());
+}
+
+TEST(HiddenVariableEncoding, SolvabilityPreserved) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    CspInstance csp = RandomBinaryCsp(5, 3, 6, 0.5, &rng);
+    auto via_hidden = SolveViaHiddenVariables(csp);
+    BacktrackingSolver solver(csp);
+    EXPECT_EQ(via_hidden.has_value(), solver.Solve().has_value()) << trial;
+    if (via_hidden.has_value()) {
+      EXPECT_TRUE(csp.IsSolution(*via_hidden)) << trial;
+    }
+  }
+}
+
+TEST(HiddenVariableEncoding, IsBinaryAndKeepsOriginals) {
+  CspInstance csp(3, 2);
+  std::vector<Tuple> parity;
+  for (int code = 0; code < 8; ++code) {
+    Tuple t{code & 1, (code >> 1) & 1, (code >> 2) & 1};
+    if ((t[0] ^ t[1] ^ t[2]) == 1) parity.push_back(t);
+  }
+  csp.AddConstraint({0, 1, 2}, parity);
+  CspInstance hidden = HiddenVariableEncoding(csp);
+  EXPECT_EQ(hidden.num_variables(), 4);  // 3 originals + 1 hidden
+  for (const Constraint& c : hidden.constraints()) {
+    EXPECT_LE(c.arity(), 2);
+  }
+  auto solution = SolveViaHiddenVariables(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ(solution->size(), 3u);
+}
+
+TEST(TreewidthBounds, LowerBoundsSandwichExact) {
+  Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g(9);
+    for (int u = 0; u < 9; ++u) {
+      for (int v = u + 1; v < 9; ++v) {
+        if (rng.Bernoulli(0.3)) g.AddEdge(u, v);
+      }
+    }
+    int exact = ExactTreewidth(g);
+    EXPECT_LE(TreewidthLowerBound(g), exact) << trial;
+    EXPECT_GE(InducedWidth(g, MinFillOrdering(g)), exact) << trial;
+  }
+}
+
+TEST(TreewidthBounds, KnownValues) {
+  Graph clique(5);
+  for (int u = 0; u < 5; ++u) {
+    for (int v = u + 1; v < 5; ++v) clique.AddEdge(u, v);
+  }
+  EXPECT_EQ(TreewidthLowerBound(clique), 4);  // tight on cliques
+  Graph path(6);
+  for (int i = 0; i + 1 < 6; ++i) path.AddEdge(i, i + 1);
+  EXPECT_EQ(TreewidthLowerBound(path), 1);
+  EXPECT_EQ(TreewidthLowerBound(Graph(0)), -1);
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,110 @@
+// Sanity tests for the workload generators: determinism under a fixed
+// seed and respect for the advertised structural parameters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.h"
+#include "treewidth/exact.h"
+#include "treewidth/gaifman.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(Generators, DeterministicUnderSeed) {
+  Rng rng1(42), rng2(42);
+  Structure g1 = RandomDigraph(8, 0.3, &rng1);
+  Structure g2 = RandomDigraph(8, 0.3, &rng2);
+  EXPECT_TRUE(g1.SameTuplesAs(g2));
+  CnfFormula f1 = RandomKSat(6, 10, 3, &rng1);
+  CnfFormula f2 = RandomKSat(6, 10, 3, &rng2);
+  EXPECT_EQ(f1.ToString(), f2.ToString());
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  Rng rng1(1), rng2(2);
+  Structure g1 = RandomDigraph(8, 0.3, &rng1);
+  Structure g2 = RandomDigraph(8, 0.3, &rng2);
+  EXPECT_FALSE(g1.SameTuplesAs(g2));  // overwhelmingly likely
+}
+
+TEST(Generators, UndirectedGraphsAreSymmetricAndLoopless) {
+  Rng rng(3);
+  Structure g = RandomUndirectedGraph(8, 0.4, &rng);
+  for (const Tuple& t : g.tuples(0)) {
+    EXPECT_NE(t[0], t[1]);
+    EXPECT_TRUE(g.HasTuple(0, {t[1], t[0]}));
+  }
+}
+
+TEST(Generators, KSatRespectsClauseWidthAndDistinctness) {
+  Rng rng(5);
+  CnfFormula phi = RandomKSat(8, 20, 3, &rng);
+  EXPECT_EQ(phi.clauses.size(), 20u);
+  for (const Clause& clause : phi.clauses) {
+    ASSERT_EQ(clause.literals.size(), 3u);
+    EXPECT_NE(clause.literals[0].var, clause.literals[1].var);
+    EXPECT_NE(clause.literals[1].var, clause.literals[2].var);
+    EXPECT_NE(clause.literals[0].var, clause.literals[2].var);
+  }
+}
+
+TEST(Generators, HornFormulasAreHorn) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_TRUE(RandomHorn(8, 15, 3, &rng).IsHorn());
+  }
+}
+
+TEST(Generators, BinaryCspRespectsTightness) {
+  Rng rng(9);
+  CspInstance csp = RandomBinaryCsp(6, 4, 8, 0.5, &rng);
+  EXPECT_EQ(csp.constraints().size(), 8u);
+  for (const Constraint& c : csp.constraints()) {
+    EXPECT_EQ(c.arity(), 2);
+    // tightness 0.5 of 16 cells => exactly 8 allowed tuples.
+    EXPECT_EQ(c.allowed.size(), 8u);
+  }
+}
+
+TEST(Generators, PartialKTreesHaveBoundedTreewidth) {
+  Rng rng(11);
+  for (int k = 1; k <= 3; ++k) {
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = RandomPartialKTree(10, k, 1.0, &rng);
+      EXPECT_LE(ExactTreewidth(g), k) << "k=" << k;
+    }
+  }
+}
+
+TEST(Generators, TreewidthCspPrimalGraphBounded) {
+  Rng rng(13);
+  CspInstance csp = RandomTreewidthCsp(10, 2, 3, 0.3, 1.0, &rng);
+  EXPECT_LE(ExactTreewidth(GaifmanGraphOfCsp(csp)), 2);
+}
+
+TEST(Generators, GraphDbBounds) {
+  Rng rng(15);
+  GraphDb db = RandomGraphDb(6, 3, 20, &rng);
+  EXPECT_LE(db.NumEdges(), 20);  // duplicates collapse
+  for (const auto& [from, label, to] : db.edges()) {
+    EXPECT_LT(from, 6);
+    EXPECT_LT(to, 6);
+    EXPECT_LT(label, 3);
+  }
+}
+
+TEST(Generators, SampleDistinctIsDistinct) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> sample = rng.SampleDistinct(10, 5);
+    std::sort(sample.begin(), sample.end());
+    EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) ==
+                sample.end());
+  }
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,121 @@
+// Cross-module integration tests: each exercises several subsystems
+// against each other on one scenario, mirroring the paper's "same problem,
+// many formulations" theme.
+
+#include <gtest/gtest.h>
+
+#include "boolean/cnf.h"
+#include "boolean/hell_nesetril.h"
+#include "boolean/horn_sat.h"
+#include "boolean/schaefer.h"
+#include "consistency/establish.h"
+#include "csp/convert.h"
+#include "csp/solver.h"
+#include "datalog/canonical_program.h"
+#include "db/algebra.h"
+#include "db/containment.h"
+#include "games/pebble_game.h"
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "treewidth/bucket_elimination.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+// One problem, five deciders: search, join evaluation, query evaluation,
+// bucket elimination, and (for bounded-treewidth inputs) the pebble game.
+TEST(Integration, FiveWaysToDecideTheSameCsp) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 6; ++trial) {
+    Structure a = RandomTreewidthDigraph(6, 2, 0.8, &rng);
+    Structure b = RandomDigraph(3, 0.5, &rng, /*allow_loops=*/true);
+    CspInstance csp = ToCspInstance(a, b);
+
+    bool by_search = BacktrackingSolver(csp).Solve().has_value();
+    bool by_join = SolvableByJoin(csp);
+    bool by_query = HomomorphismViaQueryEvaluation(a, b);
+    bool by_buckets = SolveWithTreewidthHeuristic(csp).has_value();
+    bool by_game = PebbleGame(a, b, 3).DuplicatorWins();
+
+    EXPECT_EQ(by_search, by_join) << trial;
+    EXPECT_EQ(by_search, by_query) << trial;
+    EXPECT_EQ(by_search, by_buckets) << trial;
+    EXPECT_EQ(by_search, by_game) << trial;  // exact: treewidth < 3
+  }
+}
+
+// 2-colorability through every lens the paper offers.
+TEST(Integration, TwoColorabilityAcrossTheStack) {
+  Rng rng(2025);
+  Structure k2 = CliqueGraph(2);
+  for (int trial = 0; trial < 6; ++trial) {
+    Structure g = RandomUndirectedGraph(6, 0.3, &rng);
+    bool colorable = IsBipartite(g);
+
+    EXPECT_EQ(FindHomomorphism(g, k2).has_value(), colorable);
+    EXPECT_EQ(DecideHColoring(g, k2).colorable, colorable);
+    EXPECT_EQ(PebbleGame(g, k2, 3).DuplicatorWins(), colorable);
+    EXPECT_EQ(!SpoilerWinsViaDatalog(g, k2, 3), colorable);
+    EXPECT_EQ(KConsistencyDecides(g, k2, 3), colorable);
+    CspInstance csp = ToCspInstance(g, k2);
+    EXPECT_EQ(BacktrackingSolver(csp).Solve().has_value(), colorable);
+  }
+}
+
+// Horn satisfiability: unit propagation, Schaefer dispatch, and the
+// 2-consistency (arc consistency) decision all agree; ¬CSP(B_horn) is
+// the paper's canonical width-1 Datalog family.
+TEST(Integration, HornSatAcrossTheStack) {
+  Rng rng(2026);
+  Vocabulary voc = HornVocabulary(3);
+  Structure b = HornTemplate(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    CnfFormula phi = RandomHorn(6, rng.UniformInt(6, 16), 3, &rng);
+    Structure a = CnfToStructure(phi, voc);
+    bool sat = SolveHorn(phi).has_value();
+
+    EXPECT_EQ(FindHomomorphism(a, b).has_value(), sat) << trial;
+    BooleanSolveResult schaefer = SolveBooleanCsp(a, b);
+    ASSERT_TRUE(schaefer.decided);
+    EXPECT_EQ(schaefer.solvable, sat) << trial;
+  }
+}
+
+// Query containment as CSP: phi_B contained in phi_A iff hom(A, B) iff
+// CSP(A, B) solvable (Propositions 2.1 + 2.3 chained).
+TEST(Integration, ContainmentEqualsCspSolvability) {
+  Rng rng(2027);
+  for (int trial = 0; trial < 6; ++trial) {
+    Structure a = RandomDigraph(4, 0.4, &rng);
+    Structure b = RandomDigraph(3, 0.5, &rng, /*allow_loops=*/true);
+    if (a.TotalTuples() == 0 || b.TotalTuples() == 0) continue;
+    ConjunctiveQuery phi_a = ConjunctiveQuery::FromStructure(a);
+    ConjunctiveQuery phi_b = ConjunctiveQuery::FromStructure(b);
+    bool contained = IsContainedIn(phi_b, phi_a);
+    EXPECT_EQ(contained, FindHomomorphism(a, b).has_value()) << trial;
+    EXPECT_EQ(contained, SolvableByJoin(ToCspInstance(a, b))) << trial;
+  }
+}
+
+// Establishing strong k-consistency then solving never changes the
+// answer, and the established instance is solvable backtrack-free when
+// the input has treewidth < k.
+TEST(Integration, EstablishThenSolve) {
+  Rng rng(2028);
+  for (int trial = 0; trial < 5; ++trial) {
+    Structure a = RandomTreewidthDigraph(5, 1, 0.9, &rng);  // forest-like
+    Structure b = RandomDigraph(3, 0.5, &rng, /*allow_loops=*/true);
+    bool solvable = FindHomomorphism(a, b).has_value();
+    EstablishResult established = EstablishStrongKConsistency(a, b, 2);
+    if (!established.possible) {
+      EXPECT_FALSE(solvable) << trial;
+      continue;
+    }
+    BacktrackingSolver solver(established.csp);
+    EXPECT_EQ(solver.Solve().has_value(), solvable) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cspdb

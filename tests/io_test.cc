@@ -1,0 +1,115 @@
+// Tests for the text serialization formats and DIMACS CNF I/O.
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "boolean/horn_sat.h"
+#include "boolean/two_sat.h"
+#include "gen/generators.h"
+#include "io/text_format.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(TextFormat, StructureRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    Structure a = RandomDigraph(5, 0.4, &rng, /*allow_loops=*/true);
+    Structure back = ParseStructure(SerializeStructure(a));
+    EXPECT_TRUE(a.SameTuplesAs(back)) << trial;
+  }
+}
+
+TEST(TextFormat, StructureWithComments) {
+  Structure a = ParseStructure(
+      "structure\n"
+      "# a triangle\n"
+      "domain 3\n"
+      "relation E 2\n"
+      "tuple E 0 1\n"
+      "tuple E 1 2\n"
+      "tuple E 2 0\n");
+  EXPECT_EQ(a.domain_size(), 3);
+  EXPECT_EQ(a.tuples(0).size(), 3u);
+  EXPECT_TRUE(a.HasTuple(0, {2, 0}));
+}
+
+TEST(TextFormat, CspRoundTrip) {
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    CspInstance csp = RandomBinaryCsp(5, 3, 6, 0.4, &rng);
+    CspInstance back = ParseCsp(SerializeCsp(csp));
+    EXPECT_EQ(back.num_variables(), csp.num_variables());
+    EXPECT_EQ(back.num_values(), csp.num_values());
+    ASSERT_EQ(back.constraints().size(), csp.constraints().size());
+    for (std::size_t i = 0; i < csp.constraints().size(); ++i) {
+      EXPECT_EQ(back.constraint(static_cast<int>(i)).scope,
+                csp.constraint(static_cast<int>(i)).scope);
+      EXPECT_EQ(back.constraint(static_cast<int>(i)).allowed_set,
+                csp.constraint(static_cast<int>(i)).allowed_set);
+    }
+  }
+}
+
+TEST(TextFormat, MalformedInputsAbort) {
+  EXPECT_DEATH(ParseStructure("nonsense"), "missing 'structure'");
+  EXPECT_DEATH(ParseStructure("structure\nrelation E 2\n"),
+               "missing 'domain'");
+  EXPECT_DEATH(ParseCsp("csp 2 2\nallow 0 0\n"),
+               "'allow' before any 'constraint'");
+  EXPECT_DEATH(ParseCsp("csp 2 2\nconstraint 2 0 1\nallow 0\n"),
+               "arity mismatch");
+}
+
+TEST(Dimacs, RoundTrip) {
+  Rng rng(7);
+  CnfFormula phi = RandomKSat(6, 12, 3, &rng);
+  CnfFormula back = ReadDimacs(WriteDimacs(phi));
+  EXPECT_EQ(back.num_variables, phi.num_variables);
+  ASSERT_EQ(back.clauses.size(), phi.clauses.size());
+  // Satisfiability-preserving at minimum: evaluate a few assignments.
+  for (int code = 0; code < 16; ++code) {
+    std::vector<int> a(6);
+    for (int v = 0; v < 6; ++v) a[v] = (code >> v) & 1;
+    EXPECT_EQ(phi.Evaluate(a), back.Evaluate(a)) << code;
+  }
+}
+
+TEST(Dimacs, ParsesStandardExample) {
+  CnfFormula phi = ReadDimacs(
+      "c a classic example\n"
+      "p cnf 3 2\n"
+      "1 -3 0\n"
+      "2 3 -1 0\n");
+  EXPECT_EQ(phi.num_variables, 3);
+  ASSERT_EQ(phi.clauses.size(), 2u);
+  EXPECT_EQ(phi.clauses[0].literals.size(), 2u);
+  EXPECT_EQ(phi.clauses[1].literals.size(), 3u);
+  EXPECT_TRUE(phi.clauses[0].literals[0].positive);
+  EXPECT_FALSE(phi.clauses[0].literals[1].positive);
+}
+
+TEST(Dimacs, MultiLineClauses) {
+  CnfFormula phi = ReadDimacs(
+      "p cnf 4 1\n"
+      "1 2\n"
+      "3 4 0\n");
+  ASSERT_EQ(phi.clauses.size(), 1u);
+  EXPECT_EQ(phi.clauses[0].literals.size(), 4u);
+}
+
+TEST(Dimacs, FeedsSolvers) {
+  CnfFormula horn = ReadDimacs(
+      "p cnf 3 3\n"
+      "1 0\n"
+      "-1 2 0\n"
+      "-2 -3 0\n");
+  ASSERT_TRUE(horn.IsHorn());
+  auto model = SolveHorn(horn);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(*model, (std::vector<int>{1, 1, 0}));
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,120 @@
+// Tests for the bounded-variable formula machinery of Proposition 6.1:
+// building phi_A in ∃FO^{w+1} from a width-w tree decomposition and
+// evaluating it in polynomial time (Theorem 6.2's proof, executably).
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "gen/generators.h"
+#include "logic/bounded_formula.h"
+#include "relational/homomorphism.h"
+#include "treewidth/exact.h"
+#include "treewidth/gaifman.h"
+#include "treewidth/heuristics.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(BoundedFormula, BuildersAndPrinting) {
+  Vocabulary voc = GraphVocabulary();
+  BoundedFormula atom = BoundedFormula::Atom(0, {0, 1});
+  EXPECT_EQ(atom.ToString(voc), "E(x0,x1)");
+  BoundedFormula f = BoundedFormula::Exists(
+      1, BoundedFormula::And({atom, BoundedFormula::Atom(0, {1, 0})}));
+  EXPECT_EQ(f.ToString(voc), "Ex1.(E(x0,x1) & E(x1,x0))");
+  EXPECT_EQ(f.RegisterCount(), 2);
+  BoundedFormula truth = BoundedFormula::And({});
+  EXPECT_EQ(truth.ToString(voc), "true");
+  EXPECT_EQ(truth.RegisterCount(), 0);
+}
+
+TEST(BoundedFormula, RegisterBudgetMatchesWidth) {
+  // A path has treewidth 1: the formula uses two registers however long
+  // the path is.
+  Structure path = PathGraph(8);
+  BoundedFormula f = FormulaForStructure(path);
+  EXPECT_LE(f.RegisterCount(), 2);
+  // C5 has treewidth 2: three registers suffice.
+  BoundedFormula c5 = FormulaForStructure(CycleGraph(5));
+  EXPECT_LE(c5.RegisterCount(), 3);
+}
+
+TEST(BoundedFormula, SentenceEquivalentToHomomorphism) {
+  Rng rng(3);
+  for (int trial = 0; trial < 12; ++trial) {
+    Structure a = RandomTreewidthDigraph(6, 2, 0.8, &rng);
+    Structure b = RandomDigraph(3, 0.5, &rng, /*allow_loops=*/true);
+    BoundedFormula phi = FormulaFromTreeDecomposition(
+        a, MinFillDecomposition(GaifmanGraph(a)));
+    EXPECT_EQ(EvaluateSentence(phi, b), FindHomomorphism(a, b).has_value())
+        << trial;
+  }
+}
+
+TEST(BoundedFormula, ClassicExamples) {
+  Structure k2 = CliqueGraph(2);
+  Structure k3 = CliqueGraph(3);
+  BoundedFormula odd = FormulaForStructure(CycleGraph(5));
+  EXPECT_FALSE(EvaluateSentence(odd, k2));
+  EXPECT_TRUE(EvaluateSentence(odd, k3));
+  BoundedFormula even = FormulaForStructure(CycleGraph(6));
+  EXPECT_TRUE(EvaluateSentence(even, k2));
+}
+
+TEST(BoundedFormula, EmptyTemplate) {
+  Structure a = PathGraph(2);
+  Structure empty(GraphVocabulary(), 0);
+  BoundedFormula phi = FormulaForStructure(a);
+  EXPECT_FALSE(EvaluateSentence(phi, empty));
+  // Isolated-vertex structure: still needs a nonempty template.
+  Structure isolated(GraphVocabulary(), 2);
+  BoundedFormula iso_phi = FormulaForStructure(isolated);
+  EXPECT_FALSE(EvaluateSentence(iso_phi, empty));
+  EXPECT_TRUE(EvaluateSentence(iso_phi, CliqueGraph(1)));
+}
+
+TEST(BoundedFormula, EmptyStructureIsTrue) {
+  Structure a(GraphVocabulary(), 0);
+  BoundedFormula phi = FormulaForStructure(a);
+  EXPECT_TRUE(EvaluateSentence(phi, CliqueGraph(2)));
+  EXPECT_TRUE(EvaluateSentence(phi, Structure(GraphVocabulary(), 0)));
+}
+
+TEST(BoundedFormula, TernaryVocabulary) {
+  Vocabulary voc;
+  voc.AddSymbol("R", 3);
+  Rng rng(11);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Chain of ternary tuples: treewidth 2.
+    Structure a(voc, 6);
+    a.AddTuple(0, {0, 1, 2});
+    a.AddTuple(0, {2, 3, 4});
+    a.AddTuple(0, {4, 5, 0});
+    Structure b(voc, 2);
+    for (int x = 0; x < 2; ++x) {
+      for (int y = 0; y < 2; ++y) {
+        for (int z = 0; z < 2; ++z) {
+          if (rng.Bernoulli(0.6)) b.AddTuple(0, {x, y, z});
+        }
+      }
+    }
+    BoundedFormula phi = FormulaForStructure(a);
+    EXPECT_EQ(EvaluateSentence(phi, b), FindHomomorphism(a, b).has_value())
+        << trial;
+  }
+}
+
+TEST(BoundedFormula, LoopsAndRepeatedArguments) {
+  Structure a(GraphVocabulary(), 2);
+  a.AddTuple(0, {0, 0});  // loop
+  a.AddTuple(0, {0, 1});
+  Structure no_loop = CliqueGraph(2);
+  Structure with_loop = MakeUndirectedGraph(2, {{0, 0}, {0, 1}});
+  BoundedFormula phi = FormulaForStructure(a);
+  EXPECT_FALSE(EvaluateSentence(phi, no_loop));
+  EXPECT_TRUE(EvaluateSentence(phi, with_loop));
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,73 @@
+// Tests for the microstructure view of binary CSPs.
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "csp/convert.h"
+#include "csp/microstructure.h"
+#include "csp/solver.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(Microstructure, EdgesReflectCompatibility) {
+  // Two variables, values {0,1}, constraint x0 != x1.
+  CspInstance csp(2, 2);
+  csp.AddConstraint({0, 1}, {{0, 1}, {1, 0}});
+  Graph g = Microstructure(csp);
+  ASSERT_EQ(g.n, 4);
+  EXPECT_TRUE(g.HasEdge(0, 3));   // x0=0 with x1=1
+  EXPECT_TRUE(g.HasEdge(1, 2));   // x0=1 with x1=0
+  EXPECT_FALSE(g.HasEdge(0, 2));  // x0=0 with x1=0
+  EXPECT_FALSE(g.HasEdge(0, 1));  // same variable
+}
+
+TEST(Microstructure, UnaryConstraintsIsolateVertices) {
+  CspInstance csp(2, 2);
+  csp.AddConstraint({0}, {{1}});
+  Graph g = Microstructure(csp);
+  // x0=0 is infeasible: no edges at vertex 0.
+  EXPECT_TRUE(g.adj[0].empty());
+  EXPECT_FALSE(g.adj[1].empty());
+}
+
+TEST(Microstructure, UnconstrainedPairsFullyConnected) {
+  CspInstance csp(2, 3);
+  Graph g = Microstructure(csp);
+  EXPECT_EQ(g.NumEdges(), 9);  // 3 x 3 assignments compatible
+}
+
+TEST(Microstructure, CliqueSearchAgreesWithSolver) {
+  Rng rng(3);
+  for (int trial = 0; trial < 12; ++trial) {
+    CspInstance csp = RandomBinaryCsp(5, 3, 7, 0.5, &rng);
+    auto clique = SolveViaMicrostructureClique(csp);
+    BacktrackingSolver solver(csp);
+    EXPECT_EQ(clique.has_value(), solver.Solve().has_value()) << trial;
+    if (clique.has_value()) {
+      EXPECT_TRUE(csp.IsSolution(*clique)) << trial;
+    }
+  }
+}
+
+TEST(Microstructure, ColoringInstances) {
+  CspInstance odd = ToCspInstance(CycleGraph(5), CliqueGraph(2));
+  EXPECT_FALSE(SolveViaMicrostructureClique(odd).has_value());
+  CspInstance even = ToCspInstance(CycleGraph(6), CliqueGraph(2));
+  EXPECT_TRUE(SolveViaMicrostructureClique(even).has_value());
+}
+
+TEST(Microstructure, SingleVariableUnary) {
+  CspInstance csp(1, 3);
+  csp.AddConstraint({0}, {{2}});
+  auto solution = SolveViaMicrostructureClique(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ((*solution)[0], 2);
+  csp.AddConstraint({0}, {{1}});  // intersects to empty
+  EXPECT_FALSE(SolveViaMicrostructureClique(csp).has_value());
+}
+
+}  // namespace
+}  // namespace cspdb

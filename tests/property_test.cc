@@ -1,0 +1,182 @@
+// Parameterized property sweeps: invariants that must hold across
+// instance families and parameter grids.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "boolean/hell_nesetril.h"
+#include "consistency/local_consistency.h"
+#include "csp/convert.h"
+#include "csp/solver.h"
+#include "db/algebra.h"
+#include "games/pebble_game.h"
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "relational/structure_ops.h"
+#include "treewidth/exact.h"
+#include "treewidth/gaifman.h"
+#include "treewidth/heuristics.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+// --- Homomorphism composition: hom(A,B) and hom(B,C) compose. ---
+
+class CompositionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompositionProperty, HomomorphismsCompose) {
+  auto [seed, size] = GetParam();
+  Rng rng(seed);
+  Structure a = RandomDigraph(size, 0.35, &rng);
+  Structure b = RandomDigraph(3, 0.55, &rng, /*allow_loops=*/true);
+  Structure c = RandomDigraph(3, 0.55, &rng, /*allow_loops=*/true);
+  auto h1 = FindHomomorphism(a, b);
+  auto h2 = FindHomomorphism(b, c);
+  if (h1.has_value() && h2.has_value()) {
+    std::vector<int> composed(a.domain_size());
+    for (int x = 0; x < a.domain_size(); ++x) {
+      composed[x] = (*h2)[(*h1)[x]];
+    }
+    EXPECT_TRUE(IsHomomorphism(a, c, composed));
+    EXPECT_TRUE(FindHomomorphism(a, c).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompositionProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4,
+                                                              5),
+                                            ::testing::Values(3, 4, 5)));
+
+// --- Product is the categorical product for homomorphism existence. ---
+
+class ProductProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProductProperty, HomIntoProductIffIntoBoth) {
+  Rng rng(GetParam());
+  Structure c = RandomDigraph(3, 0.4, &rng);
+  Structure a = RandomDigraph(3, 0.5, &rng, /*allow_loops=*/true);
+  Structure b = RandomDigraph(3, 0.5, &rng, /*allow_loops=*/true);
+  Structure prod = DirectProduct(a, b);
+  EXPECT_EQ(FindHomomorphism(c, prod).has_value(),
+            FindHomomorphism(c, a).has_value() &&
+                FindHomomorphism(c, b).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProductProperty,
+                         ::testing::Range(100, 112));
+
+// --- Game soundness sweep: hom implies Duplicator win, all k. ---
+
+class GameSoundness
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GameSoundness, HomomorphismImpliesDuplicatorWin) {
+  auto [seed, k] = GetParam();
+  Rng rng(seed);
+  Structure a = RandomDigraph(4, 0.4, &rng);
+  Structure b = RandomDigraph(3, 0.55, &rng, /*allow_loops=*/true);
+  if (FindHomomorphism(a, b).has_value()) {
+    EXPECT_TRUE(PebbleGame(a, b, k).DuplicatorWins());
+  } else {
+    // Contrapositive of soundness is not required, but a Spoiler win
+    // certifies unsolvability: check the implication's other direction.
+    if (!PebbleGame(a, b, k).DuplicatorWins()) {
+      EXPECT_FALSE(FindHomomorphism(a, b).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GameSoundness,
+                         ::testing::Combine(::testing::Range(200, 210),
+                                            ::testing::Values(1, 2, 3)));
+
+// --- Consistency is monotone in i, and game/direct forms agree. ---
+
+class ConsistencyMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencyMonotone, StrongKConsistencyIsAntitoneInK) {
+  Rng rng(GetParam());
+  CspInstance csp = RandomBinaryCsp(4, 2, 4, 0.35, &rng);
+  bool prev = true;
+  for (int k = 1; k <= 3; ++k) {
+    bool now = IsStronglyKConsistent(csp, k);
+    EXPECT_TRUE(prev || !now) << "k=" << k;  // once false, stays false
+    prev = now;
+    EXPECT_EQ(now, IsStronglyKConsistentViaGames(csp, k)) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConsistencyMonotone,
+                         ::testing::Range(300, 310));
+
+// --- Solver modes agree on solvability across a density sweep. ---
+
+class SolverAgreement
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SolverAgreement, AllModesAgree) {
+  auto [seed, tightness] = GetParam();
+  Rng rng(seed);
+  CspInstance csp = RandomBinaryCsp(6, 3, 9, tightness, &rng);
+  SolverOptions none;
+  none.propagation = Propagation::kNone;
+  SolverOptions fc;
+  fc.propagation = Propagation::kForwardChecking;
+  SolverOptions gac;
+  gac.propagation = Propagation::kGac;
+  bool s0 = BacktrackingSolver(csp, none).Solve().has_value();
+  bool s1 = BacktrackingSolver(csp, fc).Solve().has_value();
+  bool s2 = BacktrackingSolver(csp, gac).Solve().has_value();
+  EXPECT_EQ(s0, s1);
+  EXPECT_EQ(s0, s2);
+  EXPECT_EQ(s0, SolvableByJoin(csp));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverAgreement,
+    ::testing::Combine(::testing::Range(400, 406),
+                       ::testing::Values(0.2, 0.45, 0.7)));
+
+// --- Treewidth invariants across the partial k-tree family. ---
+
+class TreewidthProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TreewidthProperty, PartialKTreesHaveBoundedWidth) {
+  auto [seed, k] = GetParam();
+  Rng rng(seed);
+  Graph g = RandomPartialKTree(9, k, 0.85, &rng);
+  int tw = ExactTreewidth(g);
+  EXPECT_LE(tw, k);
+  // Heuristics are upper bounds and decompositions are valid.
+  TreeDecomposition td = MinFillDecomposition(g);
+  EXPECT_TRUE(IsValidDecomposition(g, td));
+  EXPECT_GE(td.Width(), tw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreewidthProperty,
+                         ::testing::Combine(::testing::Range(500, 506),
+                                            ::testing::Values(1, 2, 3)));
+
+// --- Join evaluation equals search across arity and tightness. ---
+
+class JoinProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(JoinProperty, JoinDecidesSolvability) {
+  auto [seed, constraints] = GetParam();
+  Rng rng(seed);
+  CspInstance csp = RandomBinaryCsp(5, 3, constraints, 0.5, &rng);
+  EXPECT_EQ(SolvableByJoin(csp),
+            BacktrackingSolver(csp).Solve().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JoinProperty,
+                         ::testing::Combine(::testing::Range(600, 606),
+                                            ::testing::Values(3, 6, 9)));
+
+}  // namespace
+}  // namespace cspdb

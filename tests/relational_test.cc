@@ -1,0 +1,219 @@
+// Tests for vocabularies, structures, homomorphisms, and structure ops.
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "relational/structure.h"
+#include "relational/structure_ops.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(Vocabulary, AddAndLookup) {
+  Vocabulary voc;
+  int e = voc.AddSymbol("E", 2);
+  int p = voc.AddSymbol("P", 1);
+  EXPECT_EQ(voc.size(), 2);
+  EXPECT_EQ(voc.IndexOf("E"), e);
+  EXPECT_EQ(voc.IndexOf("P"), p);
+  EXPECT_EQ(voc.IndexOf("missing"), -1);
+  EXPECT_EQ(voc.symbol(e).arity, 2);
+  EXPECT_EQ(voc.MaxArity(), 2);
+}
+
+TEST(Vocabulary, EqualityIsStructural) {
+  Vocabulary a, b;
+  a.AddSymbol("E", 2);
+  b.AddSymbol("E", 2);
+  EXPECT_TRUE(a == b);
+  b.AddSymbol("P", 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Structure, TuplesDeduplicated) {
+  Structure s(GraphVocabulary(), 3);
+  s.AddTuple(0, {0, 1});
+  s.AddTuple(0, {0, 1});
+  s.AddTuple(0, {1, 2});
+  EXPECT_EQ(s.tuples(0).size(), 2u);
+  EXPECT_EQ(s.TotalTuples(), 2);
+  EXPECT_TRUE(s.HasTuple(0, {0, 1}));
+  EXPECT_FALSE(s.HasTuple(0, {2, 0}));
+}
+
+TEST(Structure, AddByName) {
+  Structure s(GraphVocabulary(), 2);
+  s.AddTuple("E", {0, 1});
+  EXPECT_TRUE(s.HasTuple(0, {0, 1}));
+}
+
+TEST(Structure, ElementNames) {
+  Structure s(GraphVocabulary(), 2);
+  EXPECT_EQ(s.ElementName(0), "e0");
+  s.SetElementName(0, "alice");
+  EXPECT_EQ(s.ElementName(0), "alice");
+  EXPECT_EQ(s.ElementName(1), "e1");
+}
+
+TEST(Structure, SameTuplesAs) {
+  Structure a(GraphVocabulary(), 2), b(GraphVocabulary(), 2);
+  a.AddTuple(0, {0, 1});
+  b.AddTuple(0, {0, 1});
+  EXPECT_TRUE(a.SameTuplesAs(b));
+  b.AddTuple(0, {1, 0});
+  EXPECT_FALSE(a.SameTuplesAs(b));
+}
+
+TEST(Homomorphism, IdentityIsHomomorphism) {
+  Structure g = CycleGraph(5);
+  std::vector<int> id{0, 1, 2, 3, 4};
+  EXPECT_TRUE(IsHomomorphism(g, g, id));
+}
+
+TEST(Homomorphism, EdgeReversalIsNotAlwaysHomomorphism) {
+  Vocabulary voc = GraphVocabulary();
+  Structure a(voc, 2), b(voc, 2);
+  a.AddTuple(0, {0, 1});
+  b.AddTuple(0, {1, 0});
+  EXPECT_FALSE(IsHomomorphism(a, b, {0, 1}));
+  EXPECT_TRUE(IsHomomorphism(a, b, {1, 0}));
+}
+
+TEST(Homomorphism, PartialChecksOnlyCoveredTuples) {
+  Structure a(GraphVocabulary(), 3);
+  a.AddTuple(0, {0, 1});
+  a.AddTuple(0, {1, 2});
+  Structure b = CliqueGraph(2);
+  // Map 0 and 1 to the same vertex: violates the covered edge (0,1).
+  EXPECT_FALSE(IsPartialHomomorphism(a, b, {0, 0, kUnassigned}));
+  // Map only 0: edge (0,1) not covered.
+  EXPECT_TRUE(IsPartialHomomorphism(a, b, {0, kUnassigned, kUnassigned}));
+}
+
+TEST(Homomorphism, EvenCycleMapsToEdge) {
+  EXPECT_TRUE(FindHomomorphism(CycleGraph(4), CliqueGraph(2)).has_value());
+  EXPECT_TRUE(FindHomomorphism(CycleGraph(6), CliqueGraph(2)).has_value());
+}
+
+TEST(Homomorphism, OddCycleNeedsThreeColors) {
+  EXPECT_FALSE(FindHomomorphism(CycleGraph(5), CliqueGraph(2)).has_value());
+  EXPECT_TRUE(FindHomomorphism(CycleGraph(5), CliqueGraph(3)).has_value());
+}
+
+TEST(Homomorphism, FoundMappingIsVerified) {
+  Rng rng(7);
+  Structure a = RandomUndirectedGraph(6, 0.4, &rng);
+  Structure b = CliqueGraph(3);
+  auto h = FindHomomorphism(a, b);
+  if (h.has_value()) {
+    EXPECT_TRUE(IsHomomorphism(a, b, *h));
+  }
+}
+
+TEST(Homomorphism, EmptyDomainAlwaysMaps) {
+  Structure a(GraphVocabulary(), 0), b(GraphVocabulary(), 0);
+  EXPECT_TRUE(FindHomomorphism(a, b).has_value());
+}
+
+TEST(Homomorphism, NonemptyToEmptyFails) {
+  Structure a(GraphVocabulary(), 1), b(GraphVocabulary(), 0);
+  EXPECT_FALSE(FindHomomorphism(a, b).has_value());
+  EXPECT_EQ(CountHomomorphisms(a, b), 0);
+}
+
+TEST(Homomorphism, CountOnEdgelessStructures) {
+  // 2 isolated vertices into 3 vertices: 3^2 maps, all homomorphisms.
+  Structure a(GraphVocabulary(), 2), b(GraphVocabulary(), 3);
+  EXPECT_EQ(CountHomomorphisms(a, b), 9);
+  EXPECT_EQ(CountHomomorphisms(a, b, 4), 4);  // limit respected
+}
+
+TEST(Homomorphism, CountEdgeToClique) {
+  // An edge into K3: ordered pairs of distinct colors = 6.
+  Structure a = PathGraph(2);
+  EXPECT_EQ(CountHomomorphisms(a, CliqueGraph(3)), 6);
+}
+
+TEST(Homomorphism, ForEachVisitsExactlyTheHomomorphisms) {
+  Structure a = PathGraph(2);
+  Structure b = CliqueGraph(3);
+  std::vector<std::vector<int>> seen;
+  int64_t visited = ForEachHomomorphism(a, b, [&](const auto& h) {
+    seen.push_back(h);
+    return true;
+  });
+  EXPECT_EQ(visited, 6);
+  EXPECT_EQ(seen.size(), 6u);
+  for (const auto& h : seen) {
+    EXPECT_TRUE(IsHomomorphism(a, b, h));
+  }
+  // Early stop after two.
+  int64_t stopped = ForEachHomomorphism(a, b, [count = 0](
+                                                  const auto&) mutable {
+    return ++count < 2;
+  });
+  EXPECT_EQ(stopped, 2);
+}
+
+TEST(Homomorphism, HomomorphicEquivalenceOfEvenCycleAndEdge) {
+  EXPECT_TRUE(HomomorphicallyEquivalent(CycleGraph(4), CliqueGraph(2)));
+  EXPECT_FALSE(HomomorphicallyEquivalent(CycleGraph(5), CliqueGraph(2)));
+}
+
+TEST(StructureOps, DisjointSumEncodesBothSides) {
+  Structure a = PathGraph(2);
+  Structure b = CycleGraph(3);
+  Structure sum = DisjointSum(a, b);
+  EXPECT_EQ(sum.domain_size(), 5);
+  const Vocabulary& voc = sum.vocabulary();
+  EXPECT_GE(voc.IndexOf("E_1"), 0);
+  EXPECT_GE(voc.IndexOf("E_2"), 0);
+  EXPECT_GE(voc.IndexOf("D_1"), 0);
+  EXPECT_GE(voc.IndexOf("D_2"), 0);
+  EXPECT_EQ(sum.tuples(voc.IndexOf("E_1")).size(), a.tuples(0).size());
+  EXPECT_EQ(sum.tuples(voc.IndexOf("E_2")).size(), b.tuples(0).size());
+  EXPECT_EQ(sum.tuples(voc.IndexOf("D_1")).size(), 2u);
+  EXPECT_EQ(sum.tuples(voc.IndexOf("D_2")).size(), 3u);
+  // B's edge (0,1) is shifted by |A|.
+  EXPECT_TRUE(sum.HasTuple(voc.IndexOf("E_2"), {2, 3}));
+}
+
+TEST(StructureOps, InducedSubstructureKeepsInternalTuples) {
+  Structure g = CycleGraph(5);
+  Structure sub = InducedSubstructure(g, {0, 1, 2});
+  EXPECT_EQ(sub.domain_size(), 3);
+  // Edges 0-1 and 1-2 survive (renumbered), 4-0 and 2-3 do not.
+  EXPECT_TRUE(sub.HasTuple(0, {0, 1}));
+  EXPECT_TRUE(sub.HasTuple(0, {1, 2}));
+  EXPECT_EQ(sub.tuples(0).size(), 4u);  // both directions of two edges
+}
+
+TEST(StructureOps, ProductMultipliesHomomorphismCounts) {
+  Rng rng(11);
+  Structure c = PathGraph(3);
+  Structure a = CliqueGraph(2);
+  Structure b = CliqueGraph(3);
+  Structure prod = DirectProduct(a, b);
+  EXPECT_EQ(CountHomomorphisms(c, prod),
+            CountHomomorphisms(c, a) * CountHomomorphisms(c, b));
+}
+
+TEST(StructureOps, ProductProjectionsAreHomomorphisms) {
+  Structure a = CycleGraph(4);
+  Structure b = CliqueGraph(3);
+  Structure prod = DirectProduct(a, b);
+  // First projection.
+  std::vector<int> proj(prod.domain_size());
+  for (int x = 0; x < a.domain_size(); ++x) {
+    for (int y = 0; y < b.domain_size(); ++y) {
+      proj[x * b.domain_size() + y] = x;
+    }
+  }
+  EXPECT_TRUE(IsHomomorphism(prod, a, proj));
+}
+
+}  // namespace
+}  // namespace cspdb

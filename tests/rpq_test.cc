@@ -1,0 +1,175 @@
+// Tests for the automata substrate and RPQ evaluation (Section 7).
+
+#include <gtest/gtest.h>
+
+#include "rpq/graphdb.h"
+#include "rpq/nfa.h"
+#include "rpq/regex.h"
+#include "rpq/rpq_eval.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+const std::vector<std::string> kAb{"a", "b"};
+
+std::vector<int> Word(std::initializer_list<int> symbols) {
+  return std::vector<int>(symbols);
+}
+
+TEST(Regex, ParseAndPrint) {
+  Regex r = ParseRegex("(ab)*|b+", kAb);
+  EXPECT_EQ(r.kind(), Regex::Kind::kUnion);
+  Regex simple = ParseRegex("ab", kAb);
+  EXPECT_EQ(simple.ToString(kAb), "ab");
+}
+
+TEST(Regex, EpsilonAndEmpty) {
+  Nfa eps = Nfa::FromRegex(ParseRegex("%", kAb), 2);
+  EXPECT_TRUE(eps.Accepts({}));
+  EXPECT_FALSE(eps.Accepts(Word({0})));
+  Nfa empty = Nfa::FromRegex(ParseRegex("~", kAb), 2);
+  EXPECT_FALSE(empty.Accepts({}));
+}
+
+TEST(Nfa, ThompsonAcceptance) {
+  Nfa nfa = Nfa::FromRegex(ParseRegex("(ab)*", kAb), 2);
+  EXPECT_TRUE(nfa.Accepts({}));
+  EXPECT_TRUE(nfa.Accepts(Word({0, 1})));
+  EXPECT_TRUE(nfa.Accepts(Word({0, 1, 0, 1})));
+  EXPECT_FALSE(nfa.Accepts(Word({0})));
+  EXPECT_FALSE(nfa.Accepts(Word({1, 0})));
+}
+
+TEST(Nfa, PlusAndOptional) {
+  Nfa plus = Nfa::FromRegex(ParseRegex("a+", kAb), 2);
+  EXPECT_FALSE(plus.Accepts({}));
+  EXPECT_TRUE(plus.Accepts(Word({0})));
+  EXPECT_TRUE(plus.Accepts(Word({0, 0, 0})));
+  Nfa opt = Nfa::FromRegex(ParseRegex("ab?", kAb), 2);
+  EXPECT_TRUE(opt.Accepts(Word({0})));
+  EXPECT_TRUE(opt.Accepts(Word({0, 1})));
+  EXPECT_FALSE(opt.Accepts(Word({1})));
+}
+
+TEST(Nfa, RemoveEpsilonPreservesLanguage) {
+  Rng rng(3);
+  Nfa nfa = Nfa::FromRegex(ParseRegex("(a|bb)*a", kAb), 2);
+  Nfa eps_free = nfa.RemoveEpsilon();
+  for (int len = 0; len <= 6; ++len) {
+    for (int code = 0; code < (1 << len); ++code) {
+      std::vector<int> word(len);
+      for (int i = 0; i < len; ++i) word[i] = (code >> i) & 1;
+      EXPECT_EQ(nfa.Accepts(word), eps_free.Accepts(word));
+    }
+  }
+  for (const auto& transitions : eps_free.transitions) {
+    for (const auto& [symbol, target] : transitions) {
+      EXPECT_NE(symbol, Nfa::kEpsilonSym);
+    }
+  }
+}
+
+TEST(Dfa, DeterminizePreservesLanguage) {
+  Nfa nfa = Nfa::FromRegex(ParseRegex("(a|b)*abb", kAb), 2);
+  Dfa dfa = Determinize(nfa);
+  for (int len = 0; len <= 7; ++len) {
+    for (int code = 0; code < (1 << len); ++code) {
+      std::vector<int> word(len);
+      for (int i = 0; i < len; ++i) word[i] = (code >> i) & 1;
+      EXPECT_EQ(nfa.Accepts(word), dfa.Accepts(word));
+    }
+  }
+}
+
+TEST(Dfa, ComplementAndProduct) {
+  Dfa a_star = Determinize(Nfa::FromRegex(ParseRegex("a*", kAb), 2));
+  Dfa not_a_star = a_star.Complement();
+  EXPECT_TRUE(a_star.Accepts(Word({0, 0})));
+  EXPECT_FALSE(not_a_star.Accepts(Word({0, 0})));
+  EXPECT_TRUE(not_a_star.Accepts(Word({1})));
+  // Intersection of a* and (a|b)b... empty on short words except none.
+  Dfa ends_b = Determinize(Nfa::FromRegex(ParseRegex("(a|b)*b", kAb), 2));
+  Dfa both = a_star.Product(ends_b, /*intersection=*/true);
+  EXPECT_TRUE(both.IsEmpty());
+}
+
+TEST(Dfa, MinimizeReducesAndPreserves) {
+  Nfa nfa = Nfa::FromRegex(ParseRegex("(ab)*", kAb), 2);
+  Dfa dfa = Determinize(nfa);
+  Dfa min = dfa.Minimize();
+  EXPECT_LE(min.num_states, dfa.num_states);
+  EXPECT_TRUE(SameLanguage(dfa, min));
+  // Minimal DFA for (ab)* has 3 states (start/accept, after-a, sink).
+  EXPECT_EQ(min.num_states, 3);
+}
+
+TEST(Dfa, ShortestWord) {
+  Dfa dfa = Determinize(Nfa::FromRegex(ParseRegex("abb|ba", kAb), 2));
+  std::vector<int> word;
+  ASSERT_TRUE(dfa.ShortestWord(&word));
+  EXPECT_EQ(word, Word({1, 0}));  // "ba" is shortest
+  Dfa empty = Determinize(Nfa::FromRegex(ParseRegex("~", kAb), 2));
+  EXPECT_FALSE(empty.ShortestWord(&word));
+}
+
+TEST(Dfa, SameLanguageDistinguishes) {
+  Dfa d1 = Determinize(Nfa::FromRegex(ParseRegex("(ab)*", kAb), 2));
+  Dfa d2 = Determinize(Nfa::FromRegex(ParseRegex("%|a(ba)*b", kAb), 2));
+  EXPECT_TRUE(SameLanguage(d1, d2));
+  Dfa d3 = Determinize(Nfa::FromRegex(ParseRegex("(ab)+", kAb), 2));
+  EXPECT_FALSE(SameLanguage(d1, d3));
+}
+
+TEST(GraphDb, EdgesDeduplicated) {
+  GraphDb db(3, 2);
+  db.AddEdge(0, 0, 1);
+  db.AddEdge(0, 0, 1);
+  db.AddEdge(1, 1, 2);
+  EXPECT_EQ(db.NumEdges(), 2);
+  EXPECT_TRUE(db.HasEdge(0, 0, 1));
+  EXPECT_FALSE(db.HasEdge(1, 0, 2));
+}
+
+TEST(RpqEval, PathQueries) {
+  // 0 -a-> 1 -b-> 2, 0 -b-> 2.
+  GraphDb db(3, 2);
+  db.AddEdge(0, 0, 1);
+  db.AddEdge(1, 1, 2);
+  db.AddEdge(0, 1, 2);
+  auto ab = EvaluateRpq(db, ParseRegex("ab", kAb));
+  EXPECT_EQ(ab, (std::vector<std::pair<int, int>>{{0, 2}}));
+  auto b = EvaluateRpq(db, ParseRegex("b", kAb));
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(RpqEval, KleeneStarReachability) {
+  // A 4-cycle labeled a: a* reaches everything from everywhere.
+  GraphDb db(4, 1);
+  for (int i = 0; i < 4; ++i) db.AddEdge(i, 0, (i + 1) % 4);
+  auto all = EvaluateRpq(db, ParseRegex("a*", {"a"}));
+  EXPECT_EQ(all.size(), 16u);
+  auto one = EvaluateRpq(db, ParseRegex("a", {"a"}));
+  EXPECT_EQ(one.size(), 4u);
+}
+
+TEST(RpqEval, EpsilonGivesDiagonal) {
+  GraphDb db(3, 1);
+  auto diag = EvaluateRpq(db, ParseRegex("%", {"a"}));
+  EXPECT_EQ(diag.size(), 3u);
+  for (const auto& [x, y] : diag) EXPECT_EQ(x, y);
+}
+
+TEST(RpqEval, HoldsSpecificPair) {
+  GraphDb db(5, 2);
+  db.AddEdge(0, 0, 1);
+  db.AddEdge(1, 0, 2);
+  db.AddEdge(2, 1, 3);
+  Nfa q = Nfa::FromRegex(ParseRegex("aab", kAb), 2);
+  EXPECT_TRUE(RpqHolds(db, q, 0, 3));
+  EXPECT_FALSE(RpqHolds(db, q, 1, 3));
+  EXPECT_FALSE(RpqHolds(db, q, 0, 4));
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,192 @@
+// Tests for the solver and consistency extensions: conflict-directed
+// backjumping, path consistency (PC-2), and the sound k-consistency
+// approximation of certain answers (the paper's closing [10] remark).
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "consistency/path_consistency.h"
+#include "csp/backjump_solver.h"
+#include "csp/convert.h"
+#include "csp/solver.h"
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "views/certain_answers.h"
+#include "views/constraint_template.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(BackjumpSolver, AgreesWithBacktrackingOnRandomInstances) {
+  Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    CspInstance csp = RandomBinaryCsp(6, 3, 9, 0.5, &rng);
+    BackjumpSolver cbj(csp);
+    BacktrackingSolver bt(csp);
+    auto cbj_solution = cbj.Solve();
+    EXPECT_EQ(cbj_solution.has_value(), bt.Solve().has_value()) << trial;
+    if (cbj_solution.has_value()) {
+      EXPECT_TRUE(csp.IsSolution(*cbj_solution));
+    }
+  }
+}
+
+TEST(BackjumpSolver, SolvesColoringAndDetectsUnsat) {
+  CspInstance yes = ToCspInstance(CycleGraph(6), CliqueGraph(2));
+  EXPECT_TRUE(BackjumpSolver(yes).Solve().has_value());
+  CspInstance no = ToCspInstance(CycleGraph(7), CliqueGraph(2));
+  EXPECT_FALSE(BackjumpSolver(no).Solve().has_value());
+}
+
+TEST(BackjumpSolver, JumpsOverIrrelevantVariables) {
+  // Static order (by degree) is x3, x1, x2, x0. The conflict at x2 is
+  // with x3 only, so CBJ jumps over the loose x1 straight back to x3.
+  CspInstance csp(4, 3);
+  std::vector<Tuple> all;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) all.push_back({a, b});
+  }
+  csp.AddConstraint({1, 2}, {{0, 1}});  // x1 = 0, x2 = 1
+  csp.AddConstraint({1, 3}, all);
+  csp.AddConstraint({0, 1}, all);
+  csp.AddConstraint({2}, {{0}});  // ...but x2 must be 0
+  csp.AddConstraint({3, 0}, all);
+  BackjumpSolver cbj(csp);
+  EXPECT_FALSE(cbj.Solve().has_value());
+  EXPECT_GE(cbj.stats().backtracks, 1);
+  EXPECT_GE(cbj.stats().backjumps, 1);
+}
+
+TEST(BackjumpSolver, EdgeCases) {
+  CspInstance empty(0, 3);
+  EXPECT_TRUE(BackjumpSolver(empty).Solve().has_value());
+  CspInstance no_values(2, 0);
+  EXPECT_FALSE(BackjumpSolver(no_values).Solve().has_value());
+  CspInstance empty_relation(2, 2);
+  empty_relation.AddConstraint({0, 1}, {});
+  EXPECT_FALSE(BackjumpSolver(empty_relation).Solve().has_value());
+}
+
+TEST(PathConsistency, TightensCompositions) {
+  // x0 < x1 and x1 < x2 over {0,1,2}: PC should rule out (x0,x2) pairs
+  // with x2 <= x0 + 1.
+  CspInstance csp(3, 3);
+  std::vector<Tuple> less;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = a + 1; b < 3; ++b) less.push_back({a, b});
+  }
+  csp.AddConstraint({0, 1}, less);
+  csp.AddConstraint({1, 2}, less);
+  PcResult pc = EnforcePathConsistency(csp);
+  ASSERT_TRUE(pc.consistent);
+  int n = 3, d = 3;
+  // Only (0, 2) survives between x0 and x2.
+  EXPECT_TRUE(pc.pairs[0 * n + 2][0 * d + 2]);
+  EXPECT_FALSE(pc.pairs[0 * n + 2][0 * d + 1]);
+  EXPECT_FALSE(pc.pairs[0 * n + 2][1 * d + 2]);
+  // Diagonal (domain) of x1 narrows to {1}.
+  EXPECT_TRUE(pc.pairs[1 * n + 1][1 * d + 1]);
+  EXPECT_FALSE(pc.pairs[1 * n + 1][0 * d + 0]);
+  EXPECT_FALSE(pc.pairs[1 * n + 1][2 * d + 2]);
+}
+
+TEST(PathConsistency, DetectsOddCycleWithTwoColors) {
+  CspInstance csp = ToCspInstance(CycleGraph(5), CliqueGraph(2));
+  PcResult pc = EnforcePathConsistency(csp);
+  EXPECT_FALSE(pc.consistent);
+  CspInstance even = ToCspInstance(CycleGraph(6), CliqueGraph(2));
+  EXPECT_TRUE(EnforcePathConsistency(even).consistent);
+}
+
+TEST(PathConsistency, SoundNeverPrunesSolutions) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    CspInstance csp = RandomBinaryCsp(5, 3, 6, 0.4, &rng);
+    PcResult pc = EnforcePathConsistency(csp);
+    BacktrackingSolver solver(csp);
+    auto solution = solver.Solve();
+    if (!solution.has_value()) continue;
+    ASSERT_TRUE(pc.consistent) << trial;
+    int n = csp.num_variables(), d = csp.num_values();
+    for (int i = 0; i < n; ++i) {
+      for (int j = i; j < n; ++j) {
+        EXPECT_TRUE(
+            pc.pairs[i * n + j][(*solution)[i] * d + (*solution)[j]])
+            << trial << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(PathConsistency, MatchesGameOnTreewidthTwoInstances) {
+  // On binary instances over templates where strong 3-consistency
+  // decides, PC failure must match Spoiler winning the 3-pebble game.
+  Rng rng(11);
+  Structure k2 = CliqueGraph(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    Structure g = RandomUndirectedGraph(6, 0.35, &rng);
+    CspInstance csp = ToCspInstance(g, k2);
+    PcResult pc = EnforcePathConsistency(csp);
+    bool colorable = FindHomomorphism(g, k2).has_value();
+    if (!pc.consistent) {
+      EXPECT_FALSE(colorable) << trial;  // PC failure is a refutation
+    }
+    if (colorable) {
+      EXPECT_TRUE(pc.consistent) << trial;
+    }
+  }
+}
+
+TEST(ViewsApprox, KConsistencyCertificateIsSound) {
+  // Whenever the game-based approximation says "certain", the exact
+  // decision must agree.
+  Rng rng(13);
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V0", ParseRegex("a|b", setting.alphabet)});
+  setting.views.push_back({"V1", ParseRegex("ab", setting.alphabet)});
+  setting.query = ParseRegex("ab|b", setting.alphabet);
+  ConstraintTemplate tmpl = BuildConstraintTemplate(setting);
+  for (int trial = 0; trial < 6; ++trial) {
+    ViewInstance instance;
+    instance.num_objects = 3;
+    instance.ext.resize(2);
+    for (int i = 0; i < 2; ++i) {
+      int edges = rng.UniformInt(0, 2);
+      for (int e = 0; e < edges; ++e) {
+        instance.ext[i].push_back({rng.UniformInt(0, 2),
+                                   rng.UniformInt(0, 2)});
+      }
+    }
+    for (int c = 0; c < 3; ++c) {
+      for (int d = 0; d < 3; ++d) {
+        bool approx =
+            CertainByKConsistency(tmpl, setting, instance, c, d, 2);
+        bool exact = CertainAnswerViaCsp(tmpl, setting, instance, c, d);
+        if (approx) {
+          EXPECT_TRUE(exact) << trial << " c=" << c << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(ViewsApprox, CertificateFindsEasyCertainAnswers) {
+  // Chain of single-symbol views: the forced path makes (0,2) certain,
+  // and already 2-consistency proves it.
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V0", ParseRegex("a", setting.alphabet)});
+  setting.views.push_back({"V1", ParseRegex("b", setting.alphabet)});
+  setting.query = ParseRegex("ab", setting.alphabet);
+  ConstraintTemplate tmpl = BuildConstraintTemplate(setting);
+  ViewInstance instance;
+  instance.num_objects = 3;
+  instance.ext = {{{0, 1}}, {{1, 2}}};
+  EXPECT_TRUE(CertainByKConsistency(tmpl, setting, instance, 0, 2, 2));
+  EXPECT_FALSE(CertainByKConsistency(tmpl, setting, instance, 0, 1, 2));
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,78 @@
+// Larger randomized cross-checks: every complete solver and every
+// encoding in the library run against each other on the same instances.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "csp/backjump_solver.h"
+#include "csp/dual_encoding.h"
+#include "csp/microstructure.h"
+#include "csp/sat_encoding.h"
+#include "csp/solver.h"
+#include "db/algebra.h"
+#include "gen/generators.h"
+#include "treewidth/counting.h"
+#include "treewidth/hypertree.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+class EverySolver : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(EverySolver, AgreeOnRandomBinaryInstances) {
+  auto [seed, tightness_pct] = GetParam();
+  Rng rng(seed);
+  CspInstance csp =
+      RandomBinaryCsp(7, 3, 11, tightness_pct / 100.0, &rng);
+
+  bool mac = BacktrackingSolver(csp).Solve().has_value();
+  EXPECT_EQ(mac, BackjumpSolver(csp).Solve().has_value());
+  EXPECT_EQ(mac, SolveViaSat(csp).has_value());
+  EXPECT_EQ(mac, SolveViaDual(csp).has_value());
+  EXPECT_EQ(mac, SolveViaHiddenVariables(csp).has_value());
+  EXPECT_EQ(mac, SolveViaMicrostructureClique(csp).has_value());
+  EXPECT_EQ(mac, SolveWithHypertreeHeuristic(csp).has_value());
+  EXPECT_EQ(mac, SolvableByJoin(csp));
+  // Counting is consistent with decision.
+  int64_t count = CountSolutionsWithTreewidthHeuristic(csp);
+  EXPECT_EQ(mac, count > 0);
+  BacktrackingSolver counter(csp);
+  EXPECT_EQ(count, counter.CountSolutions());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EverySolver,
+                         ::testing::Combine(::testing::Range(9000, 9008),
+                                            ::testing::Values(30, 50,
+                                                              70)));
+
+TEST(EverySolverEdge, SharedScopesAndUnaryMix) {
+  // A deliberately messy instance: repeated scopes (consolidation),
+  // repeated variables in a scope, unary constraints.
+  Rng rng(4);
+  for (int trial = 0; trial < 6; ++trial) {
+    CspInstance csp(5, 3);
+    csp.AddConstraint({0, 1}, {{0, 1}, {1, 2}, {2, 0}, {1, 0}});
+    csp.AddConstraint({0, 1}, {{0, 1}, {1, 2}, {1, 0}});  // intersects
+    csp.AddConstraint({2, 2, 3},
+                      {{0, 0, 1}, {1, 1, 0}, {0, 1, 2}});  // repeat var
+    csp.AddConstraint({4}, {{rng.UniformInt(0, 2)}});
+    csp.AddConstraint({3, 4}, {{0, 0}, {1, 1}, {2, 2}, {1, 0}, {0, 1},
+                               {2, 1}});
+
+    bool mac = BacktrackingSolver(csp).Solve().has_value();
+    EXPECT_EQ(mac, SolveViaSat(csp).has_value()) << trial;
+    EXPECT_EQ(mac, SolveViaDual(csp).has_value()) << trial;
+    EXPECT_EQ(mac, SolveViaHiddenVariables(csp).has_value()) << trial;
+    EXPECT_EQ(mac, SolvableByJoin(csp)) << trial;
+    BacktrackingSolver counter(csp);
+    EXPECT_EQ(CountSolutionsWithTreewidthHeuristic(csp),
+              counter.CountSolutions())
+        << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,152 @@
+// Additional treewidth coverage: known width values for classic graph
+// families, optimal-ordering round trips, and elimination-order
+// sensitivity of bucket elimination.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "boolean/hell_nesetril.h"
+#include "csp/convert.h"
+#include "csp/solver.h"
+#include "gen/generators.h"
+#include "treewidth/bucket_elimination.h"
+#include "treewidth/exact.h"
+#include "treewidth/gaifman.h"
+#include "treewidth/heuristics.h"
+#include "treewidth/tree_decomposition.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+Graph CompleteBipartite(int m, int n) {
+  Graph g(m + n);
+  for (int u = 0; u < m; ++u) {
+    for (int v = 0; v < n; ++v) g.AddEdge(u, m + v);
+  }
+  return g;
+}
+
+Graph Wheel(int rim) {
+  Graph g(rim + 1);
+  for (int i = 0; i < rim; ++i) {
+    g.AddEdge(i, (i + 1) % rim);
+    g.AddEdge(i, rim);  // hub
+  }
+  return g;
+}
+
+Graph Tree(int n, Rng* rng) {
+  Graph g(n);
+  for (int v = 1; v < n; ++v) g.AddEdge(rng->UniformInt(0, v - 1), v);
+  return g;
+}
+
+TEST(TreewidthFamilies, CompleteBipartite) {
+  // tw(K_{m,n}) = min(m, n).
+  EXPECT_EQ(ExactTreewidth(CompleteBipartite(2, 5)), 2);
+  EXPECT_EQ(ExactTreewidth(CompleteBipartite(3, 3)), 3);
+  EXPECT_EQ(ExactTreewidth(CompleteBipartite(1, 6)), 1);  // a star
+}
+
+TEST(TreewidthFamilies, Wheels) {
+  // Wheels have treewidth 3 (rim >= 4); the triangle wheel is K4.
+  EXPECT_EQ(ExactTreewidth(Wheel(3)), 3);
+  EXPECT_EQ(ExactTreewidth(Wheel(5)), 3);
+  EXPECT_EQ(ExactTreewidth(Wheel(8)), 3);
+}
+
+TEST(TreewidthFamilies, TreesHaveWidthOne) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph t = Tree(10, &rng);
+    EXPECT_EQ(ExactTreewidth(t), 1) << trial;
+    EXPECT_EQ(TreewidthLowerBound(t), 1) << trial;
+    EXPECT_EQ(InducedWidth(t, MinDegreeOrdering(t)), 1) << trial;
+  }
+}
+
+TEST(TreewidthFamilies, DecompositionFromOptimalOrderingIsOptimal) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g(8);
+    for (int u = 0; u < 8; ++u) {
+      for (int v = u + 1; v < 8; ++v) {
+        if (rng.Bernoulli(0.35)) g.AddEdge(u, v);
+      }
+    }
+    int tw = ExactTreewidth(g);
+    TreeDecomposition td =
+        DecompositionFromOrdering(g, OptimalEliminationOrdering(g));
+    EXPECT_TRUE(IsValidDecomposition(g, td)) << trial;
+    EXPECT_EQ(td.Width(), tw) << trial;
+  }
+}
+
+TEST(BucketEliminationOrder, AnyOrderIsCorrect) {
+  // Correctness must not depend on the elimination order — only cost
+  // does. Shuffle orders and compare answers.
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    CspInstance csp = RandomTreewidthCsp(8, 2, 3, 0.4, 0.9, &rng);
+    BacktrackingSolver solver(csp);
+    bool expected = solver.Solve().has_value();
+    std::vector<int> order(8);
+    for (int i = 0; i < 8; ++i) order[i] = i;
+    for (int shuffle = 0; shuffle < 3; ++shuffle) {
+      rng.Shuffle(&order);
+      EXPECT_EQ(SolveByBucketElimination(csp, order).has_value(),
+                expected)
+          << trial << " shuffle " << shuffle;
+    }
+  }
+}
+
+TEST(BucketEliminationOrder, GoodOrderBeatsBadOrderOnTables) {
+  // A star-shaped instance: eliminating the hub first (reversed order:
+  // hub last position) forces the cross product; leaves-first stays
+  // linear.
+  int leaves = 8;
+  CspInstance csp(leaves + 1, 3);
+  for (int leaf = 0; leaf < leaves; ++leaf) {
+    std::vector<Tuple> neq;
+    for (int a = 0; a < 3; ++a) {
+      for (int b = 0; b < 3; ++b) {
+        if (a != b) neq.push_back({a, b});
+      }
+    }
+    csp.AddConstraint({leaves, leaf}, neq);  // hub = variable `leaves`
+  }
+  // Good: hub eliminated last in processing = first in `order`.
+  std::vector<int> good{leaves};
+  for (int leaf = 0; leaf < leaves; ++leaf) good.push_back(leaf);
+  BucketStats good_stats;
+  ASSERT_TRUE(SolveByBucketElimination(csp, good, &good_stats).has_value());
+  // Bad: hub processed first (last position) joins all leaf constraints.
+  std::vector<int> bad;
+  for (int leaf = 0; leaf < leaves; ++leaf) bad.push_back(leaf);
+  bad.push_back(leaves);
+  BucketStats bad_stats;
+  ASSERT_TRUE(SolveByBucketElimination(csp, bad, &bad_stats).has_value());
+  EXPECT_LT(good_stats.max_table_rows, bad_stats.max_table_rows);
+  EXPECT_LE(good_stats.max_table_rows, 9);
+}
+
+TEST(Heuristics, MinFillNoWorseThanMinDegreeOnPartialKTrees) {
+  // Not a theorem — a regression guard on these seeds: min-fill should
+  // match or beat min-degree on this family.
+  Rng rng(11);
+  int fill_wins = 0, degree_wins = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomPartialKTree(12, 3, 0.85, &rng);
+    int fill = InducedWidth(g, MinFillOrdering(g));
+    int degree = InducedWidth(g, MinDegreeOrdering(g));
+    if (fill < degree) ++fill_wins;
+    if (degree < fill) ++degree_wins;
+  }
+  EXPECT_GE(fill_wins, degree_wins);
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,250 @@
+// Tests for Section 6: Gaifman graphs, tree decompositions, exact
+// treewidth, elimination heuristics, and the bounded-treewidth solver
+// (Theorem 6.2 via bucket elimination).
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "csp/convert.h"
+#include "csp/solver.h"
+#include "gen/generators.h"
+#include "treewidth/bucket_elimination.h"
+#include "treewidth/exact.h"
+#include "treewidth/gaifman.h"
+#include "treewidth/heuristics.h"
+#include "treewidth/tree_decomposition.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+Graph PathGraphG(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph CycleGraphG(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+Graph CliqueGraphG(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+TEST(Gaifman, StructureTuplesBecomeCliques) {
+  Vocabulary voc;
+  voc.AddSymbol("R", 3);
+  Structure s(voc, 4);
+  s.AddTuple(0, {0, 1, 2});
+  Graph g = GaifmanGraph(s);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_EQ(g.NumEdges(), 3);
+}
+
+TEST(Gaifman, CspConstraintGraph) {
+  CspInstance csp(4, 2);
+  csp.AddConstraint({0, 1}, {{0, 0}});
+  csp.AddConstraint({1, 2, 3}, {{0, 0, 0}});
+  Graph g = GaifmanGraphOfCsp(csp);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(ExactTreewidth, KnownValues) {
+  EXPECT_EQ(ExactTreewidth(PathGraphG(6)), 1);
+  EXPECT_EQ(ExactTreewidth(CycleGraphG(6)), 2);
+  EXPECT_EQ(ExactTreewidth(CliqueGraphG(5)), 4);
+  Graph edgeless(4);
+  EXPECT_EQ(ExactTreewidth(edgeless), 0);
+  Graph empty(0);
+  EXPECT_EQ(ExactTreewidth(empty), -1);
+}
+
+TEST(ExactTreewidth, GridGraph) {
+  // 3x3 grid has treewidth 3.
+  Graph g(9);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      int v = 3 * r + c;
+      if (c + 1 < 3) g.AddEdge(v, v + 1);
+      if (r + 1 < 3) g.AddEdge(v, v + 3);
+    }
+  }
+  EXPECT_EQ(ExactTreewidth(g), 3);
+}
+
+TEST(ExactTreewidth, OptimalOrderingRealizesWidth) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g(8);
+    for (int u = 0; u < 8; ++u) {
+      for (int v = u + 1; v < 8; ++v) {
+        if (rng.Bernoulli(0.3)) g.AddEdge(u, v);
+      }
+    }
+    int tw = ExactTreewidth(g);
+    std::vector<int> order = OptimalEliminationOrdering(g);
+    EXPECT_EQ(InducedWidth(g, order), tw) << trial;
+  }
+}
+
+TEST(Heuristics, OrderingsAreSoundUpperBounds) {
+  Rng rng(11);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = RandomPartialKTree(10, 3, 0.9, &rng);
+    int tw = ExactTreewidth(g);
+    EXPECT_LE(tw, 3);
+    EXPECT_GE(InducedWidth(g, MinFillOrdering(g)), tw);
+    EXPECT_GE(InducedWidth(g, MinDegreeOrdering(g)), tw);
+  }
+}
+
+TEST(Heuristics, DecompositionFromOrderingIsValid) {
+  Rng rng(13);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = RandomPartialKTree(9, 2, 0.8, &rng);
+    TreeDecomposition td = MinFillDecomposition(g);
+    EXPECT_TRUE(IsValidDecomposition(g, td)) << trial;
+    EXPECT_EQ(td.Width(), InducedWidth(g, MinFillOrdering(g)));
+  }
+}
+
+TEST(TreeDecomposition, ValidityChecker) {
+  Graph g = PathGraphG(3);
+  TreeDecomposition good{{{0, 1}, {1, 2}}, {{0, 1}}};
+  EXPECT_TRUE(IsValidDecomposition(g, good));
+  // Missing edge coverage.
+  TreeDecomposition bad_edges{{{0, 1}, {2}}, {{0, 1}}};
+  EXPECT_FALSE(IsValidDecomposition(g, bad_edges));
+  // Vertex occurrences not connected: 1 appears in bags 0 and 2 only.
+  TreeDecomposition bad_conn{{{0, 1}, {0, 2}, {1, 2}},
+                             {{0, 1}, {1, 2}}};
+  EXPECT_FALSE(IsValidDecomposition(g, bad_conn));
+  // A cycle among tree nodes.
+  TreeDecomposition bad_tree{{{0, 1}, {1, 2}, {0, 2}},
+                             {{0, 1}, {1, 2}, {2, 0}}};
+  EXPECT_FALSE(IsValidDecomposition(g, bad_tree));
+}
+
+TEST(TreeDecomposition, StructureFormRequiresTupleCoverage) {
+  Vocabulary voc;
+  voc.AddSymbol("R", 3);
+  Structure s(voc, 3);
+  s.AddTuple(0, {0, 1, 2});
+  // Bags cover all pairwise Gaifman edges but no bag holds all three.
+  TreeDecomposition pairwise{{{0, 1}, {1, 2}, {0, 2}},
+                             {{0, 1}, {1, 2}}};
+  EXPECT_FALSE(IsValidForStructure(s, pairwise));
+  TreeDecomposition full{{{0, 1, 2}}, {}};
+  EXPECT_TRUE(IsValidForStructure(s, full));
+}
+
+TEST(BucketElimination, MatchesBacktrackingOnRandomInstances) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    CspInstance csp = RandomTreewidthCsp(8, 2, 3, 0.4, 0.9, &rng);
+    BacktrackingSolver solver(csp);
+    auto bt = solver.Solve();
+    BucketStats stats;
+    auto be = SolveWithTreewidthHeuristic(csp, &stats);
+    EXPECT_EQ(bt.has_value(), be.has_value()) << trial;
+    if (be.has_value()) {
+      EXPECT_TRUE(csp.IsSolution(*be));
+    }
+  }
+}
+
+TEST(BucketElimination, WorksOnArbitraryOrderings) {
+  Rng rng(19);
+  CspInstance csp = RandomBinaryCsp(6, 3, 8, 0.4, &rng);
+  std::vector<int> identity{0, 1, 2, 3, 4, 5};
+  BacktrackingSolver solver(csp);
+  auto bt = solver.Solve();
+  auto be = SolveByBucketElimination(csp, identity);
+  EXPECT_EQ(bt.has_value(), be.has_value());
+}
+
+TEST(BucketElimination, TernaryConstraints) {
+  CspInstance csp(4, 2);
+  std::vector<Tuple> parity;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int z = 0; z < 2; ++z) {
+        if ((x ^ y ^ z) == 1) parity.push_back({x, y, z});
+      }
+    }
+  }
+  csp.AddConstraint({0, 1, 2}, parity);
+  csp.AddConstraint({1, 2, 3}, parity);
+  csp.AddConstraint({3}, {{1}});
+  BucketStats stats;
+  auto solution = SolveWithTreewidthHeuristic(csp, &stats);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(BucketElimination, DetectsUnsolvable) {
+  CspInstance csp = ToCspInstance(CycleGraph(5), CliqueGraph(2));
+  EXPECT_FALSE(SolveWithTreewidthHeuristic(csp).has_value());
+}
+
+TEST(BucketElimination, UnconstrainedVariablesGetValues) {
+  CspInstance csp(3, 2);
+  csp.AddConstraint({0}, {{1}});
+  auto solution = SolveWithTreewidthHeuristic(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ((*solution)[0], 1);
+}
+
+TEST(BucketElimination, StatsReflectInducedWidth) {
+  Rng rng(23);
+  CspInstance csp = RandomTreewidthCsp(10, 2, 3, 0.3, 1.0, &rng);
+  BucketStats stats;
+  SolveWithTreewidthHeuristic(csp, &stats);
+  EXPECT_GE(stats.induced_width, 0);
+  EXPECT_LE(stats.induced_width, 4);  // heuristic on a partial 2-tree
+}
+
+TEST(BucketElimination, TablesBoundedByInducedWidth) {
+  // The Theorem 6.2 complexity claim in executable form: along the
+  // heuristic ordering, no intermediate table exceeds d^(w+1).
+  Rng rng(41);
+  for (int trial = 0; trial < 6; ++trial) {
+    CspInstance csp = RandomTreewidthCsp(30, 2, 3, 0.3, 0.95, &rng);
+    BucketStats stats;
+    SolveWithTreewidthHeuristic(csp, &stats);
+    ASSERT_GE(stats.induced_width, 0);
+    int64_t bound = 1;
+    for (int i = 0; i <= stats.induced_width; ++i) bound *= 3;
+    EXPECT_LE(stats.max_table_rows, bound) << trial;
+  }
+}
+
+TEST(Theorem62, BoundedTreewidthFamilySolvedExactly) {
+  // CSP(A(k), F): solve homomorphism instances where A has treewidth <=
+  // 2 against arbitrary templates, cross-checked with search.
+  Rng rng(29);
+  for (int trial = 0; trial < 8; ++trial) {
+    Structure a = RandomTreewidthDigraph(7, 2, 0.8, &rng);
+    Structure b = RandomDigraph(3, 0.4, &rng, /*allow_loops=*/true);
+    CspInstance csp = ToCspInstance(a, b);
+    auto be = SolveWithTreewidthHeuristic(csp);
+    BacktrackingSolver solver(csp);
+    EXPECT_EQ(be.has_value(), solver.Solve().has_value()) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cspdb

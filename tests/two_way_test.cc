@@ -1,0 +1,74 @@
+// Tests for two-way RPQs (inverse roles; the [11] companion work).
+
+#include <gtest/gtest.h>
+
+#include "rpq/rpq_eval.h"
+#include "rpq/two_way.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+// Alphabet {a, b} doubled with inverses {a, b, a-, b-}.
+const std::vector<std::string> kTwoWay{"a", "b", "A", "B"};
+
+TEST(TwoWay, InverseSymbolIsInvolution) {
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(InverseSymbol(InverseSymbol(s, 2), 2), s);
+  }
+  EXPECT_EQ(InverseSymbol(0, 2), 2);
+  EXPECT_EQ(InverseSymbol(3, 2), 1);
+}
+
+TEST(TwoWay, BackwardTraversal) {
+  // 0 -a-> 1. The query "A" (a-inverse) connects 1 to 0.
+  GraphDb db(2, 2);
+  db.AddEdge(0, 0, 1);
+  Nfa inv = Nfa::FromRegex(ParseRegex("A", kTwoWay), 4);
+  EXPECT_TRUE(TwoWayRpqHolds(db, inv, 1, 0));
+  EXPECT_FALSE(TwoWayRpqHolds(db, inv, 0, 1));
+}
+
+TEST(TwoWay, SiblingPattern) {
+  // Two children of a common parent: x <-a- p -a-> y matched by "Aa".
+  GraphDb db(3, 2);
+  db.AddEdge(0, 0, 1);  // parent 0 -> child 1
+  db.AddEdge(0, 0, 2);  // parent 0 -> child 2
+  Nfa sibling = Nfa::FromRegex(ParseRegex("Aa", kTwoWay), 4);
+  auto pairs = EvaluateTwoWayRpq(db, sibling);
+  // Every child reaches every child (including itself) via the parent.
+  EXPECT_TRUE(TwoWayRpqHolds(db, sibling, 1, 2));
+  EXPECT_TRUE(TwoWayRpqHolds(db, sibling, 2, 1));
+  EXPECT_TRUE(TwoWayRpqHolds(db, sibling, 1, 1));
+  EXPECT_FALSE(TwoWayRpqHolds(db, sibling, 0, 1));
+  EXPECT_EQ(pairs.size(), 4u);
+}
+
+TEST(TwoWay, ForwardFragmentMatchesPlainRpq) {
+  // A 2RPQ that never uses inverses agrees with the one-way evaluator.
+  Rng rng(3);
+  GraphDb db(5, 2);
+  for (int e = 0; e < 8; ++e) {
+    db.AddEdge(rng.UniformInt(0, 4), rng.UniformInt(0, 1),
+               rng.UniformInt(0, 4));
+  }
+  Nfa two_way = Nfa::FromRegex(ParseRegex("a(b|a)*", kTwoWay), 4);
+  Nfa one_way = Nfa::FromRegex(ParseRegex("a(b|a)*", {"a", "b"}), 2);
+  EXPECT_EQ(EvaluateTwoWayRpq(db, two_way), EvaluateRpq(db, one_way));
+}
+
+TEST(TwoWay, UndirectedReachability) {
+  // (a|A)*: reachability ignoring edge direction.
+  GraphDb db(4, 1);
+  db.AddEdge(0, 0, 1);
+  db.AddEdge(2, 0, 1);  // 2 points into 1
+  Nfa undirected =
+      Nfa::FromRegex(ParseRegex("(a|A)*", {"a", "A"}), 2);
+  EXPECT_TRUE(TwoWayRpqHolds(db, undirected, 0, 2));
+  EXPECT_FALSE(TwoWayRpqHolds(db, undirected, 0, 3));
+  Nfa directed = Nfa::FromRegex(ParseRegex("a*", {"a", "A"}), 2);
+  EXPECT_FALSE(TwoWayRpqHolds(db, directed, 0, 2));
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,136 @@
+// "Grand unification" sweeps: every route the library offers for the same
+// decision, run against each other on common instance families — the
+// executable form of the paper's thesis that these are all one problem.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "boolean/hell_nesetril.h"
+#include "csp/backjump_solver.h"
+#include "csp/convert.h"
+#include "csp/solver.h"
+#include "db/algebra.h"
+#include "db/containment.h"
+#include "gen/generators.h"
+#include "logic/bounded_formula.h"
+#include "relational/core.h"
+#include "relational/homomorphism.h"
+#include "relational/structure_ops.h"
+#include "rpq/graphdb.h"
+#include "rpq/rpq_eval.h"
+#include "datalog/eval.h"
+#include "datalog/program.h"
+#include "treewidth/bucket_elimination.h"
+#include "treewidth/hypertree.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+class GrandUnification : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrandUnification, SevenDecidersAgree) {
+  Rng rng(GetParam());
+  Structure a = RandomTreewidthDigraph(6, 2, 0.85, &rng);
+  Structure b = RandomDigraph(3, 0.5, &rng, /*allow_loops=*/true);
+  CspInstance csp = ToCspInstance(a, b);
+
+  bool search = BacktrackingSolver(csp).Solve().has_value();
+  bool backjump = BackjumpSolver(csp).Solve().has_value();
+  bool join = SolvableByJoin(csp);
+  bool join_relation = !SolutionsAsRelation(csp).empty();
+  bool buckets = SolveWithTreewidthHeuristic(csp).has_value();
+  bool hypertree = SolveWithHypertreeHeuristic(csp).has_value();
+  bool formula = EvaluateSentence(FormulaForStructure(a), b);
+  bool query = HomomorphismViaQueryEvaluation(a, b);
+
+  EXPECT_EQ(search, backjump);
+  EXPECT_EQ(search, join);
+  EXPECT_EQ(search, join_relation);
+  EXPECT_EQ(search, buckets);
+  EXPECT_EQ(search, hypertree);
+  EXPECT_EQ(search, formula);
+  EXPECT_EQ(search, query);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GrandUnification,
+                         ::testing::Range(7000, 7012));
+
+TEST(SolutionsAsRelation, MatchesSolverEnumeration) {
+  Rng rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    CspInstance csp = RandomBinaryCsp(5, 3, 6, 0.4, &rng);
+    DbRelation solutions = SolutionsAsRelation(csp);
+    BacktrackingSolver solver(csp);
+    EXPECT_EQ(static_cast<int64_t>(solutions.size()),
+              solver.CountSolutions())
+        << trial;
+    for (const Tuple& row : solutions.rows()) {
+      EXPECT_TRUE(csp.IsSolution(row)) << trial;
+    }
+  }
+}
+
+TEST(SolutionsAsRelation, UnconstrainedVariablesCross) {
+  CspInstance csp(2, 3);
+  csp.AddConstraint({0}, {{1}});
+  DbRelation solutions = SolutionsAsRelation(csp);
+  EXPECT_EQ(solutions.size(), 3u);  // x0 = 1 crossed with 3 values of x1
+}
+
+TEST(StructureOps, DisjointUnionIsCoproduct) {
+  Rng rng(13);
+  for (int trial = 0; trial < 8; ++trial) {
+    Structure a = RandomDigraph(4, 0.4, &rng);
+    Structure b = RandomDigraph(4, 0.4, &rng);
+    Structure c = RandomDigraph(3, 0.5, &rng, /*allow_loops=*/true);
+    Structure u = DisjointUnion(a, b);
+    EXPECT_EQ(FindHomomorphism(u, c).has_value(),
+              FindHomomorphism(a, c).has_value() &&
+                  FindHomomorphism(b, c).has_value())
+        << trial;
+  }
+}
+
+TEST(StructureOps, UnionWithSelfPreservesCore) {
+  Structure c5 = CycleGraph(5);
+  Structure doubled = DisjointUnion(c5, c5);
+  Structure core = CoreOf(doubled);
+  EXPECT_EQ(core.domain_size(), 5);
+  EXPECT_TRUE(HomomorphicallyEquivalent(core, c5));
+}
+
+TEST(GraphDbBridge, RoundTrip) {
+  Rng rng(17);
+  GraphDb db = RandomGraphDb(5, 3, 10, &rng);
+  Structure a = StructureFromGraphDb(db, {"x", "y", "z"});
+  EXPECT_EQ(a.vocabulary().IndexOf("y"), 1);
+  GraphDb back = GraphDbFromStructure(a);
+  EXPECT_EQ(back.NumEdges(), db.NumEdges());
+  for (const auto& [from, label, to] : db.edges()) {
+    EXPECT_TRUE(back.HasEdge(from, label, to));
+  }
+}
+
+TEST(GraphDbBridge, RpqStarEqualsDatalogTransitiveClosure) {
+  // E* reachability on a digraph: the RPQ engine and the Datalog engine
+  // must produce the same pairs (up to the reflexive diagonal).
+  Rng rng(19);
+  Structure g = RandomDigraph(6, 0.25, &rng);
+  GraphDb db = GraphDbFromStructure(g);
+  auto star = EvaluateRpq(db, ParseRegex("e+", {"e"}));
+
+  DatalogProgram tc;
+  tc.AddRule({{"T", {0, 1}}, {{"E", {0, 1}}}, 2});
+  tc.AddRule({{"T", {0, 1}}, {{"T", {0, 2}}, {"E", {2, 1}}}, 3});
+  tc.SetGoal("T");
+  DatalogResult closure = EvaluateSemiNaive(tc, g);
+
+  TupleSet star_set;
+  for (const auto& [x, y] : star) star_set.insert({x, y});
+  EXPECT_EQ(star_set, closure.Facts("T"));
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,109 @@
+// Additional Section 7 scenarios: reflexive pairs, cyclic view chains,
+// multi-word view languages, and single-letter-alphabet sweeps with
+// brute-force cross-checks.
+
+#include <gtest/gtest.h>
+
+#include "views/certain_answers.h"
+#include "views/constraint_template.h"
+#include "views/rewriting.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(ViewsMore, ReflexivePairs) {
+  // Query with epsilon: (c, c) is certain for any c; without epsilon it
+  // is not (the empty database is consistent with empty extensions).
+  ViewSetting setting;
+  setting.alphabet = {"a"};
+  setting.views.push_back({"V", ParseRegex("a", setting.alphabet)});
+  ViewInstance instance;
+  instance.num_objects = 2;
+  instance.ext = {{}};
+  setting.query = ParseRegex("a*", setting.alphabet);
+  EXPECT_TRUE(CertainAnswerViaCsp(setting, instance, 0, 0));
+  setting.query = ParseRegex("a+", setting.alphabet);
+  EXPECT_FALSE(CertainAnswerViaCsp(setting, instance, 0, 0));
+}
+
+TEST(ViewsMore, CyclicViewChain) {
+  // V edges forming a cycle 0 -> 1 -> 2 -> 0 with def(V) = a: every pair
+  // is certain for the query a+ (paths wrap around the forced cycle).
+  ViewSetting setting;
+  setting.alphabet = {"a"};
+  setting.views.push_back({"V", ParseRegex("a", setting.alphabet)});
+  setting.query = ParseRegex("a+", setting.alphabet);
+  ViewInstance instance;
+  instance.num_objects = 3;
+  instance.ext = {{{0, 1}, {1, 2}, {2, 0}}};
+  for (int c = 0; c < 3; ++c) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_TRUE(CertainAnswerViaCsp(setting, instance, c, d))
+          << c << "," << d;
+    }
+  }
+}
+
+TEST(ViewsMore, MultiWordViewBreaksCertainty) {
+  // def(V) = a|aa: the path length is unknown, so "exactly two a's" is
+  // not certain even for a chain of two view edges, while "one to four
+  // a's" is.
+  ViewSetting setting;
+  setting.alphabet = {"a"};
+  setting.views.push_back({"V", ParseRegex("a|aa", setting.alphabet)});
+  ViewInstance instance;
+  instance.num_objects = 3;
+  instance.ext = {{{0, 1}, {1, 2}}};
+  setting.query = ParseRegex("aa", setting.alphabet);
+  EXPECT_FALSE(CertainAnswerViaCsp(setting, instance, 0, 2));
+  setting.query = ParseRegex("a(%|a)(%|a)(%|a)", setting.alphabet);
+  EXPECT_TRUE(CertainAnswerViaCsp(setting, instance, 0, 2));
+}
+
+TEST(ViewsMore, BruteForceSweepSingleLetter) {
+  Rng rng(3);
+  ViewSetting setting;
+  setting.alphabet = {"a"};
+  setting.views.push_back({"V0", ParseRegex("a", setting.alphabet)});
+  setting.views.push_back({"V1", ParseRegex("aa", setting.alphabet)});
+  setting.query = ParseRegex("aaa*", setting.alphabet);
+  for (int trial = 0; trial < 8; ++trial) {
+    ViewInstance instance;
+    instance.num_objects = 3;
+    instance.ext.resize(2);
+    for (int i = 0; i < 2; ++i) {
+      int edges = rng.UniformInt(0, 2);
+      for (int e = 0; e < edges; ++e) {
+        instance.ext[i].push_back({rng.UniformInt(0, 2),
+                                   rng.UniformInt(0, 2)});
+      }
+    }
+    for (int c = 0; c < 3; ++c) {
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_EQ(CertainAnswerViaCsp(setting, instance, c, d),
+                  CertainAnswerBruteForce(setting, instance, c, d, 4))
+            << trial << " " << c << "," << d;
+      }
+    }
+  }
+}
+
+TEST(ViewsMore, RewritingOnCyclicExtensions) {
+  // Q = (ab)*; V = ab. Rewriting V* on a V-cycle yields all pairs on the
+  // cycle, every one of them certain.
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V", ParseRegex("ab", setting.alphabet)});
+  setting.query = ParseRegex("(ab)*", setting.alphabet);
+  ViewInstance instance;
+  instance.num_objects = 3;
+  instance.ext = {{{0, 1}, {1, 2}, {2, 0}}};
+  auto rewritten = RewritingAnswers(setting, instance);
+  EXPECT_EQ(rewritten.size(), 9u);
+  auto certain = CertainAnswers(setting, instance);
+  EXPECT_EQ(certain.size(), 9u);
+}
+
+}  // namespace
+}  // namespace cspdb

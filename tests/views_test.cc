@@ -1,0 +1,255 @@
+// Tests for Section 7: view-based query answering via the constraint
+// template (Theorem 7.5), the CSP-to-views reduction (Theorem 7.3), and
+// maximal RPQ rewritings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "boolean/hell_nesetril.h"
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "views/certain_answers.h"
+#include "views/constraint_template.h"
+#include "views/csp_to_views.h"
+#include "views/rewriting.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+// A simple setting: alphabet {a, b}, query a.b, views V0 = a, V1 = b.
+ViewSetting AbSetting() {
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V0", ParseRegex("a", setting.alphabet)});
+  setting.views.push_back({"V1", ParseRegex("b", setting.alphabet)});
+  setting.query = ParseRegex("ab", setting.alphabet);
+  return setting;
+}
+
+TEST(CertainAnswers, ChainOfViews) {
+  ViewSetting setting = AbSetting();
+  ViewInstance instance;
+  instance.num_objects = 3;
+  instance.ext = {{{0, 1}}, {{1, 2}}};  // V0: 0->1, V1: 1->2
+  // Every consistent DB has an a-edge 0->1 and a b-edge 1->2 (single
+  // symbol views force real edges), so (0,2) is certain.
+  EXPECT_TRUE(CertainAnswerViaCsp(setting, instance, 0, 2));
+  EXPECT_FALSE(CertainAnswerViaCsp(setting, instance, 0, 1));
+  EXPECT_FALSE(CertainAnswerViaCsp(setting, instance, 2, 0));
+}
+
+TEST(CertainAnswers, DisjunctiveViewIsNotCertain) {
+  // View V0 = a|b: knowing (0,1) in ext(V0) does not determine which
+  // label, so the query "a" is not certain.
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V0", ParseRegex("a|b", setting.alphabet)});
+  setting.query = ParseRegex("a", setting.alphabet);
+  ViewInstance instance;
+  instance.num_objects = 2;
+  instance.ext = {{{0, 1}}};
+  EXPECT_FALSE(CertainAnswerViaCsp(setting, instance, 0, 1));
+  // But the query a|b is certain.
+  setting.query = ParseRegex("a|b", setting.alphabet);
+  EXPECT_TRUE(CertainAnswerViaCsp(setting, instance, 0, 1));
+}
+
+TEST(CertainAnswers, StarViewYieldsStarCertainty) {
+  // V0 = a+; query a*. An ext pair guarantees a nonempty a-path.
+  ViewSetting setting;
+  setting.alphabet = {"a"};
+  setting.views.push_back({"V0", ParseRegex("a+", setting.alphabet)});
+  setting.query = ParseRegex("a*", setting.alphabet);
+  ViewInstance instance;
+  instance.num_objects = 2;
+  instance.ext = {{{0, 1}}};
+  EXPECT_TRUE(CertainAnswerViaCsp(setting, instance, 0, 1));
+  // The reverse pair is not certain.
+  EXPECT_FALSE(CertainAnswerViaCsp(setting, instance, 1, 0));
+  // Query "a" (exactly one step) is not certain: the path may be longer.
+  setting.query = ParseRegex("a", setting.alphabet);
+  EXPECT_FALSE(CertainAnswerViaCsp(setting, instance, 0, 1));
+}
+
+TEST(CertainAnswers, DiagonalIsAlwaysCertainForStarQueries) {
+  ViewSetting setting = AbSetting();
+  setting.query = ParseRegex("(a|b)*", setting.alphabet);
+  ViewInstance instance;
+  instance.num_objects = 2;
+  instance.ext = {{}, {}};
+  EXPECT_TRUE(CertainAnswerViaCsp(setting, instance, 0, 0));
+  EXPECT_FALSE(CertainAnswerViaCsp(setting, instance, 0, 1));
+}
+
+TEST(CertainAnswers, BruteForceAgreesOnSmallInstances) {
+  Rng rng(5);
+  ViewSetting setting = AbSetting();
+  for (int trial = 0; trial < 10; ++trial) {
+    ViewInstance instance;
+    instance.num_objects = 3;
+    instance.ext.resize(2);
+    for (int i = 0; i < 2; ++i) {
+      int edges = rng.UniformInt(0, 2);
+      for (int e = 0; e < edges; ++e) {
+        instance.ext[i].push_back({rng.UniformInt(0, 2),
+                                   rng.UniformInt(0, 2)});
+      }
+    }
+    for (int c = 0; c < 3; ++c) {
+      for (int d = 0; d < 3; ++d) {
+        bool via_csp = CertainAnswerViaCsp(setting, instance, c, d);
+        bool brute =
+            CertainAnswerBruteForce(setting, instance, c, d, 3);
+        EXPECT_EQ(via_csp, brute)
+            << trial << " c=" << c << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(CertainAnswers, BruteForceAgreesWithDisjunctiveViews) {
+  Rng rng(7);
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V0", ParseRegex("a|b", setting.alphabet)});
+  setting.views.push_back({"V1", ParseRegex("ab", setting.alphabet)});
+  setting.query = ParseRegex("ab|b", setting.alphabet);
+  for (int trial = 0; trial < 8; ++trial) {
+    ViewInstance instance;
+    instance.num_objects = 3;
+    instance.ext.resize(2);
+    for (int i = 0; i < 2; ++i) {
+      int edges = rng.UniformInt(0, 2);
+      for (int e = 0; e < edges; ++e) {
+        instance.ext[i].push_back({rng.UniformInt(0, 2),
+                                   rng.UniformInt(0, 2)});
+      }
+    }
+    for (int c = 0; c < 3; ++c) {
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_EQ(CertainAnswerViaCsp(setting, instance, c, d),
+                  CertainAnswerBruteForce(setting, instance, c, d, 4))
+            << trial << " c=" << c << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(Theorem73, ReductionMatchesHomomorphismExistence) {
+  Rng rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    Structure a = RandomDigraph(3, 0.5, &rng);
+    Structure b = RandomDigraph(2, 0.5, &rng, /*allow_loops=*/true);
+    CspToViewsReduction red = ReduceCspToViewAnswering(a, b);
+    bool not_certain =
+        !CertainAnswerViaCsp(red.setting, red.instance, red.c, red.d);
+    EXPECT_EQ(not_certain, FindHomomorphism(a, b).has_value()) << trial;
+  }
+}
+
+TEST(Theorem73, TwoColoringInstance) {
+  // K2 template: (c,d) not certain iff the input graph is 2-colorable.
+  // (Larger templates work too but the powerset domain of the reduction's
+  // query automaton grows quickly; the random sweep above covers m = 2.)
+  Structure b = CliqueGraph(2);
+  Structure a_yes = CycleGraph(4);  // 2-colorable
+  Structure a_no = CycleGraph(3);   // odd cycle
+  CspToViewsReduction red_yes = ReduceCspToViewAnswering(a_yes, b);
+  EXPECT_FALSE(CertainAnswerViaCsp(red_yes.setting, red_yes.instance,
+                                   red_yes.c, red_yes.d));
+  CspToViewsReduction red_no = ReduceCspToViewAnswering(a_no, b);
+  EXPECT_TRUE(CertainAnswerViaCsp(red_no.setting, red_no.instance,
+                                  red_no.c, red_no.d));
+}
+
+TEST(Theorem73, EmptyTemplate) {
+  Structure a(GraphVocabulary(), 2);
+  a.AddTuple(0, {0, 1});
+  Structure b(GraphVocabulary(), 0);
+  CspToViewsReduction red = ReduceCspToViewAnswering(a, b);
+  // No homomorphism, so (c,d) must be certain (vacuously: no consistent
+  // database exists).
+  EXPECT_TRUE(
+      CertainAnswerViaCsp(red.setting, red.instance, red.c, red.d));
+}
+
+TEST(Rewriting, ClassicAbStarExample) {
+  // Q = (ab)*, V = ab: the maximal rewriting is V*.
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V", ParseRegex("ab", setting.alphabet)});
+  setting.query = ParseRegex("(ab)*", setting.alphabet);
+  Dfa rewriting = MaximalRpqRewriting(setting);
+  // Compare with V* over the 1-letter view alphabet.
+  Dfa v_star = Determinize(Nfa::FromRegex(ParseRegex("v*", {"v"}), 1));
+  EXPECT_TRUE(SameLanguage(rewriting, v_star));
+}
+
+TEST(Rewriting, NoRewritingWhenViewsUseless) {
+  // Q = a, V = b: no view word expands into L(Q).
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V", ParseRegex("b", setting.alphabet)});
+  setting.query = ParseRegex("a", setting.alphabet);
+  Dfa rewriting = MaximalRpqRewriting(setting);
+  EXPECT_TRUE(rewriting.IsEmpty());
+}
+
+TEST(Rewriting, PartialCoverage) {
+  // Q = ab|ba, V0 = ab, V1 = a: rewriting contains the word V0 but no
+  // word using V1 (a alone never completes into L(Q) via views).
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V0", ParseRegex("ab", setting.alphabet)});
+  setting.views.push_back({"V1", ParseRegex("a", setting.alphabet)});
+  setting.query = ParseRegex("ab|ba", setting.alphabet);
+  Dfa rewriting = MaximalRpqRewriting(setting);
+  EXPECT_TRUE(rewriting.Accepts({0}));       // V0
+  EXPECT_FALSE(rewriting.Accepts({1}));      // V1
+  EXPECT_FALSE(rewriting.Accepts({1, 0}));   // V1 V0
+  EXPECT_FALSE(rewriting.Accepts({}));       // epsilon not in Q
+}
+
+TEST(Rewriting, AnswersAreSound) {
+  // Rewriting answers must be contained in the certain answers.
+  Rng rng(13);
+  ViewSetting setting;
+  setting.alphabet = {"a", "b"};
+  setting.views.push_back({"V0", ParseRegex("ab", setting.alphabet)});
+  setting.views.push_back({"V1", ParseRegex("b", setting.alphabet)});
+  setting.query = ParseRegex("(ab)*b", setting.alphabet);
+  for (int trial = 0; trial < 6; ++trial) {
+    ViewInstance instance;
+    instance.num_objects = 4;
+    instance.ext.resize(2);
+    for (int i = 0; i < 2; ++i) {
+      int edges = rng.UniformInt(1, 3);
+      for (int e = 0; e < edges; ++e) {
+        instance.ext[i].push_back({rng.UniformInt(0, 3),
+                                   rng.UniformInt(0, 3)});
+      }
+    }
+    std::vector<std::pair<int, int>> rewritten =
+        RewritingAnswers(setting, instance);
+    std::vector<std::pair<int, int>> certain =
+        CertainAnswers(setting, instance);
+    for (const auto& pair : rewritten) {
+      EXPECT_TRUE(std::find(certain.begin(), certain.end(), pair) !=
+                  certain.end())
+          << trial << " pair=(" << pair.first << "," << pair.second << ")";
+    }
+  }
+}
+
+TEST(ConstraintTemplate, DomainIsPowerset) {
+  ViewSetting setting = AbSetting();
+  ConstraintTemplate tmpl = BuildConstraintTemplate(setting);
+  EXPECT_EQ(tmpl.b.domain_size(), 1 << tmpl.query_dfa.num_states);
+  EXPECT_GE(tmpl.b.vocabulary().IndexOf("U_c"), 0);
+  EXPECT_GE(tmpl.b.vocabulary().IndexOf("U_d"), 0);
+}
+
+}  // namespace
+}  // namespace cspdb
