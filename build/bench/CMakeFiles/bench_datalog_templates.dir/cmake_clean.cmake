@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datalog_templates.dir/bench_datalog_templates.cc.o"
+  "CMakeFiles/bench_datalog_templates.dir/bench_datalog_templates.cc.o.d"
+  "bench_datalog_templates"
+  "bench_datalog_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datalog_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dichotomy.dir/bench_dichotomy.cc.o"
+  "CMakeFiles/bench_dichotomy.dir/bench_dichotomy.cc.o.d"
+  "bench_dichotomy"
+  "bench_dichotomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dichotomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

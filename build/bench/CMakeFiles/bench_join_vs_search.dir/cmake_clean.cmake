@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_vs_search.dir/bench_join_vs_search.cc.o"
+  "CMakeFiles/bench_join_vs_search.dir/bench_join_vs_search.cc.o.d"
+  "bench_join_vs_search"
+  "bench_join_vs_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_vs_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

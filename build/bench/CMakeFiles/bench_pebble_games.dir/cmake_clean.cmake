@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pebble_games.dir/bench_pebble_games.cc.o"
+  "CMakeFiles/bench_pebble_games.dir/bench_pebble_games.cc.o.d"
+  "bench_pebble_games"
+  "bench_pebble_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pebble_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

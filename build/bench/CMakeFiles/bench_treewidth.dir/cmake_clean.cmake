@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_treewidth.dir/bench_treewidth.cc.o"
+  "CMakeFiles/bench_treewidth.dir/bench_treewidth.cc.o.d"
+  "bench_treewidth"
+  "bench_treewidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_treewidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

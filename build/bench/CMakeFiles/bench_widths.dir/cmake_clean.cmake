@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_widths.dir/bench_widths.cc.o"
+  "CMakeFiles/bench_widths.dir/bench_widths.cc.o.d"
+  "bench_widths"
+  "bench_widths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_demo.dir/datalog_demo.cc.o"
+  "CMakeFiles/datalog_demo.dir/datalog_demo.cc.o.d"
+  "datalog_demo"
+  "datalog_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

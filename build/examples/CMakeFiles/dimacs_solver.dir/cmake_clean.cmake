@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimacs_solver.dir/dimacs_solver.cc.o"
+  "CMakeFiles/dimacs_solver.dir/dimacs_solver.cc.o.d"
+  "dimacs_solver"
+  "dimacs_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimacs_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_labeling.dir/line_labeling.cc.o"
+  "CMakeFiles/line_labeling.dir/line_labeling.cc.o.d"
+  "line_labeling"
+  "line_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

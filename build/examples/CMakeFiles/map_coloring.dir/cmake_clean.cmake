@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_coloring.dir/map_coloring.cc.o"
+  "CMakeFiles/map_coloring.dir/map_coloring.cc.o.d"
+  "map_coloring"
+  "map_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

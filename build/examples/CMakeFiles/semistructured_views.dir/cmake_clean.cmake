@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semistructured_views.dir/semistructured_views.cc.o"
+  "CMakeFiles/semistructured_views.dir/semistructured_views.cc.o.d"
+  "semistructured_views"
+  "semistructured_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semistructured_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewidth_tool.dir/treewidth_tool.cc.o"
+  "CMakeFiles/treewidth_tool.dir/treewidth_tool.cc.o.d"
+  "treewidth_tool"
+  "treewidth_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewidth_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

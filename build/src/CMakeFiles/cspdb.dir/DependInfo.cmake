@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boolean/affine_sat.cc" "src/CMakeFiles/cspdb.dir/boolean/affine_sat.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/boolean/affine_sat.cc.o.d"
+  "/root/repo/src/boolean/cnf.cc" "src/CMakeFiles/cspdb.dir/boolean/cnf.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/boolean/cnf.cc.o.d"
+  "/root/repo/src/boolean/dpll.cc" "src/CMakeFiles/cspdb.dir/boolean/dpll.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/boolean/dpll.cc.o.d"
+  "/root/repo/src/boolean/hell_nesetril.cc" "src/CMakeFiles/cspdb.dir/boolean/hell_nesetril.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/boolean/hell_nesetril.cc.o.d"
+  "/root/repo/src/boolean/horn_sat.cc" "src/CMakeFiles/cspdb.dir/boolean/horn_sat.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/boolean/horn_sat.cc.o.d"
+  "/root/repo/src/boolean/schaefer.cc" "src/CMakeFiles/cspdb.dir/boolean/schaefer.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/boolean/schaefer.cc.o.d"
+  "/root/repo/src/boolean/two_sat.cc" "src/CMakeFiles/cspdb.dir/boolean/two_sat.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/boolean/two_sat.cc.o.d"
+  "/root/repo/src/consistency/arc_consistency.cc" "src/CMakeFiles/cspdb.dir/consistency/arc_consistency.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/consistency/arc_consistency.cc.o.d"
+  "/root/repo/src/consistency/establish.cc" "src/CMakeFiles/cspdb.dir/consistency/establish.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/consistency/establish.cc.o.d"
+  "/root/repo/src/consistency/local_consistency.cc" "src/CMakeFiles/cspdb.dir/consistency/local_consistency.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/consistency/local_consistency.cc.o.d"
+  "/root/repo/src/consistency/path_consistency.cc" "src/CMakeFiles/cspdb.dir/consistency/path_consistency.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/consistency/path_consistency.cc.o.d"
+  "/root/repo/src/csp/backjump_solver.cc" "src/CMakeFiles/cspdb.dir/csp/backjump_solver.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/csp/backjump_solver.cc.o.d"
+  "/root/repo/src/csp/convert.cc" "src/CMakeFiles/cspdb.dir/csp/convert.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/csp/convert.cc.o.d"
+  "/root/repo/src/csp/dual_encoding.cc" "src/CMakeFiles/cspdb.dir/csp/dual_encoding.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/csp/dual_encoding.cc.o.d"
+  "/root/repo/src/csp/instance.cc" "src/CMakeFiles/cspdb.dir/csp/instance.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/csp/instance.cc.o.d"
+  "/root/repo/src/csp/microstructure.cc" "src/CMakeFiles/cspdb.dir/csp/microstructure.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/csp/microstructure.cc.o.d"
+  "/root/repo/src/csp/sat_encoding.cc" "src/CMakeFiles/cspdb.dir/csp/sat_encoding.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/csp/sat_encoding.cc.o.d"
+  "/root/repo/src/csp/solver.cc" "src/CMakeFiles/cspdb.dir/csp/solver.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/csp/solver.cc.o.d"
+  "/root/repo/src/datalog/canonical_program.cc" "src/CMakeFiles/cspdb.dir/datalog/canonical_program.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/datalog/canonical_program.cc.o.d"
+  "/root/repo/src/datalog/eval.cc" "src/CMakeFiles/cspdb.dir/datalog/eval.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/datalog/eval.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/CMakeFiles/cspdb.dir/datalog/program.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/datalog/program.cc.o.d"
+  "/root/repo/src/db/acyclic.cc" "src/CMakeFiles/cspdb.dir/db/acyclic.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/db/acyclic.cc.o.d"
+  "/root/repo/src/db/algebra.cc" "src/CMakeFiles/cspdb.dir/db/algebra.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/db/algebra.cc.o.d"
+  "/root/repo/src/db/conjunctive_query.cc" "src/CMakeFiles/cspdb.dir/db/conjunctive_query.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/db/conjunctive_query.cc.o.d"
+  "/root/repo/src/db/containment.cc" "src/CMakeFiles/cspdb.dir/db/containment.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/db/containment.cc.o.d"
+  "/root/repo/src/db/relation.cc" "src/CMakeFiles/cspdb.dir/db/relation.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/db/relation.cc.o.d"
+  "/root/repo/src/games/pebble_game.cc" "src/CMakeFiles/cspdb.dir/games/pebble_game.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/games/pebble_game.cc.o.d"
+  "/root/repo/src/games/two_sided_game.cc" "src/CMakeFiles/cspdb.dir/games/two_sided_game.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/games/two_sided_game.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "src/CMakeFiles/cspdb.dir/gen/generators.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/gen/generators.cc.o.d"
+  "/root/repo/src/io/rule_parser.cc" "src/CMakeFiles/cspdb.dir/io/rule_parser.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/io/rule_parser.cc.o.d"
+  "/root/repo/src/io/text_format.cc" "src/CMakeFiles/cspdb.dir/io/text_format.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/io/text_format.cc.o.d"
+  "/root/repo/src/logic/bounded_formula.cc" "src/CMakeFiles/cspdb.dir/logic/bounded_formula.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/logic/bounded_formula.cc.o.d"
+  "/root/repo/src/relational/core.cc" "src/CMakeFiles/cspdb.dir/relational/core.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/relational/core.cc.o.d"
+  "/root/repo/src/relational/homomorphism.cc" "src/CMakeFiles/cspdb.dir/relational/homomorphism.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/relational/homomorphism.cc.o.d"
+  "/root/repo/src/relational/structure.cc" "src/CMakeFiles/cspdb.dir/relational/structure.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/relational/structure.cc.o.d"
+  "/root/repo/src/relational/structure_ops.cc" "src/CMakeFiles/cspdb.dir/relational/structure_ops.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/relational/structure_ops.cc.o.d"
+  "/root/repo/src/relational/vocabulary.cc" "src/CMakeFiles/cspdb.dir/relational/vocabulary.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/relational/vocabulary.cc.o.d"
+  "/root/repo/src/rpq/graphdb.cc" "src/CMakeFiles/cspdb.dir/rpq/graphdb.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/rpq/graphdb.cc.o.d"
+  "/root/repo/src/rpq/nfa.cc" "src/CMakeFiles/cspdb.dir/rpq/nfa.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/rpq/nfa.cc.o.d"
+  "/root/repo/src/rpq/regex.cc" "src/CMakeFiles/cspdb.dir/rpq/regex.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/rpq/regex.cc.o.d"
+  "/root/repo/src/rpq/rpq_eval.cc" "src/CMakeFiles/cspdb.dir/rpq/rpq_eval.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/rpq/rpq_eval.cc.o.d"
+  "/root/repo/src/rpq/two_way.cc" "src/CMakeFiles/cspdb.dir/rpq/two_way.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/rpq/two_way.cc.o.d"
+  "/root/repo/src/temporal/stp.cc" "src/CMakeFiles/cspdb.dir/temporal/stp.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/temporal/stp.cc.o.d"
+  "/root/repo/src/treewidth/bucket_elimination.cc" "src/CMakeFiles/cspdb.dir/treewidth/bucket_elimination.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/treewidth/bucket_elimination.cc.o.d"
+  "/root/repo/src/treewidth/counting.cc" "src/CMakeFiles/cspdb.dir/treewidth/counting.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/treewidth/counting.cc.o.d"
+  "/root/repo/src/treewidth/exact.cc" "src/CMakeFiles/cspdb.dir/treewidth/exact.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/treewidth/exact.cc.o.d"
+  "/root/repo/src/treewidth/gaifman.cc" "src/CMakeFiles/cspdb.dir/treewidth/gaifman.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/treewidth/gaifman.cc.o.d"
+  "/root/repo/src/treewidth/heuristics.cc" "src/CMakeFiles/cspdb.dir/treewidth/heuristics.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/treewidth/heuristics.cc.o.d"
+  "/root/repo/src/treewidth/hypertree.cc" "src/CMakeFiles/cspdb.dir/treewidth/hypertree.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/treewidth/hypertree.cc.o.d"
+  "/root/repo/src/treewidth/incidence.cc" "src/CMakeFiles/cspdb.dir/treewidth/incidence.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/treewidth/incidence.cc.o.d"
+  "/root/repo/src/treewidth/tree_decomposition.cc" "src/CMakeFiles/cspdb.dir/treewidth/tree_decomposition.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/treewidth/tree_decomposition.cc.o.d"
+  "/root/repo/src/util/check.cc" "src/CMakeFiles/cspdb.dir/util/check.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/util/check.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/cspdb.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/util/rng.cc.o.d"
+  "/root/repo/src/views/certain_answers.cc" "src/CMakeFiles/cspdb.dir/views/certain_answers.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/views/certain_answers.cc.o.d"
+  "/root/repo/src/views/constraint_template.cc" "src/CMakeFiles/cspdb.dir/views/constraint_template.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/views/constraint_template.cc.o.d"
+  "/root/repo/src/views/csp_to_views.cc" "src/CMakeFiles/cspdb.dir/views/csp_to_views.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/views/csp_to_views.cc.o.d"
+  "/root/repo/src/views/rewriting.cc" "src/CMakeFiles/cspdb.dir/views/rewriting.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/views/rewriting.cc.o.d"
+  "/root/repo/src/views/view.cc" "src/CMakeFiles/cspdb.dir/views/view.cc.o" "gcc" "src/CMakeFiles/cspdb.dir/views/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/acyclic_test.cc" "tests/CMakeFiles/cspdb_tests.dir/acyclic_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/acyclic_test.cc.o.d"
+  "/root/repo/tests/algebra_laws_test.cc" "tests/CMakeFiles/cspdb_tests.dir/algebra_laws_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/algebra_laws_test.cc.o.d"
+  "/root/repo/tests/boolean_test.cc" "tests/CMakeFiles/cspdb_tests.dir/boolean_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/boolean_test.cc.o.d"
+  "/root/repo/tests/canonical_program_test.cc" "tests/CMakeFiles/cspdb_tests.dir/canonical_program_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/canonical_program_test.cc.o.d"
+  "/root/repo/tests/checks_test.cc" "tests/CMakeFiles/cspdb_tests.dir/checks_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/checks_test.cc.o.d"
+  "/root/repo/tests/consistency_more_test.cc" "tests/CMakeFiles/cspdb_tests.dir/consistency_more_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/consistency_more_test.cc.o.d"
+  "/root/repo/tests/consistency_test.cc" "tests/CMakeFiles/cspdb_tests.dir/consistency_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/consistency_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/cspdb_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/counting_test.cc" "tests/CMakeFiles/cspdb_tests.dir/counting_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/counting_test.cc.o.d"
+  "/root/repo/tests/csp_test.cc" "tests/CMakeFiles/cspdb_tests.dir/csp_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/csp_test.cc.o.d"
+  "/root/repo/tests/datalog_extra_test.cc" "tests/CMakeFiles/cspdb_tests.dir/datalog_extra_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/datalog_extra_test.cc.o.d"
+  "/root/repo/tests/datalog_test.cc" "tests/CMakeFiles/cspdb_tests.dir/datalog_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/datalog_test.cc.o.d"
+  "/root/repo/tests/db_test.cc" "tests/CMakeFiles/cspdb_tests.dir/db_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/db_test.cc.o.d"
+  "/root/repo/tests/encodings_test.cc" "tests/CMakeFiles/cspdb_tests.dir/encodings_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/encodings_test.cc.o.d"
+  "/root/repo/tests/evaluate_differential_test.cc" "tests/CMakeFiles/cspdb_tests.dir/evaluate_differential_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/evaluate_differential_test.cc.o.d"
+  "/root/repo/tests/games_test.cc" "tests/CMakeFiles/cspdb_tests.dir/games_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/games_test.cc.o.d"
+  "/root/repo/tests/gen_test.cc" "tests/CMakeFiles/cspdb_tests.dir/gen_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/gen_test.cc.o.d"
+  "/root/repo/tests/hypertree_test.cc" "tests/CMakeFiles/cspdb_tests.dir/hypertree_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/hypertree_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/cspdb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/cspdb_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/logic_test.cc" "tests/CMakeFiles/cspdb_tests.dir/logic_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/logic_test.cc.o.d"
+  "/root/repo/tests/microstructure_test.cc" "tests/CMakeFiles/cspdb_tests.dir/microstructure_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/microstructure_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/cspdb_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/cspdb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/relational_test.cc" "tests/CMakeFiles/cspdb_tests.dir/relational_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/relational_test.cc.o.d"
+  "/root/repo/tests/rewriting_property_test.cc" "tests/CMakeFiles/cspdb_tests.dir/rewriting_property_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/rewriting_property_test.cc.o.d"
+  "/root/repo/tests/rpq_test.cc" "tests/CMakeFiles/cspdb_tests.dir/rpq_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/rpq_test.cc.o.d"
+  "/root/repo/tests/sat_stp_test.cc" "tests/CMakeFiles/cspdb_tests.dir/sat_stp_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/sat_stp_test.cc.o.d"
+  "/root/repo/tests/solver_extensions_test.cc" "tests/CMakeFiles/cspdb_tests.dir/solver_extensions_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/solver_extensions_test.cc.o.d"
+  "/root/repo/tests/solver_test.cc" "tests/CMakeFiles/cspdb_tests.dir/solver_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/solver_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/cspdb_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/treewidth_more_test.cc" "tests/CMakeFiles/cspdb_tests.dir/treewidth_more_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/treewidth_more_test.cc.o.d"
+  "/root/repo/tests/treewidth_test.cc" "tests/CMakeFiles/cspdb_tests.dir/treewidth_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/treewidth_test.cc.o.d"
+  "/root/repo/tests/two_sided_game_test.cc" "tests/CMakeFiles/cspdb_tests.dir/two_sided_game_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/two_sided_game_test.cc.o.d"
+  "/root/repo/tests/two_way_test.cc" "tests/CMakeFiles/cspdb_tests.dir/two_way_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/two_way_test.cc.o.d"
+  "/root/repo/tests/unification_test.cc" "tests/CMakeFiles/cspdb_tests.dir/unification_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/unification_test.cc.o.d"
+  "/root/repo/tests/views_more_test.cc" "tests/CMakeFiles/cspdb_tests.dir/views_more_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/views_more_test.cc.o.d"
+  "/root/repo/tests/views_test.cc" "tests/CMakeFiles/cspdb_tests.dir/views_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/views_test.cc.o.d"
+  "/root/repo/tests/widths_test.cc" "tests/CMakeFiles/cspdb_tests.dir/widths_test.cc.o" "gcc" "tests/CMakeFiles/cspdb_tests.dir/widths_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cspdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
