@@ -1,0 +1,16 @@
+// Umbrella header for the invariant-audit layer: structured diagnostics
+// plus the deep validators for every checkable artifact the library
+// produces. Producers include this and wrap calls in CSPDB_AUDIT (see
+// util/check.h) so audits run in Debug/sanitizer builds and cost nothing
+// in Release.
+
+#ifndef CSPDB_ANALYSIS_ANALYSIS_H_
+#define CSPDB_ANALYSIS_ANALYSIS_H_
+
+#include "analysis/diagnostics.h"          // IWYU pragma: export
+#include "analysis/validate_csp.h"         // IWYU pragma: export
+#include "analysis/validate_datalog.h"     // IWYU pragma: export
+#include "analysis/validate_decomposition.h"  // IWYU pragma: export
+#include "analysis/validate_structure.h"   // IWYU pragma: export
+
+#endif  // CSPDB_ANALYSIS_ANALYSIS_H_

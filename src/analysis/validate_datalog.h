@@ -1,0 +1,53 @@
+// Validation of Datalog programs and evaluation results. The paper's
+// Section 4 machinery (k-Datalog, canonical programs rho_B) only makes
+// sense for safe, range-restricted, negation-free programs with
+// consistent predicate arities; ValidateDatalogProgram re-checks those
+// conditions on a finished program — independent of the incremental
+// checks DatalogProgram::AddRule performs — so generated programs (the
+// exponential rho_B construction in particular) can be audited wholesale.
+
+#ifndef CSPDB_ANALYSIS_VALIDATE_DATALOG_H_
+#define CSPDB_ANALYSIS_VALIDATE_DATALOG_H_
+
+#include "analysis/diagnostics.h"
+#include "datalog/eval.h"
+#include "datalog/program.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// Checks one rule in isolation:
+///  - argument variable ids are within [0, num_variables);
+///  - safety / range restriction: every head variable occurs in the body
+///    (a rule with an empty body must have a variable-free head);
+///  - every declared variable occurs somewhere (warning otherwise).
+/// Predicate-arity consistency is a program-level property and checked by
+/// ValidateDatalogProgram.
+Diagnostics ValidateDatalogRule(const DatalogRule& rule);
+
+/// Checks a whole program:
+///  - every rule passes ValidateDatalogRule;
+///  - every use of a predicate has one consistent arity;
+///  - the goal, if set, occurs in some rule head (is an IDB);
+///  - the program's IDB/EDB classification matches the rules (a
+///    predicate is an IDB iff it occurs in a head). The programs here are
+///    negation-free, so every program is trivially stratified; this
+///    validator is where a stratification check would land if negation
+///    were added.
+Diagnostics ValidateDatalogProgram(const DatalogProgram& program);
+
+/// Checks an evaluation result against its program and EDB:
+///  - facts are recorded only for IDB predicates;
+///  - every fact has its predicate's arity and uses elements of the EDB's
+///    domain;
+///  - the result is a model of the program on `edb`: no rule has an
+///    instantiation with a satisfied body and an underived head. (The
+///    fixpoint property — every derived fact is justified — is not
+///    checkable from the result alone; closure under the rules is.)
+Diagnostics ValidateDatalogResult(const DatalogProgram& program,
+                                  const Structure& edb,
+                                  const DatalogResult& result);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_ANALYSIS_VALIDATE_DATALOG_H_

@@ -1,0 +1,26 @@
+// Structural validation of relational structures: every stored tuple
+// respects its symbol's arity and the domain bounds, and the dual
+// vector/set representation is consistent. These are the invariants the
+// Feder-Vardi correspondence (paper, Section 2) silently assumes whenever
+// a structure is handed to the homomorphism, game, or Datalog machinery.
+
+#ifndef CSPDB_ANALYSIS_VALIDATE_STRUCTURE_H_
+#define CSPDB_ANALYSIS_VALIDATE_STRUCTURE_H_
+
+#include "analysis/diagnostics.h"
+#include "relational/structure.h"
+
+namespace cspdb {
+
+/// Checks `a` against the relational-structure invariants:
+///  - the vocabulary's symbols have distinct names and positive arities;
+///  - every tuple of relation R has exactly arity(R) entries;
+///  - every tuple entry is a domain element in [0, domain_size);
+///  - the insertion-order tuple list is duplicate-free and agrees with
+///    the membership set (same tuples, same count).
+/// Emits a warning (not an error) for a relation with no tuples.
+Diagnostics ValidateStructure(const Structure& a);
+
+}  // namespace cspdb
+
+#endif  // CSPDB_ANALYSIS_VALIDATE_STRUCTURE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/validate_csp.h"
 #include "relational/homomorphism.h"
 #include "util/check.h"
 
@@ -68,6 +69,8 @@ std::optional<std::vector<int>> BackjumpSolver::Solve() {
   while (true) {
     if (level == n) {
       CSPDB_CHECK(csp_.IsSolution(assignment));
+      CSPDB_AUDIT(AuditOrDie("BackjumpSolver solution",
+                             ValidateSolution(csp_, assignment)));
       return assignment;
     }
     int var = order_[level];

@@ -4,6 +4,7 @@
 #include <deque>
 #include <utility>
 
+#include "analysis/validate_csp.h"
 #include "relational/homomorphism.h"
 #include "util/check.h"
 
@@ -294,6 +295,10 @@ std::optional<std::vector<int>> BacktrackingSolver::Solve() {
     return false;  // stop at first solution
   });
   if (stats_.aborted) return std::nullopt;
+  if (result.has_value()) {
+    CSPDB_AUDIT(AuditOrDie("BacktrackingSolver solution",
+                           ValidateSolution(csp_, *result)));
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/validate_datalog.h"
 #include "datalog/eval.h"
 #include "util/check.h"
 
@@ -261,7 +262,10 @@ DatalogProgram CanonicalKDatalogProgram(const Structure& b, int k) {
   CSPDB_CHECK(k >= 1);
   CSPDB_CHECK_MSG(b.domain_size() > 0,
                   "empty templates are handled by SpoilerWinsViaDatalog");
-  return ProgramBuilder(b, k).Build();
+  DatalogProgram program = ProgramBuilder(b, k).Build();
+  CSPDB_AUDIT(AuditOrDie("canonical k-Datalog program",
+                         ValidateDatalogProgram(program)));
+  return program;
 }
 
 bool SpoilerWinsViaDatalog(const Structure& a, const Structure& b, int k) {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/validate_datalog.h"
 #include "relational/homomorphism.h"
 #include "util/check.h"
 
@@ -172,6 +173,8 @@ DatalogResult EvaluateNaive(const DatalogProgram& program,
     }
   }
   result.idb = std::move(store.idb_set);
+  CSPDB_AUDIT(AuditOrDie("naive Datalog fixpoint",
+                         ValidateDatalogResult(program, edb, result)));
   return result;
 }
 
@@ -226,6 +229,8 @@ DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
     delta = std::move(next_delta);
   }
   result.idb = std::move(store.idb_set);
+  CSPDB_AUDIT(AuditOrDie("semi-naive Datalog fixpoint",
+                         ValidateDatalogResult(program, edb, result)));
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <set>
 #include <utility>
 
+#include "analysis/validate_csp.h"
+#include "analysis/validate_structure.h"
 #include "boolean/hell_nesetril.h"
 #include "util/check.h"
 
@@ -17,6 +19,7 @@ Structure RandomDigraph(int n, double p, Rng* rng, bool allow_loops) {
       if (rng->Bernoulli(p)) g.AddTuple(0, {u, v});
     }
   }
+  CSPDB_AUDIT(AuditOrDie("generated random digraph", ValidateStructure(g)));
   return g;
 }
 
@@ -90,6 +93,8 @@ CspInstance RandomBinaryCsp(int num_variables, int num_values,
     }
     csp.AddConstraint({u, v}, std::move(allowed));
   }
+  CSPDB_AUDIT(
+      AuditOrDie("generated random binary CSP", ValidateCspInstance(csp)));
   return csp;
 }
 
@@ -151,6 +156,8 @@ CspInstance RandomTreewidthCsp(int n, int k, int num_values,
       csp.AddConstraint({u, v}, std::move(allowed));
     }
   }
+  CSPDB_AUDIT(AuditOrDie("generated random treewidth-bounded CSP",
+                         ValidateCspInstance(csp)));
   return csp;
 }
 
@@ -166,6 +173,8 @@ Structure RandomTreewidthDigraph(int n, int k, double keep_p, Rng* rng) {
       if (roll == 1 || roll == 2) a.AddTuple(0, {v, u});
     }
   }
+  CSPDB_AUDIT(AuditOrDie("generated random treewidth-bounded digraph",
+                         ValidateStructure(a)));
   return a;
 }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "analysis/validate_csp.h"
 #include "util/check.h"
 
 namespace cspdb {
@@ -138,6 +139,10 @@ std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
         return false;  // stop
       },
       stats);
+  if (result.has_value()) {
+    CSPDB_AUDIT(AuditOrDie("homomorphism search witness",
+                           ValidateHomomorphism(a, b, *result)));
+  }
   return result;
 }
 

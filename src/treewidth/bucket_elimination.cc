@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "analysis/validate_csp.h"
 #include "db/algebra.h"
 #include "db/relation.h"
 #include "relational/homomorphism.h"
@@ -120,6 +121,8 @@ std::optional<std::vector<int>> SolveByBucketElimination(
   }
   if (stats != nullptr) *stats = local_stats;
   CSPDB_CHECK(csp.IsSolution(solution));
+  CSPDB_AUDIT(AuditOrDie("bucket-elimination solution",
+                         ValidateSolution(csp, solution)));
   return solution;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/validate_decomposition.h"
 #include "util/check.h"
 
 namespace cspdb {
@@ -123,6 +124,8 @@ TreeDecomposition DecompositionFromOrdering(const Graph& g,
       td.edges.push_back({i, position[parent_vertex]});
     }
   }
+  CSPDB_AUDIT(AuditOrDie("elimination-ordering tree decomposition",
+                         ValidateTreeDecomposition(g, td)));
   return td;
 }
 

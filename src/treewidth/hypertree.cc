@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "analysis/validate_csp.h"
+#include "analysis/validate_decomposition.h"
 #include "db/algebra.h"
 #include "relational/homomorphism.h"
 #include "treewidth/gaifman.h"
@@ -263,6 +265,8 @@ std::optional<HypertreeDecomposition> HypertreeFromTreeDecomposition(
     htd.chi.push_back(std::move(chi));
     htd.lambda.push_back(std::move(*cover));
   }
+  CSPDB_AUDIT(AuditOrDie("hypertree decomposition from tree decomposition",
+                         ValidateHypertreeDecomposition(h, htd)));
   return htd;
 }
 
@@ -384,6 +388,8 @@ std::optional<std::vector<int>> SolveByHypertreeDecomposition(
     if (solution[v] == kUnassigned) solution[v] = 0;
   }
   CSPDB_CHECK(csp.IsSolution(solution));
+  CSPDB_AUDIT(AuditOrDie("hypertree-decomposition solution",
+                         ValidateSolution(csp, solution)));
   return solution;
 }
 

@@ -31,4 +31,51 @@ namespace cspdb::internal {
        ? (void)0                                                          \
        : ::cspdb::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg)))
 
+// ---------------------------------------------------------------------------
+// Audit tier: deep structural invariants, compiled out of Release hot loops.
+//
+// CSPDB_AUDIT_ENABLED is 1 in builds without NDEBUG (Debug) and in any
+// build compiled with -DCSPDB_ENABLE_AUDITS — the CMake sanitizer presets
+// (-DCSPDB_SANITIZE=address|undefined) define it so that ASan/UBSan runs
+// also exercise every structural audit. In Release/RelWithDebInfo the
+// macros expand to nothing (operands are not evaluated), so producers can
+// afford O(artifact)-cost validation at every certificate hand-off.
+
+#if defined(CSPDB_ENABLE_AUDITS) || !defined(NDEBUG)
+#define CSPDB_AUDIT_ENABLED 1
+#else
+#define CSPDB_AUDIT_ENABLED 0
+#endif
+
+#if CSPDB_AUDIT_ENABLED
+
+/// Debug-tier CSPDB_CHECK: aborts on violation in audit builds, expands
+/// to nothing (condition unevaluated) otherwise.
+#define CSPDB_DCHECK(cond) CSPDB_CHECK(cond)
+
+/// Debug-tier CSPDB_CHECK_MSG.
+#define CSPDB_DCHECK_MSG(cond, msg) CSPDB_CHECK_MSG(cond, msg)
+
+/// Executes `stmt` — typically `AuditOrDie("...", Validate...(...))` from
+/// analysis/diagnostics.h — in audit builds only.
+#define CSPDB_AUDIT(stmt) \
+  do {                    \
+    stmt;                 \
+  } while (false)
+
+#else
+
+// sizeof keeps the operands type-checked and "used" without evaluating
+// them, so audit-only locals don't trip -Wunused in Release.
+#define CSPDB_DCHECK(cond) ((void)sizeof(!(cond)))
+#define CSPDB_DCHECK_MSG(cond, msg) ((void)sizeof(!(cond)))
+#define CSPDB_AUDIT(stmt) \
+  do {                    \
+    if (false) {          \
+      stmt;               \
+    }                     \
+  } while (false)
+
+#endif  // CSPDB_AUDIT_ENABLED
+
 #endif  // CSPDB_UTIL_CHECK_H_

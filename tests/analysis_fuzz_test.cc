@@ -1,0 +1,206 @@
+// Deterministic cross-validation driver for the invariant-audit layer:
+// generates seeded random instances, runs every solver variant on each,
+// checks that all variants agree on solvability, and audits every
+// certificate (instances, solutions, decompositions, Datalog fixpoints)
+// with the src/analysis validators. Unlike the CSPDB_AUDIT hooks — which
+// compile out of Release builds — these audits run unconditionally, so
+// the cross-validation holds in every build configuration.
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.h"
+#include "csp/backjump_solver.h"
+#include "csp/convert.h"
+#include "csp/instance.h"
+#include "csp/solver.h"
+#include "datalog/eval.h"
+#include "datalog/program.h"
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "treewidth/bucket_elimination.h"
+#include "treewidth/gaifman.h"
+#include "treewidth/heuristics.h"
+#include "treewidth/hypertree.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+// One audited solve: runs every solver variant, insists the solvability
+// verdicts agree, and validates every returned assignment against the
+// original instance. Returns the common verdict.
+bool SolveAllVariantsAudited(const CspInstance& csp,
+                             const std::string& label) {
+  struct Attempt {
+    const char* name;
+    std::optional<std::vector<int>> solution;
+  };
+  std::vector<Attempt> attempts;
+
+  for (auto propagation : {Propagation::kNone, Propagation::kForwardChecking,
+                           Propagation::kGac}) {
+    SolverOptions options;
+    options.propagation = propagation;
+    BacktrackingSolver solver(csp, options);
+    attempts.push_back({"backtracking", solver.Solve()});
+  }
+  {
+    BackjumpSolver solver(csp);
+    attempts.push_back({"backjumping", solver.Solve()});
+  }
+  attempts.push_back(
+      {"bucket-elimination", SolveWithTreewidthHeuristic(csp)});
+  attempts.push_back({"hypertree", SolveWithHypertreeHeuristic(csp)});
+
+  const bool solvable = attempts.front().solution.has_value();
+  for (const Attempt& attempt : attempts) {
+    EXPECT_EQ(attempt.solution.has_value(), solvable)
+        << label << ": solver variant '" << attempt.name
+        << "' disagrees on solvability";
+    if (attempt.solution.has_value()) {
+      Diagnostics diagnostics = ValidateSolution(csp, *attempt.solution);
+      EXPECT_FALSE(HasErrors(diagnostics))
+          << label << ": solver variant '" << attempt.name
+          << "' returned an invalid certificate:\n"
+          << FormatDiagnostics(diagnostics);
+    }
+  }
+  return solvable;
+}
+
+// Audits the decompositions constructible for the instance's primal
+// graph and constraint hypergraph.
+void AuditDecompositions(const CspInstance& csp, const std::string& label) {
+  CspInstance normalized = csp.NormalizedDistinctScopes();
+  Graph primal = GaifmanGraphOfCsp(normalized);
+  TreeDecomposition td = MinFillDecomposition(primal);
+  Diagnostics td_diagnostics = ValidateTreeDecomposition(primal, td);
+  EXPECT_FALSE(HasErrors(td_diagnostics))
+      << label << ": min-fill tree decomposition invalid:\n"
+      << FormatDiagnostics(td_diagnostics);
+
+  Hypergraph h;
+  for (const Constraint& c : normalized.constraints()) {
+    h.edges.push_back(c.scope);
+  }
+  if (h.edges.empty()) return;
+  auto htd = HypertreeFromTreeDecomposition(h, td);
+  ASSERT_TRUE(htd.has_value()) << label;
+  Diagnostics htd_diagnostics =
+      ValidateHypertreeDecomposition(h, *htd, htd->Width());
+  EXPECT_FALSE(HasErrors(htd_diagnostics))
+      << label << ": hypertree decomposition invalid:\n"
+      << FormatDiagnostics(htd_diagnostics);
+}
+
+TEST(AnalysisFuzz, RandomBinaryInstancesAcrossAllSolvers) {
+  int solvable = 0;
+  int audited = 0;
+  for (uint64_t seed = 0; seed < 120; ++seed) {
+    Rng rng(1000 + seed);
+    int n = 6 + static_cast<int>(seed % 5);        // 6..10 variables
+    int d = 2 + static_cast<int>(seed % 3);        // 2..4 values
+    int max_constraints = n * (n - 1) / 2;
+    int m = std::min(max_constraints, n + static_cast<int>(seed % n));
+    double tightness = 0.15 + 0.04 * static_cast<double>(seed % 10);
+    CspInstance csp = RandomBinaryCsp(n, d, m, tightness, &rng);
+
+    const std::string label = "binary seed " + std::to_string(seed);
+    Diagnostics instance_diagnostics = ValidateCspInstance(csp);
+    ASSERT_FALSE(HasErrors(instance_diagnostics))
+        << label << ":\n" << FormatDiagnostics(instance_diagnostics);
+
+    if (SolveAllVariantsAudited(csp, label)) ++solvable;
+    AuditDecompositions(csp, label);
+    ++audited;
+  }
+  EXPECT_EQ(audited, 120);
+  // The tightness sweep must cover both phases; a degenerate all-SAT or
+  // all-UNSAT corpus would gut the cross-validation.
+  EXPECT_GT(solvable, 10);
+  EXPECT_LT(solvable, 110);
+}
+
+TEST(AnalysisFuzz, BoundedTreewidthInstancesAcrossAllSolvers) {
+  int audited = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(7000 + seed);
+    int n = 8 + static_cast<int>(seed % 6);        // 8..13 variables
+    int k = 2 + static_cast<int>(seed % 2);        // treewidth bound 2..3
+    int d = 2 + static_cast<int>(seed % 3);
+    double tightness = 0.1 + 0.05 * static_cast<double>(seed % 8);
+    CspInstance csp = RandomTreewidthCsp(n, k, d, tightness, 0.85, &rng);
+
+    const std::string label = "treewidth seed " + std::to_string(seed);
+    Diagnostics instance_diagnostics = ValidateCspInstance(csp);
+    ASSERT_FALSE(HasErrors(instance_diagnostics))
+        << label << ":\n" << FormatDiagnostics(instance_diagnostics);
+
+    SolveAllVariantsAudited(csp, label);
+    AuditDecompositions(csp, label);
+    ++audited;
+  }
+  EXPECT_EQ(audited, 60);
+}
+
+TEST(AnalysisFuzz, HomomorphismInstancesRoundTrip) {
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(31000 + seed);
+    Structure a = RandomDigraph(5 + static_cast<int>(seed % 3), 0.35, &rng);
+    Structure b = RandomDigraph(3, 0.6, &rng, /*allow_loops=*/true);
+    const std::string label = "hom seed " + std::to_string(seed);
+
+    ASSERT_FALSE(HasErrors(ValidateStructure(a))) << label;
+    ASSERT_FALSE(HasErrors(ValidateStructure(b))) << label;
+
+    // The homomorphism search and the CSP(A, B) break-up must agree, and
+    // both witnesses must validate.
+    auto h = FindHomomorphism(a, b);
+    CspInstance csp = ToCspInstance(a, b);
+    ASSERT_FALSE(HasErrors(ValidateCspInstance(csp))) << label;
+    BacktrackingSolver solver(csp);
+    auto solution = solver.Solve();
+    EXPECT_EQ(h.has_value(), solution.has_value()) << label;
+    if (h.has_value()) {
+      Diagnostics diagnostics = ValidateHomomorphism(a, b, *h);
+      EXPECT_FALSE(HasErrors(diagnostics))
+          << label << ":\n" << FormatDiagnostics(diagnostics);
+    }
+    if (solution.has_value()) {
+      // A CSP(A, B) solution *is* a homomorphism A -> B.
+      Diagnostics diagnostics = ValidateHomomorphism(a, b, *solution);
+      EXPECT_FALSE(HasErrors(diagnostics))
+          << label << ":\n" << FormatDiagnostics(diagnostics);
+    }
+  }
+}
+
+TEST(AnalysisFuzz, DatalogFixpointsAreClosedAndWellFormed) {
+  DatalogProgram program = NonTwoColorabilityProgram();
+  ASSERT_FALSE(HasErrors(ValidateDatalogProgram(program)));
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(53000 + seed);
+    Structure edb = RandomDigraph(6, 0.3, &rng);
+    const std::string label = "datalog seed " + std::to_string(seed);
+
+    DatalogResult naive = EvaluateNaive(program, edb);
+    DatalogResult semi = EvaluateSemiNaive(program, edb);
+    Diagnostics naive_diagnostics =
+        ValidateDatalogResult(program, edb, naive);
+    Diagnostics semi_diagnostics = ValidateDatalogResult(program, edb, semi);
+    EXPECT_FALSE(HasErrors(naive_diagnostics))
+        << label << ":\n" << FormatDiagnostics(naive_diagnostics);
+    EXPECT_FALSE(HasErrors(semi_diagnostics))
+        << label << ":\n" << FormatDiagnostics(semi_diagnostics);
+    EXPECT_EQ(naive.GoalDerived(program), semi.GoalDerived(program)) << label;
+  }
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -1,0 +1,387 @@
+// Tests for the invariant-audit layer (src/analysis): every validator
+// accepts known-good artifacts, and mutating each audited invariant —
+// dropping a bag vertex, breaking connectedness, un-range-restricting a
+// rule, corrupting one assignment entry — produces the right Diagnostic.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.h"
+#include "boolean/hell_nesetril.h"
+#include "csp/convert.h"
+#include "csp/instance.h"
+#include "csp/solver.h"
+#include "datalog/eval.h"
+#include "datalog/program.h"
+#include "gen/generators.h"
+#include "relational/homomorphism.h"
+#include "relational/structure.h"
+#include "treewidth/gaifman.h"
+#include "treewidth/heuristics.h"
+#include "treewidth/hypertree.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+bool AnyErrorContains(const Diagnostics& diagnostics,
+                      const std::string& needle) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError &&
+        d.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// A 3-coloring instance of a 5-cycle: solvable, nontrivial primal graph.
+CspInstance CycleColoring(int n, int colors) {
+  CspInstance csp(n, colors);
+  std::vector<Tuple> neq;
+  for (int x = 0; x < colors; ++x) {
+    for (int y = 0; y < colors; ++y) {
+      if (x != y) neq.push_back({x, y});
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    csp.AddConstraint({v, (v + 1) % n}, neq);
+  }
+  return csp;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics plumbing
+
+TEST(Diagnostics, ToStringAndHelpers) {
+  Diagnostic d{Severity::kError, "csp_instance", "constraint 3",
+               "scope variable 9 out of range"};
+  EXPECT_EQ(d.ToString(),
+            "error[csp_instance] constraint 3: scope variable 9 out of range");
+  Diagnostic w{Severity::kWarning, "structure", "", "empty relation"};
+  EXPECT_EQ(w.ToString(), "warning[structure]: empty relation");
+
+  Diagnostics list{w};
+  EXPECT_FALSE(HasErrors(list));
+  EXPECT_EQ(CountErrors(list), 0);
+  list.push_back(d);
+  EXPECT_TRUE(HasErrors(list));
+  EXPECT_EQ(CountErrors(list), 1);
+  EXPECT_EQ(FormatDiagnostics(list),
+            w.ToString() + "\n" + d.ToString() + "\n");
+  EXPECT_EQ(FormatDiagnostics({}), "");
+}
+
+TEST(Diagnostics, AuditOrDieIgnoresWarningsAndDiesOnErrors) {
+  Diagnostics warnings{{Severity::kWarning, "structure", "", "empty"}};
+  AuditOrDie("warnings only", warnings);  // must not abort
+  Diagnostics errors{{Severity::kError, "structure", "", "bad"}};
+  EXPECT_DEATH(AuditOrDie("bad artifact", errors), "CSPDB_AUDIT failed");
+}
+
+// ---------------------------------------------------------------------------
+// Structures
+
+TEST(ValidateStructure, AcceptsGeneratedDigraph) {
+  Rng rng(7);
+  Structure g = RandomDigraph(8, 0.4, &rng);
+  EXPECT_FALSE(HasErrors(ValidateStructure(g)));
+}
+
+TEST(ValidateStructure, WarnsOnEmptyRelation) {
+  Structure g(GraphVocabulary(), 3);
+  Diagnostics diagnostics = ValidateStructure(g);
+  EXPECT_FALSE(HasErrors(diagnostics));
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].severity, Severity::kWarning);
+  EXPECT_NE(diagnostics[0].message.find("empty relation"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CSP instances and solution certificates
+
+TEST(ValidateCspInstance, AcceptsGeneratedInstances) {
+  Rng rng(11);
+  EXPECT_FALSE(HasErrors(ValidateCspInstance(
+      RandomBinaryCsp(10, 3, 15, 0.3, &rng))));
+  EXPECT_FALSE(HasErrors(ValidateCspInstance(
+      RandomTreewidthCsp(12, 2, 3, 0.2, 0.8, &rng))));
+  EXPECT_FALSE(HasErrors(ValidateCspInstance(CycleColoring(5, 3))));
+}
+
+TEST(ValidateCspInstance, WarnsOnEmptyRelation) {
+  CspInstance csp(2, 2);
+  csp.AddConstraint({0, 1}, {});
+  Diagnostics diagnostics = ValidateCspInstance(csp);
+  EXPECT_FALSE(HasErrors(diagnostics));
+  bool warned = false;
+  for (const Diagnostic& d : diagnostics) {
+    warned = warned || d.message.find("empty relation") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(ValidateSolution, AcceptsSolverCertificate) {
+  CspInstance csp = CycleColoring(5, 3);
+  BacktrackingSolver solver(csp);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_FALSE(HasErrors(ValidateSolution(csp, *solution)));
+}
+
+TEST(ValidateSolution, CorruptingOneAssignmentIsCaught) {
+  CspInstance csp = CycleColoring(5, 3);
+  BacktrackingSolver solver(csp);
+  auto solution = solver.Solve();
+  ASSERT_TRUE(solution.has_value());
+  std::vector<int> corrupt = *solution;
+  // Make variable 0 equal to its cycle successor, violating the
+  // disequality constraint on {0, 1}.
+  corrupt[0] = corrupt[1];
+  Diagnostics diagnostics = ValidateSolution(csp, corrupt);
+  EXPECT_TRUE(HasErrors(diagnostics));
+  EXPECT_TRUE(AnyErrorContains(diagnostics, "not in the allowed relation"));
+}
+
+TEST(ValidateSolution, WrongLengthAndRangeAreCaught) {
+  CspInstance csp = CycleColoring(5, 3);
+  EXPECT_TRUE(AnyErrorContains(ValidateSolution(csp, {0, 1}), "entries"));
+  EXPECT_TRUE(AnyErrorContains(ValidateSolution(csp, {0, 1, 0, 1, 9}),
+                               "outside"));
+}
+
+TEST(ValidateHomomorphism, AcceptsWitnessAndCatchesCorruption) {
+  Rng rng(3);
+  Structure a = RandomDigraph(5, 0.4, &rng);
+  // Map into the 2-element clique with loops: always a homomorphism
+  // target when it has all edges.
+  Structure b(GraphVocabulary(), 2);
+  for (int u = 0; u < 2; ++u) {
+    for (int v = 0; v < 2; ++v) b.AddTuple(0, {u, v});
+  }
+  auto h = FindHomomorphism(a, b);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_FALSE(HasErrors(ValidateHomomorphism(a, b, *h)));
+
+  // Out-of-range image.
+  std::vector<int> bad = *h;
+  bad[0] = 7;
+  EXPECT_TRUE(AnyErrorContains(ValidateHomomorphism(a, b, bad), "outside"));
+}
+
+TEST(ValidateHomomorphism, CatchesNonHomomorphism) {
+  // a: single edge 0 -> 1; b: single edge 0 -> 1 and nothing else.
+  Structure a(GraphVocabulary(), 2);
+  a.AddTuple(0, {0, 1});
+  Structure b(GraphVocabulary(), 2);
+  b.AddTuple(0, {0, 1});
+  EXPECT_FALSE(HasErrors(ValidateHomomorphism(a, b, {0, 1})));
+  Diagnostics diagnostics = ValidateHomomorphism(a, b, {1, 0});
+  EXPECT_TRUE(AnyErrorContains(diagnostics, "not in the target relation"));
+}
+
+// ---------------------------------------------------------------------------
+// Tree decompositions
+
+TEST(ValidateTreeDecomposition, AcceptsMinFillDecomposition) {
+  Rng rng(19);
+  Graph g = RandomPartialKTree(12, 3, 0.9, &rng);
+  TreeDecomposition td = MinFillDecomposition(g);
+  Diagnostics diagnostics = ValidateTreeDecomposition(g, td, td.Width());
+  EXPECT_FALSE(HasErrors(diagnostics)) << FormatDiagnostics(diagnostics);
+}
+
+TEST(ValidateTreeDecomposition, DroppedBagVertexIsCaught) {
+  Rng rng(19);
+  Graph g = RandomPartialKTree(10, 2, 1.0, &rng);
+  TreeDecomposition td = MinFillDecomposition(g);
+  // Drop one vertex from the largest bag: either some edge loses
+  // coverage, the vertex disappears entirely, or its subtree disconnects.
+  auto largest = std::max_element(
+      td.bags.begin(), td.bags.end(),
+      [](const auto& x, const auto& y) { return x.size() < y.size(); });
+  ASSERT_GE(largest->size(), 2u);
+  largest->erase(largest->begin());
+  EXPECT_TRUE(HasErrors(ValidateTreeDecomposition(g, td)));
+}
+
+TEST(ValidateTreeDecomposition, BrokenConnectednessIsCaught) {
+  // Path graph 0-1-2 with path decomposition {0,1} - {1} - {1,2}; removing
+  // vertex 1 from the middle bag breaks the running intersection without
+  // affecting coverage.
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1}, {1, 2}};
+  td.edges = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(HasErrors(ValidateTreeDecomposition(g, td)));
+  td.bags[1] = {0};  // vertex 1's holders {0, 2} are now disconnected
+  Diagnostics diagnostics = ValidateTreeDecomposition(g, td);
+  EXPECT_TRUE(AnyErrorContains(diagnostics, "running intersection"));
+}
+
+TEST(ValidateTreeDecomposition, CycleAndWidthClaimsAreCaught) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2}, {1}};
+  td.edges = {{0, 1}, {1, 2}, {2, 0}};  // a 3-cycle of tree edges
+  EXPECT_TRUE(AnyErrorContains(ValidateTreeDecomposition(g, td), "cycle"));
+
+  td.edges = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(HasErrors(ValidateTreeDecomposition(g, td)));
+  EXPECT_TRUE(AnyErrorContains(ValidateTreeDecomposition(g, td, 5),
+                               "claimed width"));
+}
+
+TEST(ValidateTreeDecompositionForStructure, TupleCoverageIsStrict) {
+  // A single ternary tuple: covering all pairwise Gaifman edges with
+  // 2-element bags is valid for the graph but NOT for the structure.
+  Vocabulary voc;
+  voc.AddSymbol("R", 3);
+  Structure a(voc, 3);
+  a.AddTuple(0, {0, 1, 2});
+  TreeDecomposition pairwise;
+  pairwise.bags = {{0, 1}, {1, 2}, {0, 2}};
+  pairwise.edges = {{0, 1}, {0, 2}};
+  // (Running intersection also breaks here; use a star around {0,1,2} to
+  // isolate the coverage condition.)
+  TreeDecomposition full;
+  full.bags = {{0, 1, 2}};
+  EXPECT_FALSE(HasErrors(ValidateTreeDecompositionForStructure(a, full)));
+  Diagnostics diagnostics =
+      ValidateTreeDecompositionForStructure(a, pairwise);
+  EXPECT_TRUE(AnyErrorContains(diagnostics, "contained in no bag"));
+}
+
+// ---------------------------------------------------------------------------
+// Hypertree decompositions
+
+TEST(ValidateHypertreeDecomposition, AcceptsConstructedDecomposition) {
+  Rng rng(23);
+  CspInstance csp = RandomBinaryCsp(8, 3, 10, 0.3, &rng);
+  CspInstance normalized = csp.NormalizedDistinctScopes();
+  Hypergraph h;
+  for (const Constraint& c : normalized.constraints()) {
+    h.edges.push_back(c.scope);
+  }
+  auto htd = HypertreeFromTreeDecomposition(
+      h, MinFillDecomposition(GaifmanGraphOfCsp(normalized)));
+  ASSERT_TRUE(htd.has_value());
+  Diagnostics diagnostics =
+      ValidateHypertreeDecomposition(h, *htd, htd->Width());
+  EXPECT_FALSE(HasErrors(diagnostics)) << FormatDiagnostics(diagnostics);
+}
+
+TEST(ValidateHypertreeDecomposition, GuardAndCoverageMutationsAreCaught) {
+  // Two edges sharing vertex 1, one node holding everything.
+  Hypergraph h;
+  h.edges = {{0, 1}, {1, 2}};
+  HypertreeDecomposition htd;
+  htd.chi = {{0, 1, 2}};
+  htd.lambda = {{0, 1}};
+  EXPECT_FALSE(HasErrors(ValidateHypertreeDecomposition(h, htd)));
+
+  // Drop one guard edge: bag vertex 2 is no longer covered.
+  HypertreeDecomposition no_guard = htd;
+  no_guard.lambda = {{0}};
+  EXPECT_TRUE(AnyErrorContains(ValidateHypertreeDecomposition(h, no_guard),
+                               "not covered by the guard"));
+
+  // Shrink the bag: hyperedge {1,2} is contained in no bag.
+  HypertreeDecomposition no_cover = htd;
+  no_cover.chi = {{0, 1}};
+  EXPECT_TRUE(AnyErrorContains(ValidateHypertreeDecomposition(h, no_cover),
+                               "constraint uncovered"));
+
+  // Claimed width must match.
+  EXPECT_TRUE(AnyErrorContains(ValidateHypertreeDecomposition(h, htd, 1),
+                               "claimed width"));
+
+  // Broken running intersection across two nodes.
+  HypertreeDecomposition split;
+  split.chi = {{0, 1}, {0, 2}, {1, 2}};
+  split.lambda = {{0}, {0, 1}, {1}};
+  split.edges = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(AnyErrorContains(ValidateHypertreeDecomposition(h, split),
+                               "running intersection"));
+}
+
+// ---------------------------------------------------------------------------
+// Datalog
+
+TEST(ValidateDatalogRule, UnRangeRestrictedRuleIsCaught) {
+  // Safe rule: H(x) :- E(x, y).
+  DatalogRule safe;
+  safe.head = {"H", {0}};
+  safe.body = {{"E", {0, 1}}};
+  safe.num_variables = 2;
+  EXPECT_FALSE(HasErrors(ValidateDatalogRule(safe)));
+
+  // Un-range-restrict it: H(z) :- E(x, y) with z not in the body.
+  DatalogRule unsafe;
+  unsafe.head = {"H", {2}};
+  unsafe.body = {{"E", {0, 1}}};
+  unsafe.num_variables = 3;
+  Diagnostics diagnostics = ValidateDatalogRule(unsafe);
+  EXPECT_TRUE(AnyErrorContains(diagnostics, "not range-restricted"));
+
+  // Out-of-range variable id.
+  DatalogRule bad_id;
+  bad_id.head = {"H", {0}};
+  bad_id.body = {{"E", {0, 5}}};
+  bad_id.num_variables = 2;
+  EXPECT_TRUE(AnyErrorContains(ValidateDatalogRule(bad_id), "outside"));
+}
+
+TEST(ValidateDatalogProgram, AcceptsCanonicalExample) {
+  DatalogProgram program = NonTwoColorabilityProgram();
+  Diagnostics diagnostics = ValidateDatalogProgram(program);
+  EXPECT_FALSE(HasErrors(diagnostics)) << FormatDiagnostics(diagnostics);
+}
+
+TEST(ValidateDatalogResult, AcceptsFixpointAndCatchesMutations) {
+  DatalogProgram program = NonTwoColorabilityProgram();
+  // An odd cycle: the goal derives.
+  Structure edb(GraphVocabulary(), 3);
+  edb.AddTuple(0, {0, 1});
+  edb.AddTuple(0, {1, 2});
+  edb.AddTuple(0, {2, 0});
+  DatalogResult result = EvaluateSemiNaive(program, edb);
+  ASSERT_TRUE(result.GoalDerived(program));
+  EXPECT_FALSE(HasErrors(ValidateDatalogResult(program, edb, result)));
+
+  // Remove one derived fact: the result is no longer closed.
+  DatalogResult holey = result;
+  auto& p_facts = holey.idb["P"];
+  ASSERT_FALSE(p_facts.empty());
+  p_facts.erase(p_facts.begin());
+  EXPECT_TRUE(AnyErrorContains(ValidateDatalogResult(program, edb, holey),
+                               "not closed under the rules"));
+
+  // Record facts for a non-IDB predicate.
+  DatalogResult alien = result;
+  alien.idb["E"].insert({0, 1});
+  EXPECT_TRUE(AnyErrorContains(ValidateDatalogResult(program, edb, alien),
+                               "non-IDB"));
+
+  // Corrupt a fact's arity.
+  DatalogResult fat = result;
+  fat.idb["P"].insert({0, 1, 2});
+  EXPECT_TRUE(AnyErrorContains(ValidateDatalogResult(program, edb, fat),
+                               "arity"));
+
+  // Out-of-domain element.
+  DatalogResult wild = result;
+  wild.idb["P"].insert({0, 9});
+  EXPECT_TRUE(AnyErrorContains(ValidateDatalogResult(program, edb, wild),
+                               "outside the EDB domain"));
+}
+
+}  // namespace
+}  // namespace cspdb
