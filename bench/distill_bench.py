@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Distills Google-Benchmark JSON from bench_report into BENCH_kernels.json.
+
+Pairs BM_<op>_baseline/<size> with BM_<op>_optimized/<size> and emits one
+record per (op, size) with ns/op for both sides, the speedup, and the
+peak-rows counter where the benchmark reports one.
+
+Usage: distill_bench.py <benchmark-json> <output-json> [--label LABEL]
+"""
+
+import argparse
+import datetime
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^BM_(?P<op>\w+?)_(?P<side>baseline|optimized)/(?P<size>\d+)$")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("in_path")
+    parser.add_argument("out_path")
+    parser.add_argument("--label", default="trajectory entry")
+    opts = parser.parse_args()
+    in_path, out_path, label = opts.in_path, opts.out_path, opts.label
+
+    try:
+        with open(in_path) as f:
+            report = json.load(f)
+    except OSError as e:
+        sys.stderr.write(f"error: cannot read {in_path}: {e.strerror}\n")
+        return 1
+    except json.JSONDecodeError as e:
+        sys.stderr.write(f"error: {in_path} is not valid JSON: {e}\n")
+        return 1
+
+    cells = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        m = NAME_RE.match(bench["name"])
+        if not m:
+            continue
+        key = (m.group("op"), int(m.group("size")))
+        cells.setdefault(key, {})[m.group("side")] = bench
+
+    kernels = []
+    for (op, size), sides in sorted(cells.items()):
+        if "baseline" not in sides or "optimized" not in sides:
+            sys.stderr.write(f"warning: unpaired benchmark {op}/{size}\n")
+            continue
+        base = sides["baseline"]
+        opt = sides["optimized"]
+        base_ns = base["real_time"]  # time_unit is ns by default
+        opt_ns = opt["real_time"]
+        record = {
+            "op": op,
+            "size": size,
+            "baseline_ns_per_op": round(base_ns, 1),
+            "optimized_ns_per_op": round(opt_ns, 1),
+            "speedup": round(base_ns / opt_ns, 2) if opt_ns > 0 else None,
+        }
+        if "peak_rows" in opt:
+            record["peak_rows"] = int(opt["peak_rows"])
+        kernels.append(record)
+
+    if not kernels:
+        sys.stderr.write("error: no paired BM_<op>_<side>/<size> benchmarks\n")
+        return 1
+
+    context = report.get("context", {})
+    out = {
+        "generated_by": "bench/run_benchmarks.sh",
+        "machine": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "cpu_scaling_enabled": context.get("cpu_scaling_enabled"),
+            "build_type": context.get("library_build_type"),
+        },
+        "trajectory": [
+            {
+                "entry": label,
+                "date": datetime.date.today().isoformat(),
+                "kernels": kernels,
+            }
+        ],
+    }
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+
+    for k in kernels:
+        print(
+            f"{k['op']:>16}/{k['size']:<6} "
+            f"baseline {k['baseline_ns_per_op']:>12.1f} ns  "
+            f"optimized {k['optimized_ns_per_op']:>12.1f} ns  "
+            f"speedup {k['speedup']}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

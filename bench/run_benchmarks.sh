@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Builds the Release benchmark binary, runs the baseline-vs-optimized
+# kernel suite, and distills the results into BENCH_kernels.json at the
+# repository root (see EXPERIMENTS.md for methodology).
+#
+# Usage:
+#   bench/run_benchmarks.sh           # full run, refreshes BENCH_kernels.json
+#   bench/run_benchmarks.sh --smoke   # quick CI pass; writes into the build
+#                                     # dir only, never touches the committed
+#                                     # BENCH_kernels.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+fi
+
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
+if command -v ccache >/dev/null; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}" >/dev/null
+cmake --build "$BUILD_DIR" --target bench_report -j"$(nproc)" >/dev/null
+
+BENCH_ARGS=(--benchmark_format=json)
+if [[ "$SMOKE" == 1 ]]; then
+  # Smallest tier of each op, minimal sampling: validates the harness and
+  # the distiller without burning CI minutes.
+  BENCH_ARGS+=(--benchmark_filter='/(8|16|1000)$' --benchmark_min_time=0.01)
+  OUT=$BUILD_DIR/BENCH_kernels.smoke.json
+  LABEL="smoke"
+else
+  OUT=BENCH_kernels.json
+  LABEL="flat-storage + bitset kernels vs frozen references"
+fi
+
+RAW=$BUILD_DIR/bench_report.raw.json
+"$BUILD_DIR/bench/bench_report" "${BENCH_ARGS[@]}" > "$RAW"
+python3 bench/distill_bench.py "$RAW" "$OUT" --label "$LABEL"
+echo "wrote $OUT"

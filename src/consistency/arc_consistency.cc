@@ -1,132 +1,188 @@
 #include "consistency/arc_consistency.h"
 
+#include <cstddef>
 #include <deque>
+#include <utility>
 
+#include "csp/support_masks.h"
 #include "util/check.h"
 
 namespace cspdb {
+namespace {
+
+// The shared propagation engine: owns the immutable support masks and
+// runs the AC-3 worklist over externally held packed state, so SAC can
+// probe by copying state words instead of rebuilding instances.
+class GacEngine {
+ public:
+  // Mutable propagation state. Copy-assignable; copies reuse buffers, so
+  // a probe costs a handful of memcpys.
+  struct State {
+    std::vector<Bitset> domains;   // [var] -> packed surviving values
+    std::vector<int> domain_size;  // popcount cache of domains
+    std::vector<Bitset> valid;     // [constraint] -> tuples alive under
+                                   //   the current domains
+  };
+
+  explicit GacEngine(const CspInstance& csp) : csp_(csp), masks_(csp) {}
+
+  void InitFullState(State* s) const {
+    s->domains.assign(csp_.num_variables(), Bitset(csp_.num_values(), true));
+    s->domain_size.assign(csp_.num_variables(), csp_.num_values());
+    s->valid.clear();
+    s->valid.reserve(csp_.constraints().size());
+    for (const Constraint& c : csp_.constraints()) {
+      s->valid.emplace_back(static_cast<int>(c.allowed.size()), true);
+    }
+  }
+
+  /// Removes (var, val) from the state: domain bit, size cache, and the
+  /// valid-tuple masks of every constraint on var (whole words at a
+  /// time). Returns false on domain wipeout.
+  bool Prune(State* s, int var, int val, int64_t* prunings) const {
+    s->domains[var].Reset(val);
+    --s->domain_size[var];
+    ++*prunings;
+    const std::vector<int>& cons = csp_.ConstraintsOn(var);
+    for (std::size_t k = 0; k < cons.size(); ++k) {
+      const int ci = cons[k];
+      s->valid[ci].AndNotWithWords(masks_.constraints[ci].KillerMask(
+          masks_.var_group[var][k], csp_.num_values(), val));
+    }
+    return s->domain_size[var] > 0;
+  }
+
+  /// Runs the AC-3 worklist to fixpoint with every constraint seeded.
+  /// Returns false (leaving partially pruned state) on wipeout.
+  bool RunToFixpoint(State* s, int64_t* revisions, int64_t* prunings) {
+    const int m = static_cast<int>(csp_.constraints().size());
+    const int num_values = csp_.num_values();
+    queue_.clear();
+    queued_.assign(m, 1);
+    for (int ci = 0; ci < m; ++ci) queue_.push_back(ci);
+    while (!queue_.empty()) {
+      const int ci = queue_.front();
+      queue_.pop_front();
+      queued_[ci] = 0;
+      const ConstraintSupport& masks = masks_.constraints[ci];
+      bool any_changed = false;
+      for (std::size_t g = 0; g < masks.group_var.size(); ++g) {
+        const int var = masks.group_var[g];
+        ++*revisions;
+        bool changed = false;
+        const Bitset& domain = s->domains[var];
+        for (int val = domain.FindFirst(); val >= 0;
+             val = domain.NextSetBit(val + 1)) {
+          if (s->valid[ci].IntersectsWords(
+                  masks.SupportMask(static_cast<int>(g), num_values, val))) {
+            continue;  // word-parallel support probe hit
+          }
+          if (!Prune(s, var, val, prunings)) return false;
+          changed = true;
+        }
+        if (changed) {
+          any_changed = true;
+          for (int other : csp_.ConstraintsOn(var)) {
+            if (other != ci && !queued_[other]) {
+              queue_.push_back(other);
+              queued_[other] = 1;
+            }
+          }
+        }
+      }
+      // Re-examine this constraint's other variables too.
+      if (any_changed && !queued_[ci]) {
+        queue_.push_back(ci);
+        queued_[ci] = 1;
+      }
+    }
+    return true;
+  }
+
+ private:
+  const CspInstance& csp_;
+  SupportMasks masks_;
+  // Worklist scratch, reused across runs.
+  std::deque<int> queue_;
+  std::vector<char> queued_;
+};
+
+}  // namespace
 
 AcResult EnforceGac(const CspInstance& csp) {
   AcResult result;
-  result.domains.assign(csp.num_variables(),
-                        std::vector<char>(csp.num_values(), 1));
-  std::vector<int> domain_size(csp.num_variables(), csp.num_values());
   if (csp.num_variables() > 0 && csp.num_values() == 0) {
+    result.domains.assign(csp.num_variables(), Bitset(0));
     result.consistent = false;
     return result;
   }
-
-  int m = static_cast<int>(csp.constraints().size());
-  std::deque<int> queue;
-  std::vector<char> queued(m, 0);
-  for (int c = 0; c < m; ++c) {
-    queue.push_back(c);
-    queued[c] = 1;
-  }
-
-  while (!queue.empty()) {
-    int ci = queue.front();
-    queue.pop_front();
-    queued[ci] = 0;
-    const Constraint& c = csp.constraint(ci);
-    for (int q = 0; q < c.arity(); ++q) {
-      int var = c.scope[q];
-      bool dup = false;
-      for (int p = 0; p < q; ++p) {
-        if (c.scope[p] == var) {
-          dup = true;
-          break;
-        }
-      }
-      if (dup) continue;
-      ++result.revisions;
-      bool changed = false;
-      for (int val = 0; val < csp.num_values(); ++val) {
-        if (!result.domains[var][val]) continue;
-        bool supported = false;
-        for (const Tuple& t : c.allowed) {
-          bool ok = true;
-          for (int p = 0; p < c.arity(); ++p) {
-            if (c.scope[p] == var ? (t[p] != val)
-                                  : !result.domains[c.scope[p]][t[p]]) {
-              ok = false;
-              break;
-            }
-          }
-          if (ok) {
-            supported = true;
-            break;
-          }
-        }
-        if (!supported) {
-          result.domains[var][val] = 0;
-          --domain_size[var];
-          ++result.prunings;
-          changed = true;
-          if (domain_size[var] == 0) {
-            result.consistent = false;
-            return result;
-          }
-        }
-      }
-      if (changed) {
-        for (int other : csp.ConstraintsOn(var)) {
-          if (other != ci && !queued[other]) {
-            queue.push_back(other);
-            queued[other] = 1;
-          }
-        }
-        // Re-examine this constraint's other variables too.
-        if (!queued[ci]) {
-          queue.push_back(ci);
-          queued[ci] = 1;
-        }
-      }
-    }
-  }
+  GacEngine engine(csp);
+  GacEngine::State state;
+  engine.InitFullState(&state);
+  result.consistent =
+      engine.RunToFixpoint(&state, &result.revisions, &result.prunings);
+  result.domains = std::move(state.domains);
   return result;
 }
 
 AcResult EnforceSingletonArcConsistency(const CspInstance& csp) {
-  AcResult result = EnforceGac(csp);
-  if (!result.consistent) return result;
+  AcResult result;
+  if (csp.num_variables() > 0 && csp.num_values() == 0) {
+    result.domains.assign(csp.num_variables(), Bitset(0));
+    result.consistent = false;
+    return result;
+  }
+  GacEngine engine(csp);
+  GacEngine::State outer;
+  engine.InitFullState(&outer);
+  result.consistent =
+      engine.RunToFixpoint(&outer, &result.revisions, &result.prunings);
+  if (!result.consistent) {
+    result.domains = std::move(outer.domains);
+    return result;
+  }
+
+  // Probe x_v = d on top of the shared masks: copy the packed state,
+  // apply the restriction, and rerun the worklist. No instances are
+  // rebuilt and no support masks recomputed per probe.
+  GacEngine::State probe;
   bool changed = true;
   while (changed) {
     changed = false;
     for (int v = 0; v < csp.num_variables() && result.consistent; ++v) {
       for (int d = 0; d < csp.num_values(); ++d) {
-        if (!result.domains[v][d]) continue;
-        // Probe x_v = d on top of the current domains.
-        CspInstance probe = RestrictToDomains(csp, result.domains);
-        probe.AddConstraint({v}, {{d}});
-        AcResult probe_result = EnforceGac(probe);
-        result.revisions += probe_result.revisions;
-        if (!probe_result.consistent) {
-          result.domains[v][d] = 0;
-          ++result.prunings;
-          changed = true;
-          // Domain wipeout?
-          bool any = false;
-          for (int other = 0; other < csp.num_values(); ++other) {
-            if (result.domains[v][other]) {
-              any = true;
-              break;
-            }
+        if (!outer.domains[v].Test(d)) continue;
+        probe = outer;
+        bool probe_consistent = true;
+        int64_t scratch = 0;
+        for (int other = outer.domains[v].FindFirst(); other >= 0;
+             other = outer.domains[v].NextSetBit(other + 1)) {
+          if (other == d) continue;
+          if (!engine.Prune(&probe, v, other, &scratch)) {
+            probe_consistent = false;
+            break;
           }
-          if (!any) {
+        }
+        if (probe_consistent) {
+          probe_consistent =
+              engine.RunToFixpoint(&probe, &result.revisions, &scratch);
+        }
+        if (!probe_consistent) {
+          changed = true;
+          if (!engine.Prune(&outer, v, d, &result.prunings)) {
             result.consistent = false;
-            return result;
+            break;
           }
         }
       }
     }
   }
+  result.domains = std::move(outer.domains);
   return result;
 }
 
-CspInstance RestrictToDomains(
-    const CspInstance& csp,
-    const std::vector<std::vector<char>>& domains) {
+CspInstance RestrictToDomains(const CspInstance& csp,
+                              const std::vector<Bitset>& domains) {
   CSPDB_CHECK(static_cast<int>(domains.size()) == csp.num_variables());
   CspInstance out(csp.num_variables(), csp.num_values());
   for (const Constraint& c : csp.constraints()) {
@@ -135,7 +191,7 @@ CspInstance RestrictToDomains(
   for (int v = 0; v < csp.num_variables(); ++v) {
     std::vector<Tuple> allowed;
     for (int d = 0; d < csp.num_values(); ++d) {
-      if (domains[v][d]) allowed.push_back({d});
+      if (domains[v].Test(d)) allowed.push_back({d});
     }
     out.AddConstraint({v}, std::move(allowed));
   }

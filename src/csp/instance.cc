@@ -48,6 +48,16 @@ int CspInstance::AddConstraint(std::vector<int> scope,
   int id = static_cast<int>(constraints_.size());
   Constraint c;
   c.scope = scope;
+  for (int q = 0; q < static_cast<int>(c.scope.size()); ++q) {
+    bool first = true;
+    for (int p = 0; p < q; ++p) {
+      if (c.scope[p] == c.scope[q]) {
+        first = false;
+        break;
+      }
+    }
+    if (first) c.distinct_slots.push_back(q);
+  }
   for (Tuple& t : allowed) {
     if (c.allowed_set.insert(t).second) c.allowed.push_back(std::move(t));
   }

@@ -20,6 +20,11 @@ struct Constraint {
   std::vector<Tuple> allowed;   ///< insertion order, deduplicated
   TupleSet allowed_set;         ///< same tuples, O(1) membership
 
+  /// Slots holding the first occurrence of each scope variable, in scope
+  /// order. Revision loops iterate these instead of rescanning the scope
+  /// for duplicates on every pass (scopes are immutable once added).
+  std::vector<int> distinct_slots;
+
   int arity() const { return static_cast<int>(scope.size()); }
 };
 

@@ -1,7 +1,6 @@
 #include "csp/solver.h"
 
 #include <algorithm>
-#include <deque>
 #include <utility>
 
 #include "analysis/validate_csp.h"
@@ -21,54 +20,85 @@ BacktrackingSolver::BacktrackingSolver(const CspInstance& csp,
 
 void BacktrackingSolver::Reset() {
   stats_ = SolverStats{};
-  active_.assign(csp_.num_variables(),
-                 std::vector<char>(csp_.num_values(), 1));
+  active_.assign(csp_.num_variables(), Bitset(csp_.num_values(), true));
   domain_size_.assign(csp_.num_variables(), csp_.num_values());
   assignment_.assign(csp_.num_variables(), kUnassigned);
   trail_.clear();
+  word_trail_.clear();
   residues_.assign(csp_.constraints().size(), {});
+  masks_.emplace(csp_);
+  valid_.clear();
+  valid_.reserve(csp_.constraints().size());
+  for (const Constraint& c : csp_.constraints()) {
+    valid_.emplace_back(static_cast<int>(c.allowed.size()), true);
+  }
 }
 
 bool BacktrackingSolver::Prune(int var, int val) {
-  if (!active_[var][val]) return true;
-  active_[var][val] = 0;
+  if (!active_[var].Test(val)) return true;
+  active_[var].Reset(val);
   --domain_size_[var];
   ++stats_.prunings;
   trail_.push_back({var, val});
+  // Kill the tuples that assigned val to var, a word at a time, saving
+  // each changed word on the trail for backtracking.
+  const std::vector<int>& cons = csp_.ConstraintsOn(var);
+  for (std::size_t k = 0; k < cons.size(); ++k) {
+    const int ci = cons[k];
+    const uint64_t* kw = masks_->constraints[ci].KillerMask(
+        masks_->var_group[var][k], csp_.num_values(), val);
+    uint64_t* vw = valid_[ci].mutable_words();
+    for (int w = 0; w < valid_[ci].num_words(); ++w) {
+      const uint64_t old_word = vw[w];
+      const uint64_t new_word = old_word & ~kw[w];
+      if (new_word != old_word) {
+        word_trail_.push_back({ci, w, old_word});
+        vw[w] = new_word;
+      }
+    }
+  }
   return domain_size_[var] > 0;
 }
 
-void BacktrackingSolver::UndoTo(std::size_t mark) {
-  while (trail_.size() > mark) {
+void BacktrackingSolver::UndoTo(std::size_t value_mark,
+                                std::size_t word_mark) {
+  while (trail_.size() > value_mark) {
     auto [var, val] = trail_.back();
     trail_.pop_back();
-    active_[var][val] = 1;
+    active_[var].Set(val);
     ++domain_size_[var];
+  }
+  // Reverse replay: if a word was saved more than once, the oldest value
+  // is restored last.
+  while (word_trail_.size() > word_mark) {
+    const WordTrailEntry& e = word_trail_.back();
+    valid_[e.constraint].mutable_words()[e.word] = e.old_word;
+    word_trail_.pop_back();
   }
 }
 
-bool BacktrackingSolver::TupleValid(const Constraint& c,
-                                    const Tuple& t) const {
-  for (int q = 0; q < c.arity(); ++q) {
-    if (!active_[c.scope[q]][t[q]]) return false;
+int BacktrackingSolver::GroupOf(int ci, int var) const {
+  const std::vector<int>& vars = masks_->constraints[ci].group_var;
+  for (std::size_t g = 0; g < vars.size(); ++g) {
+    if (vars[g] == var) return static_cast<int>(g);
   }
-  return true;
+  CSPDB_DCHECK(false);
+  return -1;
 }
 
 bool BacktrackingSolver::CheckAssignedConstraints(int var) const {
-  Tuple image;
   for (int ci : csp_.ConstraintsOn(var)) {
     const Constraint& c = csp_.constraint(ci);
     bool all_assigned = true;
-    image.clear();
     for (int v : c.scope) {
       if (assignment_[v] == kUnassigned) {
         all_assigned = false;
         break;
       }
-      image.push_back(assignment_[v]);
     }
-    if (all_assigned && c.allowed_set.count(image) == 0) return false;
+    // With every scope variable a singleton, the valid tuples are exactly
+    // those matching the assignment — membership is a nonemptiness test.
+    if (all_assigned && valid_[ci].None()) return false;
   }
   return true;
 }
@@ -89,120 +119,79 @@ bool BacktrackingSolver::ForwardCheck(int var) {
       }
     }
     if (open_var == kUnassigned) {
-      // Fully assigned: membership check.
-      Tuple image;
-      image.reserve(c.arity());
-      for (int v : c.scope) image.push_back(assignment_[v]);
-      if (c.allowed_set.count(image) == 0) return false;
+      if (valid_[ci].None()) return false;  // fully assigned: membership
       continue;
     }
     if (!exactly_one) continue;
-    // Prune unsupported values of open_var.
-    for (int val = 0; val < csp_.num_values(); ++val) {
-      if (!active_[open_var][val]) continue;
-      bool supported = false;
-      for (const Tuple& t : c.allowed) {
-        bool match = true;
-        for (int q = 0; q < c.arity(); ++q) {
-          int expect =
-              c.scope[q] == open_var ? val : assignment_[c.scope[q]];
-          if (t[q] != expect) {
-            match = false;
-            break;
-          }
-        }
-        if (match) {
-          supported = true;
-          break;
-        }
+    // Prune unsupported values of open_var: supported iff some valid
+    // tuple assigns val to every slot of open_var.
+    const ConstraintSupport& masks = masks_->constraints[ci];
+    const int g = GroupOf(ci, open_var);
+    const Bitset& domain = active_[open_var];
+    for (int val = domain.FindFirst(); val >= 0;
+         val = domain.NextSetBit(val + 1)) {
+      if (valid_[ci].IntersectsWords(
+              masks.SupportMask(g, csp_.num_values(), val))) {
+        continue;
       }
-      if (!supported && !Prune(open_var, val)) return false;
+      if (!Prune(open_var, val)) return false;
     }
   }
   return true;
 }
 
-bool BacktrackingSolver::Revise(int ci, int slot) {
-  const Constraint& c = csp_.constraint(ci);
-  int var = c.scope[slot];
+bool BacktrackingSolver::Revise(int ci, int group) {
+  const ConstraintSupport& masks = masks_->constraints[ci];
+  const int var = masks.group_var[group];
+  const int num_values = csp_.num_values();
   std::vector<int>& residues = residues_[ci];
   if (residues.empty()) {
-    residues.assign(static_cast<std::size_t>(c.arity()) * csp_.num_values(),
-                    0);
+    residues.assign(
+        masks.group_var.size() * static_cast<std::size_t>(num_values), -1);
   }
-  // t supports (var, val) if t is valid under current domains and assigns
-  // val to every position of var.
-  auto supports = [&](const Tuple& t, int val) {
-    for (int q = 0; q < c.arity(); ++q) {
-      if (c.scope[q] == var ? (t[q] != val) : !active_[c.scope[q]][t[q]]) {
-        return false;
-      }
-    }
-    return true;
-  };
   bool changed = false;
-  for (int val = 0; val < csp_.num_values(); ++val) {
-    if (!active_[var][val]) continue;
-    int& residue = residues[slot * csp_.num_values() + val];
-    if (residue < static_cast<int>(c.allowed.size()) &&
-        supports(c.allowed[residue], val)) {
-      continue;  // cached support still valid
+  const Bitset& domain = active_[var];
+  for (int val = domain.FindFirst(); val >= 0;
+       val = domain.NextSetBit(val + 1)) {
+    int& residue = residues[group * num_values + val];
+    // A residue tuple permanently assigns val to var's slots, so it is a
+    // support exactly while it stays in the valid mask.
+    if (residue >= 0 && valid_[ci].Test(residue)) continue;
+    const int found = valid_[ci].FirstCommonBitWords(
+        masks.SupportMask(group, num_values, val));
+    if (found >= 0) {
+      residue = found;
+      continue;
     }
-    bool supported = false;
-    for (std::size_t i = 0; i < c.allowed.size(); ++i) {
-      if (supports(c.allowed[i], val)) {
-        residue = static_cast<int>(i);
-        supported = true;
-        break;
-      }
-    }
-    if (!supported) {
-      if (!Prune(var, val)) return false;
-      changed = true;
-    }
+    if (!Prune(var, val)) return false;
+    changed = true;
   }
-  if (changed) {
-    // Signal the caller via domain change; requeue handled there.
-    last_revise_changed_ = true;
-  }
+  last_revise_changed_ = changed;
   return true;
 }
 
 bool BacktrackingSolver::PropagateGac(
     const std::vector<int>& seed_constraints) {
-  std::deque<int> queue(seed_constraints.begin(), seed_constraints.end());
-  std::vector<char> queued(csp_.constraints().size(), 0);
-  for (int c : queue) queued[c] = 1;
-  while (!queue.empty()) {
-    int ci = queue.front();
-    queue.pop_front();
-    queued[ci] = 0;
-    const Constraint& c = csp_.constraint(ci);
-    bool any_changed = false;
-    for (int q = 0; q < c.arity(); ++q) {
-      int var = c.scope[q];
-      // Skip duplicate positions of the same variable.
-      bool dup = false;
-      for (int p = 0; p < q; ++p) {
-        if (c.scope[p] == var) {
-          dup = true;
-          break;
-        }
-      }
-      if (dup) continue;
+  gac_queue_.assign(seed_constraints.begin(), seed_constraints.end());
+  gac_queued_.assign(csp_.constraints().size(), 0);
+  for (int c : gac_queue_) gac_queued_[c] = 1;
+  while (!gac_queue_.empty()) {
+    const int ci = gac_queue_.front();
+    gac_queue_.pop_front();
+    gac_queued_[ci] = 0;
+    const ConstraintSupport& masks = masks_->constraints[ci];
+    for (std::size_t g = 0; g < masks.group_var.size(); ++g) {
       last_revise_changed_ = false;
-      if (!Revise(ci, q)) return false;
+      if (!Revise(ci, static_cast<int>(g))) return false;
       if (last_revise_changed_) {
-        any_changed = true;
-        for (int other : csp_.ConstraintsOn(var)) {
-          if (other != ci && !queued[other]) {
-            queue.push_back(other);
-            queued[other] = 1;
+        for (int other : csp_.ConstraintsOn(masks.group_var[g])) {
+          if (other != ci && !gac_queued_[other]) {
+            gac_queue_.push_back(other);
+            gac_queued_[other] = 1;
           }
         }
       }
     }
-    (void)any_changed;
   }
   return true;
 }
@@ -252,19 +241,20 @@ bool BacktrackingSolver::Recurse(Callback&& on_solution, bool* stopped) {
     return false;
   }
   for (int val = 0; val < csp_.num_values(); ++val) {
-    if (!active_[var][val]) continue;
+    if (!active_[var].Test(val)) continue;
     if (options_.node_limit >= 0 && stats_.nodes >= options_.node_limit) {
       stats_.aborted = true;
       *stopped = true;
       return true;
     }
     ++stats_.nodes;
-    std::size_t mark = trail_.size();
+    std::size_t value_mark = trail_.size();
+    std::size_t word_mark = word_trail_.size();
     if (AssignAndPropagate(var, val)) {
       if (Recurse(on_solution, stopped)) return true;
     }
     assignment_[var] = kUnassigned;
-    UndoTo(mark);
+    UndoTo(value_mark, word_mark);
     ++stats_.backtracks;
   }
   return false;
@@ -272,12 +262,18 @@ bool BacktrackingSolver::Recurse(Callback&& on_solution, bool* stopped) {
 
 template <typename Callback>
 bool BacktrackingSolver::Search(Callback&& on_solution) {
-  Reset();
-  if (csp_.num_variables() > 0 && csp_.num_values() == 0) return false;
+  if (csp_.num_variables() > 0 && csp_.num_values() == 0) {
+    stats_ = SolverStats{};
+    return false;
+  }
   // Empty-relation constraints are unsatisfiable outright.
   for (const Constraint& c : csp_.constraints()) {
-    if (c.allowed.empty()) return false;
+    if (c.allowed.empty()) {
+      stats_ = SolverStats{};
+      return false;
+    }
   }
+  Reset();
   if (options_.propagation == Propagation::kGac) {
     std::vector<int> all(csp_.constraints().size());
     for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);

@@ -4,16 +4,24 @@
 // NP-complete baseline against which the paper's tractable cases
 // (consistency methods, bounded treewidth, dichotomy classes) are
 // measured.
+//
+// Domains and per-constraint valid-tuple sets are word-packed Bitsets
+// (csp/support_masks.h): a revision probes supports with word-parallel
+// ANDs, and backtracking restores valid-tuple words from a word trail
+// instead of recomputing them.
 
 #ifndef CSPDB_CSP_SOLVER_H_
 #define CSPDB_CSP_SOLVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "csp/instance.h"
+#include "csp/support_masks.h"
+#include "util/bitset.h"
 
 namespace cspdb {
 
@@ -66,25 +74,44 @@ class BacktrackingSolver {
   bool CheckAssignedConstraints(int var) const;
   bool ForwardCheck(int var);
   bool PropagateGac(const std::vector<int>& seed_constraints);
-  bool Revise(int c, int slot);
-  bool TupleValid(const Constraint& c, const Tuple& t) const;
+  bool Revise(int c, int group);
+  int GroupOf(int c, int var) const;
   int PickVariable() const;
-  void UndoTo(std::size_t mark);
+  void UndoTo(std::size_t value_mark, std::size_t word_mark);
 
   const CspInstance& csp_;
   SolverOptions options_;
   SolverStats stats_;
 
-  std::vector<std::vector<char>> active_;  // [var][val]
+  std::vector<Bitset> active_;  // [var] -> packed surviving values
   std::vector<int> domain_size_;
   std::vector<int> assignment_;
   std::vector<std::pair<int, int>> trail_;  // pruned (var, val)
   std::vector<int> degree_;                 // static degree per variable
   bool last_revise_changed_ = false;        // out-param of Revise()
-  // Residual supports: residues_[c][slot * num_values + val] is the index
-  // of the last tuple found to support (scope[slot], val) in constraint c
-  // (the classic GAC residue optimization; stale residues are re-checked).
+
+  // Support masks and the per-constraint mask of tuples still valid
+  // under the current active domains (compact-table propagation).
+  std::optional<SupportMasks> masks_;
+  std::vector<Bitset> valid_;
+  // Word-granular trail for valid_: (constraint, word index, old word),
+  // replayed in reverse by UndoTo.
+  struct WordTrailEntry {
+    int constraint;
+    int word;
+    uint64_t old_word;
+  };
+  std::vector<WordTrailEntry> word_trail_;
+
+  // Residual supports: residues_[c][group * num_values + val] is the
+  // index of the last tuple found to support (group's variable, val) in
+  // constraint c, or -1 (the classic GAC residue optimization; a residue
+  // is stale exactly when it left the valid-tuple mask).
   std::vector<std::vector<int>> residues_;
+
+  // Worklist scratch for PropagateGac, reused across calls.
+  std::deque<int> gac_queue_;
+  std::vector<char> gac_queued_;
 };
 
 }  // namespace cspdb

@@ -1,0 +1,77 @@
+// Static word-packed support masks over constraint tuples — the shared
+// data structure behind the compact-table style propagation in both the
+// standalone GAC pass (consistency/arc_consistency.cc) and the solver's
+// maintained-GAC / forward-checking kernels (csp/solver.cc).
+//
+// For each constraint, tuples are indexed by their position in
+// Constraint::allowed and the masks are Bitsets over those indices. A
+// support probe for (variable, value) is then a word-parallel AND of the
+// constraint's valid-tuple mask with the precomputed candidate mask, and
+// pruning a value invalidates whole words of tuples at a time.
+
+#ifndef CSPDB_CSP_SUPPORT_MASKS_H_
+#define CSPDB_CSP_SUPPORT_MASKS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "csp/instance.h"
+#include "util/bitset.h"
+
+namespace cspdb {
+
+/// Masks for one constraint. "Groups" are the constraint's distinct scope
+/// variables in first-occurrence order (Constraint::distinct_slots), so
+/// revision loops never rescan the scope for duplicates.
+///
+/// Rows are stored flat — one contiguous word arena per constraint with
+/// `words` words per (group, value) row — so building the masks costs a
+/// couple of allocations per constraint rather than one per cell. Bits
+/// above the tuple count are never set, matching the Bitset invariant
+/// required by the word-span operations.
+struct ConstraintSupport {
+  /// group_var[g]: the variable of group g.
+  std::vector<int> group_var;
+
+  /// Words per mask row (Bitset::NumWordsFor(#allowed tuples)).
+  int words = 0;
+
+  /// Row (g, val) at support[(g * num_values + val) * words]: tuples
+  /// assigning val to EVERY slot of group g's variable — the candidate
+  /// supports for (var, val).
+  std::vector<uint64_t> support;
+
+  /// Same layout: tuples assigning val to SOME slot of the variable —
+  /// exactly the tuples invalidated when (var, val) is pruned. Empty
+  /// (aliasing support) unless the scope repeats a variable, in which
+  /// case the two differ on tuples whose repeated positions disagree.
+  std::vector<uint64_t> killer;
+
+  const uint64_t* SupportMask(int g, int num_values, int val) const {
+    return support.data() +
+           (static_cast<std::size_t>(g) * num_values + val) * words;
+  }
+  const uint64_t* KillerMask(int g, int num_values, int val) const {
+    const std::vector<uint64_t>& from = killer.empty() ? support : killer;
+    return from.data() +
+           (static_cast<std::size_t>(g) * num_values + val) * words;
+  }
+};
+
+/// Masks for every constraint of an instance, plus the reverse map from
+/// variables into constraint groups. Built once; the instance's
+/// constraints must not change while the masks are in use.
+struct SupportMasks {
+  explicit SupportMasks(const CspInstance& csp);
+
+  std::vector<ConstraintSupport> constraints;
+
+  /// var_group[v][k]: group index of variable v inside constraint
+  /// ConstraintsOn(v)[k] (parallel to that vector).
+  std::vector<std::vector<int>> var_group;
+};
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CSP_SUPPORT_MASKS_H_

@@ -1,7 +1,7 @@
 #include "db/algebra.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstdint>
 #include <utility>
 
 #include "util/check.h"
@@ -23,12 +23,82 @@ void SharedPositions(const DbRelation& r, const DbRelation& s,
   }
 }
 
-Tuple KeyAt(const Tuple& row, const std::vector<int>& positions) {
-  Tuple key;
-  key.reserve(positions.size());
-  for (int p : positions) key.push_back(row[p]);
-  return key;
+// FNV-style hash of the projection of `row` onto `positions`; same mixing
+// as DbRelation's row hash so key distributions match.
+std::size_t HashKeyAt(const int* row, const std::vector<int>& positions) {
+  std::size_t h = 1469598103934665603ull;
+  for (int p : positions) {
+    h ^= static_cast<std::size_t>(row[p]) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+  }
+  return h;
 }
+
+bool KeysEqual(const int* a, const std::vector<int>& a_pos, const int* b,
+               const std::vector<int>& b_pos) {
+  for (std::size_t i = 0; i < a_pos.size(); ++i) {
+    if (a[a_pos[i]] != b[b_pos[i]]) return false;
+  }
+  return true;
+}
+
+constexpr uint32_t kNoRow = 0xffffffffu;
+
+// A bucket-chained hash index over the key columns of a relation: no
+// per-key allocation, just two flat uint32 arrays (bucket heads + a next
+// chain threaded through row indices).
+class KeyIndex {
+ public:
+  KeyIndex(const DbRelation& rel, const std::vector<int>& key_pos)
+      : rel_(rel), key_pos_(key_pos) {
+    std::size_t buckets = 16;
+    while (buckets < rel.size() + (rel.size() >> 1) + 1) buckets <<= 1;
+    mask_ = buckets - 1;
+    heads_.assign(buckets, kNoRow);
+    next_.assign(rel.size(), kNoRow);
+    const int arity = rel.arity();
+    const int* data = rel.data().data();
+    for (std::size_t i = 0; i < rel.size(); ++i) {
+      std::size_t h =
+          HashKeyAt(data + i * static_cast<std::size_t>(arity), key_pos_) &
+          mask_;
+      next_[i] = heads_[h];
+      heads_[h] = static_cast<uint32_t>(i);
+    }
+  }
+
+  /// First row of `rel_` whose key columns match `probe`'s `probe_pos`
+  /// columns, or kNoRow. Continue the scan with NextMatch.
+  uint32_t FirstMatch(const int* probe,
+                      const std::vector<int>& probe_pos) const {
+    std::size_t h = HashKeyAt(probe, probe_pos) & mask_;
+    return NextInChain(heads_[h], probe, probe_pos);
+  }
+
+  uint32_t NextMatch(uint32_t row, const int* probe,
+                     const std::vector<int>& probe_pos) const {
+    return NextInChain(next_[row], probe, probe_pos);
+  }
+
+ private:
+  uint32_t NextInChain(uint32_t candidate, const int* probe,
+                       const std::vector<int>& probe_pos) const {
+    const int arity = rel_.arity();
+    const int* data = rel_.data().data();
+    while (candidate != kNoRow) {
+      const int* srow = data + candidate * static_cast<std::size_t>(arity);
+      if (KeysEqual(probe, probe_pos, srow, key_pos_)) return candidate;
+      candidate = next_[candidate];
+    }
+    return kNoRow;
+  }
+
+  const DbRelation& rel_;
+  const std::vector<int>& key_pos_;
+  std::size_t mask_;
+  std::vector<uint32_t> heads_;
+  std::vector<uint32_t> next_;
+};
 
 }  // namespace
 
@@ -45,20 +115,30 @@ DbRelation NaturalJoin(const DbRelation& r, const DbRelation& s) {
       s_extra_pos.push_back(static_cast<int>(i));
     }
   }
+  const int r_arity = r.arity();
+  const int s_arity = s.arity();
+  const int out_arity = static_cast<int>(schema.size());
   DbRelation out(std::move(schema));
+  if (r.empty() || s.empty()) return out;
 
-  // Hash s on the shared key.
-  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
-  for (const Tuple& row : s.rows()) {
-    index[KeyAt(row, s_pos)].push_back(&row);
-  }
-  for (const Tuple& row : r.rows()) {
-    auto it = index.find(KeyAt(row, r_pos));
-    if (it == index.end()) continue;
-    for (const Tuple* srow : it->second) {
-      Tuple combined = row;
-      for (int p : s_extra_pos) combined.push_back((*srow)[p]);
-      out.AddRow(std::move(combined));
+  // Build side: hash s on its shared columns. Probe side: stream r.
+  KeyIndex index(s, s_pos);
+  const int* r_data = r.data().data();
+  const int* s_data = s.data().data();
+  std::vector<int> out_row(static_cast<std::size_t>(out_arity));
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const int* rrow = r_data + i * static_cast<std::size_t>(r_arity);
+    for (uint32_t m = index.FirstMatch(rrow, r_pos); m != kNoRow;
+         m = index.NextMatch(m, rrow, r_pos)) {
+      const int* srow = s_data + m * static_cast<std::size_t>(s_arity);
+      std::copy(rrow, rrow + r_arity, out_row.begin());
+      for (std::size_t k = 0; k < s_extra_pos.size(); ++k) {
+        out_row[static_cast<std::size_t>(r_arity) + k] = srow[s_extra_pos[k]];
+      }
+      // Join outputs of deduplicated inputs are duplicate-free: two build
+      // rows matching the same probe row agree on the shared columns, so
+      // they must differ on an emitted extra column.
+      out.AppendRowUnchecked(out_row.data());
     }
   }
   return out;
@@ -73,15 +153,23 @@ DbRelation Project(const DbRelation& r, const std::vector<int>& attrs) {
     positions.push_back(p);
   }
   DbRelation out(attrs);
-  for (const Tuple& row : r.rows()) out.AddRow(KeyAt(row, positions));
+  std::vector<int> key(positions.size());
+  for (auto row : r.rows()) {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      key[i] = row[positions[i]];
+    }
+    out.AddRow(key.data());
+  }
   return out;
 }
 
 DbRelation Select(const DbRelation& r,
                   const std::function<bool(const Tuple&)>& predicate) {
   DbRelation out(r.schema());
-  for (const Tuple& row : r.rows()) {
-    if (predicate(row)) out.AddRow(row);
+  Tuple scratch;
+  for (auto row : r.rows()) {
+    scratch.assign(row.begin(), row.end());
+    if (predicate(scratch)) out.AppendRowUnchecked(row.data());
   }
   return out;
 }
@@ -89,17 +177,26 @@ DbRelation Select(const DbRelation& r,
 DbRelation SelectEquals(const DbRelation& r, int attr, int value) {
   int p = r.AttributePosition(attr);
   CSPDB_CHECK_MSG(p >= 0, "selection attribute not in schema");
-  return Select(r, [p, value](const Tuple& row) { return row[p] == value; });
+  DbRelation out(r.schema());
+  for (auto row : r.rows()) {
+    if (row[p] == value) out.AppendRowUnchecked(row.data());
+  }
+  return out;
 }
 
 DbRelation Semijoin(const DbRelation& r, const DbRelation& s) {
   std::vector<int> r_pos, s_pos;
   SharedPositions(r, s, &r_pos, &s_pos);
-  TupleSet keys;
-  for (const Tuple& row : s.rows()) keys.insert(KeyAt(row, s_pos));
   DbRelation out(r.schema());
-  for (const Tuple& row : r.rows()) {
-    if (keys.count(KeyAt(row, r_pos)) > 0) out.AddRow(row);
+  if (r.empty() || s.empty()) return out;
+  KeyIndex index(s, s_pos);
+  const int* r_data = r.data().data();
+  const int r_arity = r.arity();
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const int* rrow = r_data + i * static_cast<std::size_t>(r_arity);
+    if (index.FirstMatch(rrow, r_pos) != kNoRow) {
+      out.AppendRowUnchecked(rrow);
+    }
   }
   return out;
 }
@@ -158,6 +255,7 @@ std::vector<DbRelation> ConstraintsAsRelations(const CspInstance& csp) {
   out.reserve(csp.constraints().size());
   for (const Constraint& c : csp.constraints()) {
     DbRelation r(c.scope);
+    r.Reserve(c.allowed.size());
     for (const Tuple& t : c.allowed) r.AddRow(t);
     out.push_back(std::move(r));
   }
@@ -180,7 +278,7 @@ DbRelation SolutionsAsRelation(const CspInstance& csp) {
   }
   if (relations.empty()) {
     DbRelation truth({});
-    truth.AddRow({});
+    truth.AddRow(Tuple{});
     return truth;
   }
   DbRelation joined = JoinAll(relations);

@@ -145,7 +145,7 @@ DbRelation Evaluate(const ConjunctiveQuery& q, const Structure& db) {
   if (impossible) return out;
 
   DbRelation joined = parts.empty() ? DbRelation({}) : JoinAll(parts);
-  if (parts.empty()) joined.AddRow({});  // empty body is trivially true
+  if (parts.empty()) joined.AddRow(Tuple{});  // empty body is trivially true
 
   std::vector<int> head_positions;
   head_positions.reserve(q.head().size());
@@ -155,7 +155,7 @@ DbRelation Evaluate(const ConjunctiveQuery& q, const Structure& db) {
                     "unsafe query: head variable missing from the body");
     head_positions.push_back(p);
   }
-  for (const Tuple& row : joined.rows()) {
+  for (auto row : joined.rows()) {
     Tuple projected;
     projected.reserve(head_positions.size());
     for (int p : head_positions) projected.push_back(row[p]);

@@ -6,6 +6,20 @@
 #include "util/check.h"
 
 namespace cspdb {
+namespace {
+
+constexpr std::size_t kMinIndexCapacity = 16;
+
+// Smallest power of two >= n (and >= kMinIndexCapacity).
+std::size_t IndexCapacityFor(std::size_t rows) {
+  // Target load factor ~0.7.
+  std::size_t needed = rows + (rows >> 1) + 1;
+  std::size_t cap = kMinIndexCapacity;
+  while (cap < needed) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
 
 DbRelation::DbRelation(std::vector<int> schema)
     : schema_(std::move(schema)) {
@@ -16,9 +30,94 @@ DbRelation::DbRelation(std::vector<int> schema)
   }
 }
 
-void DbRelation::AddRow(Tuple row) {
-  CSPDB_CHECK_MSG(row.size() == schema_.size(), "row arity mismatch");
-  if (row_set_.insert(row).second) rows_.push_back(std::move(row));
+std::size_t DbRelation::HashRow(const int* row) const {
+  std::size_t h = 1469598103934665603ull;
+  for (int i = 0; i < arity(); ++i) {
+    h ^= static_cast<std::size_t>(row[i]) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+bool DbRelation::RowEquals(std::size_t idx, const int* row) const {
+  const int* stored = data_.data() + idx * static_cast<std::size_t>(arity());
+  for (int i = 0; i < arity(); ++i) {
+    if (stored[i] != row[i]) return false;
+  }
+  return true;
+}
+
+void DbRelation::RehashInto(std::size_t capacity) const {
+  slots_.assign(capacity, 0);
+  const std::size_t mask = capacity - 1;
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    std::size_t i =
+        HashRow(data_.data() + r * static_cast<std::size_t>(arity())) & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = static_cast<uint32_t>(r) + 1;
+  }
+}
+
+void DbRelation::EnsureIndex() const {
+  if (index_valid_ && slots_.size() >= IndexCapacityFor(num_rows_)) return;
+  RehashInto(IndexCapacityFor(num_rows_));
+  index_valid_ = true;
+}
+
+bool DbRelation::InsertUnique(const int* row) {
+  CSPDB_CHECK_MSG(num_rows_ < 0xfffffffeu, "relation exceeds 2^32-2 rows");
+  EnsureIndex();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = HashRow(row) & mask;
+  while (slots_[i] != 0) {
+    if (RowEquals(slots_[i] - 1, row)) return false;
+    i = (i + 1) & mask;
+  }
+  slots_[i] = static_cast<uint32_t>(num_rows_) + 1;
+  data_.insert(data_.end(), row, row + arity());
+  ++num_rows_;
+  // Grow before the load factor degrades lookups.
+  if (slots_.size() < IndexCapacityFor(num_rows_)) {
+    RehashInto(IndexCapacityFor(num_rows_));
+  }
+  return true;
+}
+
+void DbRelation::AddRow(const Tuple& row) {
+  CSPDB_CHECK_MSG(static_cast<int>(row.size()) == arity(),
+                  "row arity mismatch");
+  InsertUnique(row.data());
+}
+
+void DbRelation::AddRow(const int* row) { InsertUnique(row); }
+
+void DbRelation::AppendRowUnchecked(const int* row) {
+  CSPDB_CHECK_MSG(num_rows_ < 0xfffffffeu, "relation exceeds 2^32-2 rows");
+  data_.insert(data_.end(), row, row + arity());
+  ++num_rows_;
+  index_valid_ = false;
+}
+
+bool DbRelation::HasRow(const Tuple& row) const {
+  CSPDB_CHECK_MSG(static_cast<int>(row.size()) == arity(),
+                  "row arity mismatch");
+  return HasRow(row.data());
+}
+
+bool DbRelation::HasRow(const int* row) const {
+  if (num_rows_ == 0) return false;
+  EnsureIndex();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = HashRow(row) & mask;
+  while (slots_[i] != 0) {
+    if (RowEquals(slots_[i] - 1, row)) return true;
+    i = (i + 1) & mask;
+  }
+  return false;
+}
+
+void DbRelation::Reserve(std::size_t rows) {
+  data_.reserve(rows * static_cast<std::size_t>(arity()));
 }
 
 int DbRelation::AttributePosition(int attr) const {
@@ -34,10 +133,10 @@ std::string DbRelation::DebugString() const {
     if (i > 0) out += ",";
     out += "a" + std::to_string(schema_[i]);
   }
-  out += "] (" + std::to_string(rows_.size()) + " rows)\n";
-  for (const Tuple& r : rows_) {
+  out += "] (" + std::to_string(num_rows_) + " rows)\n";
+  for (auto r : rows()) {
     out += "  (";
-    for (std::size_t i = 0; i < r.size(); ++i) {
+    for (int i = 0; i < r.size(); ++i) {
       if (i > 0) out += ",";
       out += std::to_string(r[i]);
     }

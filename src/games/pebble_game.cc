@@ -105,7 +105,7 @@ void PebbleGame::Enumerate() {
 
 void PebbleGame::Eliminate() {
   int total = static_cast<int>(homs_.size());
-  alive_.assign(total, 1);
+  alive_ = Bitset(total, true);
   children_.assign(total, {});
   // parents_by_child[g] lists (parent id, extension element) pairs.
   std::vector<std::vector<std::pair<int, int>>> parents(total);
@@ -144,8 +144,8 @@ void PebbleGame::Eliminate() {
                       ? 0
                       : static_cast<int>(it->second.size());
       support[f][a] = count;
-      if (count == 0 && alive_[f]) {
-        alive_[f] = 0;
+      if (count == 0 && alive_.Test(f)) {
+        alive_.Reset(f);
         dead_queue.push_back(f);
       }
     }
@@ -158,8 +158,8 @@ void PebbleGame::Eliminate() {
     for (const auto& [elem, kids] : children_[g]) {
       (void)elem;
       for (int child : kids) {
-        if (alive_[child]) {
-          alive_[child] = 0;
+        if (alive_.Test(child)) {
+          alive_.Reset(child);
           dead_queue.push_back(child);
         }
       }
@@ -167,11 +167,11 @@ void PebbleGame::Eliminate() {
     // Forth property: parents lose one unit of support on the extension
     // element.
     for (const auto& [parent, elem] : parents[g]) {
-      if (!alive_[parent]) continue;
+      if (!alive_.Test(parent)) continue;
       auto it = support[parent].find(elem);
       CSPDB_CHECK(it != support[parent].end());
       if (--it->second == 0) {
-        alive_[parent] = 0;
+        alive_.Reset(parent);
         dead_queue.push_back(parent);
       }
     }
@@ -181,12 +181,12 @@ void PebbleGame::Eliminate() {
 bool PebbleGame::DuplicatorWins() const {
   // The empty map has id 0; by down-closure the family is nonempty iff it
   // contains the empty map.
-  return alive_[0] != 0;
+  return alive_.Test(0);
 }
 
 bool PebbleGame::IsAlive(int id) const {
   CSPDB_CHECK(id >= 0 && id < static_cast<int>(homs_.size()));
-  return alive_[id] != 0;
+  return alive_.Test(id);
 }
 
 int PebbleGame::IdOf(PartialHom f) const {
@@ -200,7 +200,7 @@ int PebbleGame::IdOf(PartialHom f) const {
 
 bool PebbleGame::InLargestStrategy(PartialHom f) const {
   int id = IdOf(std::move(f));
-  return id >= 0 && alive_[id] != 0;
+  return id >= 0 && alive_.Test(id);
 }
 
 bool PebbleGame::IsWinningConfiguration(const Tuple& a_tuple,
@@ -226,7 +226,7 @@ bool PebbleGame::IsWinningConfiguration(const Tuple& a_tuple,
 std::vector<PartialHom> PebbleGame::LargestWinningStrategy() const {
   std::vector<PartialHom> out;
   for (std::size_t i = 0; i < homs_.size(); ++i) {
-    if (alive_[i]) out.push_back(homs_[i]);
+    if (alive_.Test(i)) out.push_back(homs_[i]);
   }
   std::sort(out.begin(), out.end(),
             [](const PartialHom& x, const PartialHom& y) {

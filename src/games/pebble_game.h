@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "relational/structure.h"
+#include "util/bitset.h"
 
 namespace cspdb {
 
@@ -91,7 +92,7 @@ class PebbleGame {
 
   std::vector<PartialHom> homs_;
   std::unordered_map<PartialHom, int, PartialHomHash> id_;
-  std::vector<char> alive_;
+  Bitset alive_;  // positions surviving elimination, packed
   // For f with |f| < k: children_[f] maps element a (not in dom f) to the
   // valid one-point extensions of f on a.
   std::vector<std::unordered_map<int, std::vector<int>>> children_;

@@ -251,7 +251,7 @@ DbRelation EvalRelation(const BoundedFormula& f, const Structure& b) {
     case BoundedFormula::Kind::kAnd: {
       if (f.children().empty()) {
         DbRelation truth({});
-        truth.AddRow({});
+        truth.AddRow(Tuple{});
         return truth;
       }
       DbRelation acc = EvalRelation(f.children()[0], b);

@@ -86,7 +86,7 @@ std::optional<std::vector<int>> SolveByBucketElimination(
       for (const DbRelation& rel : buckets[i]) {
         // All schema attributes other than var are already assigned.
         bool supported = false;
-        for (const Tuple& row : rel.rows()) {
+        for (auto row : rel.rows()) {
           bool match = true;
           for (std::size_t q = 0; q < rel.schema().size(); ++q) {
             int a = rel.schema()[q];

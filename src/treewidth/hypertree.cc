@@ -332,7 +332,7 @@ std::optional<std::vector<int>> SolveByHypertreeDecomposition(
   for (int t = 0; t < nodes; ++t) {
     if (htd.chi[t].empty()) {
       node_rel.push_back(DbRelation({}));
-      node_rel.back().AddRow({});  // universally true
+      node_rel.back().AddRow(Tuple{});  // universally true
       continue;
     }
     std::vector<DbRelation> parts;
@@ -365,7 +365,7 @@ std::optional<std::vector<int>> SolveByHypertreeDecomposition(
     const DbRelation& rel = node_rel[t];
     // Find a row agreeing with everything already assigned in this bag.
     bool found = false;
-    for (const Tuple& row : rel.rows()) {
+    for (auto row : rel.rows()) {
       bool ok = true;
       for (std::size_t q = 0; q < rel.schema().size(); ++q) {
         int var = rel.schema()[q];

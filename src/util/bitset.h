@@ -1,0 +1,199 @@
+// A fixed-capacity dynamic bitset over 64-bit words: the packed
+// representation behind the propagation kernels (domains as bit rows,
+// constraint tables as tuple-index masks). Word-parallel intersection
+// turns per-tuple support scans into a handful of AND+CTZ instructions,
+// which is where the "as fast as the hardware allows" budget for GAC and
+// join evaluation actually lives.
+//
+// Unlike std::vector<bool> this exposes the raw words, and unlike
+// std::bitset the capacity is a runtime value. All bits above size() are
+// kept zero as a class invariant, so whole-word operations need no
+// per-call masking.
+
+#ifndef CSPDB_UTIL_BITSET_H_
+#define CSPDB_UTIL_BITSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cspdb {
+
+/// A set of bits indexed 0..size()-1, packed 64 per word.
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Creates a bitset of `size` bits, all set to `value`.
+  explicit Bitset(int size, bool value = false) { Resize(size, value); }
+
+  /// Resets to `size` bits, all set to `value` (discards old contents).
+  void Resize(int size, bool value = false) {
+    CSPDB_DCHECK(size >= 0);
+    size_ = size;
+    words_.assign(NumWordsFor(size), value ? ~uint64_t{0} : uint64_t{0});
+    if (value) MaskTail();
+  }
+
+  int size() const { return size_; }
+
+  /// True if bit `i` is set.
+  bool Test(int i) const {
+    CSPDB_DCHECK(i >= 0 && i < size_);
+    return (words_[static_cast<std::size_t>(i) >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Read-only indexing, so `bits[i]` reads like the byte-map it replaced.
+  bool operator[](int i) const { return Test(i); }
+
+  void Set(int i) {
+    CSPDB_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<std::size_t>(i) >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Reset(int i) {
+    CSPDB_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<std::size_t>(i) >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  void SetAll() {
+    for (uint64_t& w : words_) w = ~uint64_t{0};
+    MaskTail();
+  }
+
+  void ResetAll() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  int Count() const {
+    int n = 0;
+    for (uint64_t w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  bool None() const { return !Any(); }
+
+  /// Index of the lowest set bit, or -1 if empty.
+  int FindFirst() const { return NextSetBit(0); }
+
+  /// Index of the lowest set bit >= `from`, or -1 if none.
+  int NextSetBit(int from) const {
+    if (from < 0) from = 0;
+    if (from >= size_) return -1;
+    std::size_t wi = static_cast<std::size_t>(from) >> 6;
+    uint64_t w = words_[wi] >> (from & 63);
+    if (w != 0) return from + std::countr_zero(w);
+    for (++wi; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0) {
+        return static_cast<int>(wi << 6) + std::countr_zero(words_[wi]);
+      }
+    }
+    return -1;
+  }
+
+  /// this &= other. Sizes must match.
+  void AndWith(const Bitset& other) {
+    CSPDB_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// this |= other. Sizes must match.
+  void OrWith(const Bitset& other) {
+    CSPDB_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// this &= ~other (clears every bit set in `other`). Sizes must match.
+  void AndNotWith(const Bitset& other) {
+    CSPDB_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+  }
+
+  /// True if this and `other` share a set bit. Sizes must match.
+  bool Intersects(const Bitset& other) const {
+    CSPDB_DCHECK(size_ == other.size_);
+    return IntersectsWords(other.words_.data());
+  }
+
+  /// Word-span variants for masks stored in flat arenas (e.g. one
+  /// contiguous array of rows per constraint, csp/support_masks.h). The
+  /// span must hold num_words() words with zero bits above size().
+  bool IntersectsWords(const uint64_t* other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  int FirstCommonBitWords(const uint64_t* other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i] & other[i];
+      if (w != 0) return static_cast<int>(i << 6) + std::countr_zero(w);
+    }
+    return -1;
+  }
+
+  void AndNotWithWords(const uint64_t* other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other[i];
+  }
+
+  /// Lowest index set in both this and `other`, or -1 if the intersection
+  /// is empty. The word-parallel support probe: one AND per word until a
+  /// hit, then a count-trailing-zeros.
+  int FirstCommonBit(const Bitset& other) const {
+    CSPDB_DCHECK(size_ == other.size_);
+    return FirstCommonBitWords(other.words_.data());
+  }
+
+  bool operator==(const Bitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+  bool operator!=(const Bitset& other) const { return !(*this == other); }
+
+  /// Raw word access for trailing/undo schemes that must observe which
+  /// words an update changed.
+  int num_words() const { return static_cast<int>(words_.size()); }
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+
+  /// "1011…" dump, bit 0 first, for tests and debugging.
+  std::string DebugString() const {
+    std::string out;
+    out.reserve(static_cast<std::size_t>(size_));
+    for (int i = 0; i < size_; ++i) out += Test(i) ? '1' : '0';
+    return out;
+  }
+
+  static std::size_t NumWordsFor(int bits) {
+    return (static_cast<std::size_t>(bits) + 63) >> 6;
+  }
+
+ private:
+  // Clears the bits above size_ in the last word (class invariant).
+  void MaskTail() {
+    if ((size_ & 63) != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (size_ & 63)) - 1;
+    }
+  }
+
+  int size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace cspdb
+
+#endif  // CSPDB_UTIL_BITSET_H_

@@ -70,8 +70,8 @@ TEST(Yannakakis, MatchesJoinAllOnPathQuery) {
         YannakakisEvaluate(*forest, rels, {0, 4});
     DbRelation expected = Project(direct, {0, 4});
     EXPECT_EQ(yan.size(), expected.size()) << trial;
-    for (const Tuple& row : expected.rows()) {
-      EXPECT_TRUE(yan.HasRow(row));
+    for (auto row : expected.rows()) {
+      EXPECT_TRUE(yan.HasRow(row.ToTuple()));
     }
   }
 }

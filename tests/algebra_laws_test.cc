@@ -37,7 +37,7 @@ bool SameContent(const DbRelation& a, const DbRelation& b) {
     if (p < 0) return false;
     positions.push_back(p);
   }
-  for (const Tuple& row : b.rows()) {
+  for (auto row : b.rows()) {
     Tuple reordered;
     for (int p : positions) reordered.push_back(row[p]);
     if (!a.HasRow(reordered)) return false;

@@ -1,0 +1,155 @@
+// Unit tests for the word-packed Bitset, including a randomized
+// differential check against std::vector<char> across word boundaries.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace cspdb {
+namespace {
+
+TEST(Bitset, EmptyAndZeroSize) {
+  Bitset b;
+  EXPECT_EQ(b.size(), 0);
+  EXPECT_EQ(b.Count(), 0);
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.FindFirst(), -1);
+  EXPECT_EQ(b.num_words(), 0);
+
+  Bitset z(0, true);
+  EXPECT_EQ(z.size(), 0);
+  EXPECT_TRUE(z.None());
+}
+
+TEST(Bitset, ConstructAllSetKeepsTailClear) {
+  for (int size : {1, 63, 64, 65, 127, 128, 130}) {
+    Bitset b(size, true);
+    EXPECT_EQ(b.size(), size) << size;
+    EXPECT_EQ(b.Count(), size) << size;
+    // The invariant that bits above size() stay zero is what lets
+    // whole-word ops skip masking; check the raw last word.
+    if (size % 64 != 0) {
+      uint64_t tail = b.words()[b.num_words() - 1];
+      EXPECT_EQ(tail >> (size % 64), 0u) << size;
+    }
+  }
+}
+
+TEST(Bitset, SetResetTestAcrossWordBoundary) {
+  Bitset b(130);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_FALSE(b.Test(65));
+  EXPECT_EQ(b.Count(), 4);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3);
+}
+
+TEST(Bitset, FindFirstAndNextSetBit) {
+  Bitset b(200);
+  EXPECT_EQ(b.FindFirst(), -1);
+  b.Set(5);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.FindFirst(), 5);
+  EXPECT_EQ(b.NextSetBit(0), 5);
+  EXPECT_EQ(b.NextSetBit(5), 5);
+  EXPECT_EQ(b.NextSetBit(6), 64);
+  EXPECT_EQ(b.NextSetBit(65), 199);
+  EXPECT_EQ(b.NextSetBit(200), -1);
+  // Iteration visits exactly the set bits, in order.
+  std::vector<int> seen;
+  for (int i = b.FindFirst(); i >= 0; i = b.NextSetBit(i + 1)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{5, 64, 199}));
+}
+
+TEST(Bitset, WordParallelOps) {
+  Bitset a(100), b(100);
+  a.Set(3);
+  a.Set(70);
+  a.Set(99);
+  b.Set(70);
+  b.Set(71);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.FirstCommonBit(b), 70);
+
+  Bitset c = a;
+  c.AndWith(b);
+  EXPECT_EQ(c.Count(), 1);
+  EXPECT_TRUE(c.Test(70));
+
+  c = a;
+  c.OrWith(b);
+  EXPECT_EQ(c.Count(), 4);
+
+  c = a;
+  c.AndNotWith(b);
+  EXPECT_EQ(c.Count(), 2);
+  EXPECT_TRUE(c.Test(3));
+  EXPECT_TRUE(c.Test(99));
+  EXPECT_FALSE(c.Test(70));
+
+  Bitset disjoint(100);
+  disjoint.Set(0);
+  EXPECT_FALSE(a.Intersects(disjoint));
+  EXPECT_EQ(a.FirstCommonBit(disjoint), -1);
+}
+
+TEST(Bitset, EqualityAndDebugString) {
+  Bitset a(5), b(5);
+  a.Set(1);
+  b.Set(1);
+  EXPECT_EQ(a, b);
+  b.Set(4);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(b.DebugString(), "01001");
+  EXPECT_NE(Bitset(5), Bitset(6));  // same (empty) content, different size
+}
+
+TEST(Bitset, DifferentialAgainstByteMap) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    int size = rng.UniformInt(1, 300);
+    Bitset bits(size);
+    std::vector<char> bytes(size, 0);
+    for (int step = 0; step < 400; ++step) {
+      int i = rng.UniformInt(0, size - 1);
+      if (rng.UniformInt(0, 1) == 1) {
+        bits.Set(i);
+        bytes[i] = 1;
+      } else {
+        bits.Reset(i);
+        bytes[i] = 0;
+      }
+    }
+    int count = 0;
+    int first = -1;
+    for (int i = 0; i < size; ++i) {
+      ASSERT_EQ(bits.Test(i), bytes[i] != 0) << trial << " bit " << i;
+      if (bytes[i]) {
+        ++count;
+        if (first < 0) first = i;
+      }
+    }
+    EXPECT_EQ(bits.Count(), count) << trial;
+    EXPECT_EQ(bits.FindFirst(), first) << trial;
+    EXPECT_EQ(bits.Any(), count > 0) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cspdb

@@ -75,7 +75,7 @@ TEST(Algebra, SemijoinWithDisjointSchemaKeepsAllIfNonempty) {
 TEST(Algebra, ZeroArityRelations) {
   DbRelation truth({});
   EXPECT_TRUE(truth.empty());
-  truth.AddRow({});
+  truth.AddRow(Tuple{});
   EXPECT_EQ(truth.size(), 1u);
   DbRelation r({0});
   r.AddRow({5});

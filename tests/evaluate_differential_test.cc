@@ -26,7 +26,7 @@ DbRelation BruteForceEvaluate(const ConjunctiveQuery& q,
   int d = db.domain_size();
   std::vector<int> assignment(n, 0);
   if (n == 0) {
-    out.AddRow({});
+    out.AddRow(Tuple{});
     return out;
   }
   while (true) {
@@ -89,8 +89,8 @@ TEST(EvaluateDifferential, RandomQueriesOnRandomDatabases) {
     DbRelation fast = Evaluate(q, db);
     DbRelation slow = BruteForceEvaluate(q, db);
     EXPECT_EQ(fast.size(), slow.size()) << trial << " " << q.ToString();
-    for (const Tuple& row : slow.rows()) {
-      EXPECT_TRUE(fast.HasRow(row)) << trial << " " << q.ToString();
+    for (auto row : slow.rows()) {
+      EXPECT_TRUE(fast.HasRow(row.ToTuple())) << trial << " " << q.ToString();
     }
   }
 }

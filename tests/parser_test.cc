@@ -101,7 +101,7 @@ TEST(GreedyJoin, SameContentAsLeftToRight) {
     DbRelation a = JoinAll(rels);
     DbRelation b = JoinAllGreedy(rels);
     EXPECT_EQ(a.size(), b.size()) << trial;
-    for (const Tuple& row : a.rows()) {
+    for (auto row : a.rows()) {
       // Schemas may be ordered differently; compare via projection.
       Tuple reordered;
       for (int attr : b.schema()) {

@@ -66,8 +66,8 @@ TEST(SolutionsAsRelation, MatchesSolverEnumeration) {
     EXPECT_EQ(static_cast<int64_t>(solutions.size()),
               solver.CountSolutions())
         << trial;
-    for (const Tuple& row : solutions.rows()) {
-      EXPECT_TRUE(csp.IsSolution(row)) << trial;
+    for (auto row : solutions.rows()) {
+      EXPECT_TRUE(csp.IsSolution(row.ToTuple())) << trial;
     }
   }
 }
