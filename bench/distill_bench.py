@@ -11,8 +11,25 @@ Usage: distill_bench.py <benchmark-json> <output-json> [--label LABEL]
 import argparse
 import datetime
 import json
+import os
 import re
+import subprocess
 import sys
+
+
+def git_head() -> str:
+    """HEAD commit of the repo containing this script, or "unknown"."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 NAME_RE = re.compile(r"^BM_(?P<op>\w+?)_(?P<side>baseline|optimized)/(?P<size>\d+)$")
 
@@ -73,6 +90,8 @@ def main() -> int:
     out = {
         "generated_by": "bench/run_benchmarks.sh",
         "machine": {
+            "git_head": git_head(),
+            "generated_at": datetime.date.today().isoformat(),
             "num_cpus": context.get("num_cpus"),
             "mhz_per_cpu": context.get("mhz_per_cpu"),
             "cpu_scaling_enabled": context.get("cpu_scaling_enabled"),

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "csp/support_masks.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace cspdb {
@@ -43,6 +44,7 @@ class GacEngine {
     s->domains[var].Reset(val);
     --s->domain_size[var];
     ++*prunings;
+    CSPDB_COUNT("gac.prunings");
     const std::vector<int>& cons = csp_.ConstraintsOn(var);
     for (std::size_t k = 0; k < cons.size(); ++k) {
       const int ci = cons[k];
@@ -69,6 +71,7 @@ class GacEngine {
       for (std::size_t g = 0; g < masks.group_var.size(); ++g) {
         const int var = masks.group_var[g];
         ++*revisions;
+        CSPDB_COUNT("gac.revisions");
         bool changed = false;
         const Bitset& domain = s->domains[var];
         for (int val = domain.FindFirst(); val >= 0;
@@ -86,6 +89,8 @@ class GacEngine {
             if (other != ci && !queued_[other]) {
               queue_.push_back(other);
               queued_[other] = 1;
+              CSPDB_GAUGE_MAX("gac.queue_peak",
+                              static_cast<int64_t>(queue_.size()));
             }
           }
         }
@@ -110,10 +115,12 @@ class GacEngine {
 }  // namespace
 
 AcResult EnforceGac(const CspInstance& csp) {
+  CSPDB_TIMER_SCOPE("consistency.gac");
   AcResult result;
   if (csp.num_variables() > 0 && csp.num_values() == 0) {
     result.domains.assign(csp.num_variables(), Bitset(0));
     result.consistent = false;
+    result.wipeouts = 1;
     return result;
   }
   GacEngine engine(csp);
@@ -121,15 +128,22 @@ AcResult EnforceGac(const CspInstance& csp) {
   engine.InitFullState(&state);
   result.consistent =
       engine.RunToFixpoint(&state, &result.revisions, &result.prunings);
+  if (!result.consistent) {
+    result.wipeouts = 1;
+    CSPDB_COUNT("gac.wipeouts");
+    CSPDB_TRACE_INSTANT("gac.wipeout");
+  }
   result.domains = std::move(state.domains);
   return result;
 }
 
 AcResult EnforceSingletonArcConsistency(const CspInstance& csp) {
+  CSPDB_TIMER_SCOPE("consistency.sac");
   AcResult result;
   if (csp.num_variables() > 0 && csp.num_values() == 0) {
     result.domains.assign(csp.num_variables(), Bitset(0));
     result.consistent = false;
+    result.wipeouts = 1;
     return result;
   }
   GacEngine engine(csp);
@@ -138,6 +152,8 @@ AcResult EnforceSingletonArcConsistency(const CspInstance& csp) {
   result.consistent =
       engine.RunToFixpoint(&outer, &result.revisions, &result.prunings);
   if (!result.consistent) {
+    result.wipeouts = 1;
+    CSPDB_COUNT("gac.wipeouts");
     result.domains = std::move(outer.domains);
     return result;
   }
@@ -155,6 +171,7 @@ AcResult EnforceSingletonArcConsistency(const CspInstance& csp) {
         probe = outer;
         bool probe_consistent = true;
         int64_t scratch = 0;
+        CSPDB_COUNT("sac.probes");
         for (int other = outer.domains[v].FindFirst(); other >= 0;
              other = outer.domains[v].NextSetBit(other + 1)) {
           if (other == d) continue;
@@ -169,8 +186,12 @@ AcResult EnforceSingletonArcConsistency(const CspInstance& csp) {
         }
         if (!probe_consistent) {
           changed = true;
+          ++result.wipeouts;
+          CSPDB_COUNT("sac.probe_wipeouts");
           if (!engine.Prune(&outer, v, d, &result.prunings)) {
             result.consistent = false;
+            ++result.wipeouts;
+            CSPDB_COUNT("gac.wipeouts");
             break;
           }
         }

@@ -40,6 +40,11 @@ struct AcResult {
 
   /// Number of (variable, value) pairs pruned.
   int64_t prunings = 0;
+
+  /// Number of domain wipeouts observed: 0 or 1 for plain GAC (a wipeout
+  /// ends the run), and additionally one per refuted probe for SAC (a
+  /// probe wipeout is the signal that prunes the probed value).
+  int64_t wipeouts = 0;
 };
 
 /// Runs GAC-3 to fixpoint: repeatedly removes values without a supporting

@@ -4,12 +4,15 @@
 #include <numeric>
 
 #include "analysis/validate_csp.h"
+#include "obs/obs.h"
 #include "relational/homomorphism.h"
 #include "util/check.h"
 
 namespace cspdb {
 
-BackjumpSolver::BackjumpSolver(const CspInstance& csp) : csp_(csp) {
+BackjumpSolver::BackjumpSolver(const CspInstance& csp,
+                               BackjumpOptions options)
+    : csp_(csp), options_(options) {
   int n = csp.num_variables();
   std::vector<int> degree(n);
   for (int v = 0; v < n; ++v) {
@@ -24,6 +27,7 @@ BackjumpSolver::BackjumpSolver(const CspInstance& csp) : csp_(csp) {
 }
 
 std::optional<std::vector<int>> BackjumpSolver::Solve() {
+  CSPDB_TIMER_SCOPE("csp.backjump_solve");
   stats_ = BackjumpStats{};
   int n = csp_.num_variables();
   int d = csp_.num_values();
@@ -76,7 +80,13 @@ std::optional<std::vector<int>> BackjumpSolver::Solve() {
     int var = order_[level];
     bool advanced = false;
     for (int v = next_value[level]; v < d; ++v) {
+      if (options_.node_limit >= 0 && stats_.nodes >= options_.node_limit) {
+        stats_.aborted = true;
+        assignment[var] = kUnassigned;
+        return std::nullopt;
+      }
       ++stats_.nodes;
+      CSPDB_COUNT("csp.backjump_nodes");
       assignment[var] = v;
       if (consistent(level)) {
         next_value[level] = v + 1;
@@ -95,6 +105,7 @@ std::optional<std::vector<int>> BackjumpSolver::Solve() {
     // Dead end: jump to the deepest conflicting level.
     assignment[var] = kUnassigned;
     ++stats_.backtracks;
+    CSPDB_COUNT("csp.backjump_backtracks");
     int jump = -1;
     for (int l = level - 1; l >= 0; --l) {
       if (conflict[level][l]) {
@@ -103,7 +114,10 @@ std::optional<std::vector<int>> BackjumpSolver::Solve() {
       }
     }
     if (jump < 0) return std::nullopt;
-    if (jump < level - 1) ++stats_.backjumps;
+    if (jump < level - 1) {
+      ++stats_.backjumps;
+      CSPDB_COUNT("csp.backjumps");
+    }
     // Merge this conflict set (minus the jump target) into the target's.
     for (int l = 0; l < jump; ++l) {
       if (conflict[level][l]) conflict[jump][l] = 1;

@@ -16,11 +16,18 @@
 
 namespace cspdb {
 
+/// Knobs for BackjumpSolver (parity with SolverOptions where the
+/// concepts apply — CBJ has no propagation or dynamic ordering knobs).
+struct BackjumpOptions {
+  int64_t node_limit = -1;  ///< abort after this many nodes; -1 = unlimited
+};
+
 /// Counters reported by the backjumping search.
 struct BackjumpStats {
   int64_t nodes = 0;
   int64_t backjumps = 0;   ///< dead ends that skipped at least one level
   int64_t backtracks = 0;  ///< all dead ends
+  bool aborted = false;    ///< node limit hit before the search finished
 };
 
 /// Complete CBJ search with static variable order (descending degree).
@@ -30,15 +37,18 @@ struct BackjumpStats {
 /// level and merges conflict sets.
 class BackjumpSolver {
  public:
-  explicit BackjumpSolver(const CspInstance& csp);
+  explicit BackjumpSolver(const CspInstance& csp,
+                          BackjumpOptions options = {});
 
-  /// Finds one solution or proves unsolvability.
+  /// Finds one solution or proves unsolvability (or hits the node limit —
+  /// check stats().aborted before reading std::nullopt as unsolvable).
   std::optional<std::vector<int>> Solve();
 
   const BackjumpStats& stats() const { return stats_; }
 
  private:
   const CspInstance& csp_;
+  BackjumpOptions options_;
   BackjumpStats stats_;
   std::vector<int> order_;     // level -> variable
   std::vector<int> level_of_;  // variable -> level

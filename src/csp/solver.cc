@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "analysis/validate_csp.h"
+#include "obs/obs.h"
 #include "relational/homomorphism.h"
 #include "util/check.h"
 
@@ -20,6 +21,7 @@ BacktrackingSolver::BacktrackingSolver(const CspInstance& csp,
 
 void BacktrackingSolver::Reset() {
   stats_ = SolverStats{};
+  revision_counts_.assign(csp_.constraints().size(), 0);
   active_.assign(csp_.num_variables(), Bitset(csp_.num_values(), true));
   domain_size_.assign(csp_.num_variables(), csp_.num_values());
   assignment_.assign(csp_.num_variables(), kUnassigned);
@@ -39,6 +41,7 @@ bool BacktrackingSolver::Prune(int var, int val) {
   active_[var].Reset(val);
   --domain_size_[var];
   ++stats_.prunings;
+  CSPDB_COUNT("csp.prunings");
   trail_.push_back({var, val});
   // Kill the tuples that assigned val to var, a word at a time, saving
   // each changed word on the trail for backtracking.
@@ -141,6 +144,9 @@ bool BacktrackingSolver::ForwardCheck(int var) {
 }
 
 bool BacktrackingSolver::Revise(int ci, int group) {
+  ++stats_.revisions;
+  ++revision_counts_[ci];
+  CSPDB_COUNT("csp.revisions");
   const ConstraintSupport& masks = masks_->constraints[ci];
   const int var = masks.group_var[group];
   const int num_values = csp_.num_values();
@@ -188,6 +194,8 @@ bool BacktrackingSolver::PropagateGac(
           if (other != ci && !gac_queued_[other]) {
             gac_queue_.push_back(other);
             gac_queued_[other] = 1;
+            CSPDB_GAUGE_MAX("csp.gac_queue_peak",
+                            static_cast<int64_t>(gac_queue_.size()));
           }
         }
       }
@@ -248,6 +256,7 @@ bool BacktrackingSolver::Recurse(Callback&& on_solution, bool* stopped) {
       return true;
     }
     ++stats_.nodes;
+    CSPDB_COUNT("csp.nodes");
     std::size_t value_mark = trail_.size();
     std::size_t word_mark = word_trail_.size();
     if (AssignAndPropagate(var, val)) {
@@ -256,6 +265,7 @@ bool BacktrackingSolver::Recurse(Callback&& on_solution, bool* stopped) {
     assignment_[var] = kUnassigned;
     UndoTo(value_mark, word_mark);
     ++stats_.backtracks;
+    CSPDB_COUNT("csp.backtracks");
   }
   return false;
 }
@@ -285,6 +295,7 @@ bool BacktrackingSolver::Search(Callback&& on_solution) {
 }
 
 std::optional<std::vector<int>> BacktrackingSolver::Solve() {
+  CSPDB_TIMER_SCOPE("csp.solve");
   std::optional<std::vector<int>> result;
   Search([&](const std::vector<int>& a) {
     result = a;
@@ -299,6 +310,7 @@ std::optional<std::vector<int>> BacktrackingSolver::Solve() {
 }
 
 int64_t BacktrackingSolver::CountSolutions(int64_t limit) {
+  CSPDB_TIMER_SCOPE("csp.count_solutions");
   int64_t count = 0;
   Search([&](const std::vector<int>&) {
     ++count;

@@ -39,12 +39,15 @@ struct SolverOptions {
   int64_t node_limit = -1;  ///< abort after this many nodes; -1 = unlimited
 };
 
-/// Counters reported by the search.
+/// Counters reported by the search. Per-run view of the process-wide
+/// "csp.*" metrics in obs/metrics.h (the registry accumulates across
+/// runs; this struct resets per Solve/CountSolutions call).
 struct SolverStats {
   int64_t nodes = 0;
   int64_t backtracks = 0;
   int64_t prunings = 0;
-  bool aborted = false;  ///< node limit hit before the search finished
+  int64_t revisions = 0;  ///< GAC (constraint, group) revision calls
+  bool aborted = false;   ///< node limit hit before the search finished
 };
 
 /// A complete backtracking solver over a CspInstance. The instance must
@@ -62,6 +65,12 @@ class BacktrackingSolver {
   int64_t CountSolutions(int64_t limit = INT64_MAX);
 
   const SolverStats& stats() const { return stats_; }
+
+  /// Revisions performed per constraint during the last search (empty
+  /// before the first Solve/CountSolutions). Feeds obs/explain.h.
+  const std::vector<int64_t>& revision_counts() const {
+    return revision_counts_;
+  }
 
  private:
   void Reset();
@@ -82,6 +91,7 @@ class BacktrackingSolver {
   const CspInstance& csp_;
   SolverOptions options_;
   SolverStats stats_;
+  std::vector<int64_t> revision_counts_;  // [constraint] -> revisions
 
   std::vector<Bitset> active_;  // [var] -> packed surviving values
   std::vector<int> domain_size_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "analysis/validate_datalog.h"
+#include "obs/obs.h"
 #include "relational/homomorphism.h"
 #include "util/check.h"
 
@@ -149,28 +150,36 @@ bool DatalogResult::GoalDerived(const DatalogProgram& program) const {
 
 DatalogResult EvaluateNaive(const DatalogProgram& program,
                             const Structure& edb) {
+  CSPDB_TIMER_SCOPE("datalog.naive");
   FactStore store(program, edb);
   DatalogResult result;
   bool changed = true;
   while (changed) {
     changed = false;
     ++result.iterations;
+    CSPDB_COUNT("datalog.iterations");
     std::vector<std::pair<std::string, Tuple>> pending;
     for (const DatalogRule& rule : program.rules()) {
       RuleMatcher matcher(rule, store, -1, nullptr);
       matcher.Run([&](Tuple head) {
         ++result.derivations;
+        CSPDB_COUNT("datalog.derivations");
         if (!store.Known(rule.head.predicate, head)) {
           pending.push_back({rule.head.predicate, std::move(head)});
         }
       });
     }
+    int64_t admitted = 0;
     for (auto& [pred, fact] : pending) {
       if (!store.Known(pred, fact)) {
         store.Add(pred, std::move(fact));
         changed = true;
+        ++admitted;
       }
     }
+    result.delta_sizes.push_back(admitted);
+    CSPDB_COUNT_N("datalog.delta_facts", admitted);
+    CSPDB_TRACE_COUNTER("datalog.delta", admitted);
   }
   result.idb = std::move(store.idb_set);
   CSPDB_AUDIT(AuditOrDie("naive Datalog fixpoint",
@@ -180,16 +189,19 @@ DatalogResult EvaluateNaive(const DatalogProgram& program,
 
 DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
                                 const Structure& edb) {
+  CSPDB_TIMER_SCOPE("datalog.semi_naive");
   FactStore store(program, edb);
   DatalogResult result;
 
   // Round 0: all rules against the (empty-IDB) store.
   std::unordered_map<std::string, std::vector<Tuple>> delta;
   ++result.iterations;
+  CSPDB_COUNT("datalog.iterations");
   for (const DatalogRule& rule : program.rules()) {
     RuleMatcher matcher(rule, store, -1, nullptr);
     matcher.Run([&](Tuple head) {
       ++result.derivations;
+      CSPDB_COUNT("datalog.derivations");
       delta[rule.head.predicate].push_back(std::move(head));
     });
   }
@@ -197,16 +209,22 @@ DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
   while (true) {
     // Merge the delta, deduplicating against known facts.
     std::unordered_map<std::string, std::vector<Tuple>> fresh;
+    int64_t admitted = 0;
     for (auto& [pred, facts] : delta) {
       for (Tuple& fact : facts) {
         if (!store.Known(pred, fact)) {
           fresh[pred].push_back(fact);
           store.Add(pred, std::move(fact));
+          ++admitted;
         }
       }
     }
+    result.delta_sizes.push_back(admitted);
+    CSPDB_COUNT_N("datalog.delta_facts", admitted);
+    CSPDB_TRACE_COUNTER("datalog.delta", admitted);
     if (fresh.empty()) break;
     ++result.iterations;
+    CSPDB_COUNT("datalog.iterations");
 
     // Fire each rule once per IDB body position, with that position
     // restricted to the fresh facts.
@@ -220,6 +238,7 @@ DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
         RuleMatcher matcher(rule, store, static_cast<int>(p), &it->second);
         matcher.Run([&](Tuple head) {
           ++result.derivations;
+          CSPDB_COUNT("datalog.derivations");
           if (!store.Known(rule.head.predicate, head)) {
             next_delta[rule.head.predicate].push_back(std::move(head));
           }

@@ -24,6 +24,11 @@ struct DatalogResult {
   int64_t iterations = 0;   ///< fixpoint rounds
   int64_t derivations = 0;  ///< rule firings (including duplicates)
 
+  /// New facts admitted per fixpoint round (delta_sizes[i] is round i's
+  /// count; sums to the total IDB size). The shape counter behind the
+  /// semi-naive-vs-naive ablation; mirrored to "datalog.delta_facts".
+  std::vector<int64_t> delta_sizes;
+
   /// Facts derived for `predicate` (empty set if none).
   const TupleSet& Facts(const std::string& predicate) const;
 

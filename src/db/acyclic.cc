@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "db/algebra.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace cspdb {
@@ -85,17 +86,43 @@ bool IsAlphaAcyclic(const Hypergraph& h) {
 }
 
 void FullReducer(const JoinForest& forest,
-                 std::vector<DbRelation>* relations) {
+                 std::vector<DbRelation>* relations,
+                 YannakakisStats* stats) {
+  CSPDB_TIMER_SCOPE("db.full_reducer");
+  if (stats != nullptr) {
+    stats->input_rows.clear();
+    for (const DbRelation& r : *relations) {
+      stats->input_rows.push_back(static_cast<int64_t>(r.size()));
+    }
+  }
+  auto reduce = [&](int target, int with) {
+    const int64_t before = static_cast<int64_t>((*relations)[target].size());
+    (*relations)[target] =
+        Semijoin((*relations)[target], (*relations)[with]);
+    if (stats != nullptr) {
+      ++stats->semijoin_passes;
+      stats->rows_removed +=
+          before - static_cast<int64_t>((*relations)[target].size());
+    }
+  };
   // Upward pass: children before parents (forest.order is removal order).
   for (int e : forest.order) {
     int f = forest.parent[e];
-    if (f >= 0) (*relations)[f] = Semijoin((*relations)[f], (*relations)[e]);
+    if (f >= 0) reduce(f, e);
   }
   // Downward pass: parents before children.
   for (auto it = forest.order.rbegin(); it != forest.order.rend(); ++it) {
     int e = *it;
     int f = forest.parent[e];
-    if (f >= 0) (*relations)[e] = Semijoin((*relations)[e], (*relations)[f]);
+    if (f >= 0) reduce(e, f);
+  }
+  if (stats != nullptr) {
+    stats->reduced_rows.clear();
+    for (const DbRelation& r : *relations) {
+      const int64_t rows = static_cast<int64_t>(r.size());
+      stats->reduced_rows.push_back(rows);
+      stats->peak_reduced_rows = std::max(stats->peak_reduced_rows, rows);
+    }
   }
 }
 
@@ -112,7 +139,8 @@ bool AcyclicJoinNonempty(const JoinForest& forest,
 DbRelation YannakakisEvaluate(const JoinForest& forest,
                               std::vector<DbRelation> relations,
                               const std::vector<int>& output_attrs,
-                              int64_t* peak_rows) {
+                              int64_t* peak_rows, YannakakisStats* stats) {
+  CSPDB_TIMER_SCOPE("db.yannakakis");
   CSPDB_CHECK(!relations.empty());
   std::unordered_set<int> output(output_attrs.begin(), output_attrs.end());
   for (int a : output_attrs) {
@@ -126,10 +154,13 @@ DbRelation YannakakisEvaluate(const JoinForest& forest,
     CSPDB_CHECK_MSG(found, "output attribute missing from every relation");
   }
 
-  FullReducer(forest, &relations);
+  FullReducer(forest, &relations, stats);
   int64_t peak = 0;
   for (const DbRelation& r : relations) {
     peak = std::max(peak, static_cast<int64_t>(r.size()));
+  }
+  if (stats != nullptr) {
+    stats->fold_rows.assign(relations.size(), -1);
   }
 
   // Bottom-up joins: fold each child into its parent, projecting onto the
@@ -144,6 +175,11 @@ DbRelation YannakakisEvaluate(const JoinForest& forest,
     }
     DbRelation joined = NaturalJoin(result[f], result[e]);
     peak = std::max(peak, static_cast<int64_t>(joined.size()));
+    if (stats != nullptr) {
+      stats->fold_rows[e] = static_cast<int64_t>(joined.size());
+      stats->peak_join_rows = std::max(
+          stats->peak_join_rows, static_cast<int64_t>(joined.size()));
+    }
     std::vector<int> keep;
     for (int a : joined.schema()) {
       if (output.count(a) > 0 ||
@@ -162,7 +198,13 @@ DbRelation YannakakisEvaluate(const JoinForest& forest,
     peak = std::max(peak, static_cast<int64_t>(acc.size()));
   }
   if (peak_rows != nullptr) *peak_rows = peak;
-  return Project(acc, output_attrs);
+  CSPDB_GAUGE_MAX("db.yannakakis.peak_rows", peak);
+  DbRelation projected = Project(acc, output_attrs);
+  if (stats != nullptr) {
+    stats->peak_join_rows = std::max(stats->peak_join_rows, peak);
+    stats->output_rows = static_cast<int64_t>(projected.size());
+  }
+  return projected;
 }
 
 }  // namespace cspdb

@@ -36,10 +36,32 @@ std::optional<JoinForest> BuildJoinForest(const Hypergraph& h);
 /// True iff the hypergraph is alpha-acyclic.
 bool IsAlphaAcyclic(const Hypergraph& h);
 
+/// Per-run statistics for the full reducer and Yannakakis evaluation —
+/// the per-stage peak rows EXPERIMENTS.md E8 previously could only infer
+/// from timings. Mirrored into the process-wide "db.*" metrics
+/// (obs/metrics.h) in instrumented builds; rendered by obs/explain.h.
+struct YannakakisStats {
+  int64_t semijoin_passes = 0;  ///< semijoins applied by the full reducer
+  int64_t rows_removed = 0;     ///< rows dropped across all those passes
+  int64_t peak_reduced_rows = 0;  ///< largest relation after reduction
+  int64_t peak_join_rows = 0;     ///< largest bottom-up join intermediate
+  int64_t output_rows = 0;        ///< final result cardinality
+
+  /// Per relation (indexed like the input vector): rows before reduction,
+  /// rows after the full reducer, and the cardinality of the bottom-up
+  /// join produced when this relation folded into its parent (-1 for
+  /// roots, which are never folded). input_rows/reduced_rows are filled
+  /// by FullReducer; fold_rows only by YannakakisEvaluate.
+  std::vector<int64_t> input_rows;
+  std::vector<int64_t> reduced_rows;
+  std::vector<int64_t> fold_rows;
+};
+
 /// Full reducer: runs the child->parent and parent->child semijoin passes
 /// over `relations` in place. After this, for an acyclic schema, the join
 /// is nonempty iff every relation is nonempty.
-void FullReducer(const JoinForest& forest, std::vector<DbRelation>* relations);
+void FullReducer(const JoinForest& forest, std::vector<DbRelation>* relations,
+                 YannakakisStats* stats = nullptr);
 
 /// Decides whether the natural join of acyclic `relations` is nonempty in
 /// polynomial time (semijoin program only — no join is materialized).
@@ -53,7 +75,8 @@ bool AcyclicJoinNonempty(const JoinForest& forest,
 DbRelation YannakakisEvaluate(const JoinForest& forest,
                               std::vector<DbRelation> relations,
                               const std::vector<int>& output_attrs,
-                              int64_t* peak_rows = nullptr);
+                              int64_t* peak_rows = nullptr,
+                              YannakakisStats* stats = nullptr);
 
 }  // namespace cspdb
 

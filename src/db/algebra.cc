@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace cspdb {
@@ -103,6 +104,8 @@ class KeyIndex {
 }  // namespace
 
 DbRelation NaturalJoin(const DbRelation& r, const DbRelation& s) {
+  CSPDB_TRACE_SPAN("db.natural_join");
+  CSPDB_COUNT("db.joins");
   std::vector<int> r_pos, s_pos;
   SharedPositions(r, s, &r_pos, &s_pos);
 
@@ -141,6 +144,8 @@ DbRelation NaturalJoin(const DbRelation& r, const DbRelation& s) {
       out.AppendRowUnchecked(out_row.data());
     }
   }
+  CSPDB_COUNT_N("db.join.rows_out", static_cast<int64_t>(out.size()));
+  CSPDB_GAUGE_MAX("db.join.peak_rows", static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -185,10 +190,14 @@ DbRelation SelectEquals(const DbRelation& r, int attr, int value) {
 }
 
 DbRelation Semijoin(const DbRelation& r, const DbRelation& s) {
+  CSPDB_COUNT("db.semijoins");
   std::vector<int> r_pos, s_pos;
   SharedPositions(r, s, &r_pos, &s_pos);
   DbRelation out(r.schema());
-  if (r.empty() || s.empty()) return out;
+  if (r.empty() || s.empty()) {
+    CSPDB_COUNT_N("db.semijoin.rows_removed", static_cast<int64_t>(r.size()));
+    return out;
+  }
   KeyIndex index(s, s_pos);
   const int* r_data = r.data().data();
   const int r_arity = r.arity();
@@ -198,11 +207,14 @@ DbRelation Semijoin(const DbRelation& r, const DbRelation& s) {
       out.AppendRowUnchecked(rrow);
     }
   }
+  CSPDB_COUNT_N("db.semijoin.rows_removed",
+                static_cast<int64_t>(r.size() - out.size()));
   return out;
 }
 
 DbRelation JoinAll(const std::vector<DbRelation>& relations,
                    int64_t* peak_rows) {
+  CSPDB_TIMER_SCOPE("db.join_all");
   CSPDB_CHECK(!relations.empty());
   DbRelation acc = relations[0];
   int64_t peak = static_cast<int64_t>(acc.size());
@@ -216,6 +228,7 @@ DbRelation JoinAll(const std::vector<DbRelation>& relations,
 
 DbRelation JoinAllGreedy(const std::vector<DbRelation>& relations,
                          int64_t* peak_rows) {
+  CSPDB_TIMER_SCOPE("db.join_all_greedy");
   CSPDB_CHECK(!relations.empty());
   std::vector<char> used(relations.size(), 0);
   // Start with the smallest relation.

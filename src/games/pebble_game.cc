@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/obs.h"
 #include "relational/homomorphism.h"
 #include "util/check.h"
 
@@ -24,6 +25,7 @@ bool InsertPair(PartialHom* f, int a, int b) {
 
 PebbleGame::PebbleGame(const Structure& a, const Structure& b, int k)
     : a_(a), b_(b), k_(k) {
+  CSPDB_TIMER_SCOPE("games.pebble_game");
   CSPDB_CHECK(k >= 1);
   CSPDB_CHECK(a.vocabulary() == b.vocabulary());
   tuples_on_.resize(a_.domain_size());
@@ -40,6 +42,8 @@ PebbleGame::PebbleGame(const Structure& a, const Structure& b, int k)
   }
   Enumerate();
   Eliminate();
+  CSPDB_COUNT_N("games.pebble.positions", UniverseSize());
+  CSPDB_COUNT_N("games.pebble.eliminated", EliminatedCount());
 }
 
 bool PebbleGame::ValidExtension(const PartialHom& f, int a, int b) const {
@@ -154,6 +158,7 @@ void PebbleGame::Eliminate() {
   while (!dead_queue.empty()) {
     int g = dead_queue.front();
     dead_queue.pop_front();
+    CSPDB_COUNT("games.pebble.elimination_rounds");
     // Down-closure upwards: any extension of a dead map is dead.
     for (const auto& [elem, kids] : children_[g]) {
       (void)elem;

@@ -81,6 +81,12 @@ class PebbleGame {
   /// Number of enumerated positions (for the complexity benchmarks).
   int64_t UniverseSize() const { return static_cast<int64_t>(homs_.size()); }
 
+  /// Positions killed by the greatest-fixpoint elimination (the game's
+  /// analogue of GAC's pruning count).
+  int64_t EliminatedCount() const {
+    return static_cast<int64_t>(homs_.size()) - alive_.Count();
+  }
+
  private:
   void Enumerate();
   bool ValidExtension(const PartialHom& f, int a, int b) const;

@@ -1,0 +1,173 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cspdb::obs {
+namespace {
+
+void AppendSchema(std::ostringstream* out, const std::vector<int>& schema) {
+  *out << "(";
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) *out << ", ";
+    *out << schema[i];
+  }
+  *out << ")";
+}
+
+void RenderForestNode(const JoinForest& forest,
+                      const std::vector<DbRelation>& relations,
+                      const YannakakisStats* stats,
+                      const std::vector<std::vector<int>>& children, int node,
+                      int depth, std::ostringstream* out) {
+  for (int i = 0; i < depth; ++i) *out << "  ";
+  *out << (depth == 0 ? "* " : "- ") << "R" << node;
+  AppendSchema(out, relations[node].schema());
+  *out << "  input=" << relations[node].size();
+  if (stats != nullptr) {
+    if (node < static_cast<int>(stats->reduced_rows.size())) {
+      *out << "  reduced=" << stats->reduced_rows[node];
+    }
+    if (node < static_cast<int>(stats->fold_rows.size()) &&
+        stats->fold_rows[node] >= 0) {
+      *out << "  fold_join=" << stats->fold_rows[node];
+    }
+  }
+  *out << "\n";
+  for (int child : children[node]) {
+    RenderForestNode(forest, relations, stats, children, child, depth + 1,
+                     out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainJoinForest(const JoinForest& forest,
+                              const std::vector<DbRelation>& relations,
+                              const YannakakisStats* stats) {
+  const int m = static_cast<int>(relations.size());
+  CSPDB_CHECK(static_cast<int>(forest.parent.size()) == m);
+  std::vector<std::vector<int>> children(m);
+  std::vector<int> roots;
+  for (int e = 0; e < m; ++e) {
+    if (forest.parent[e] < 0) {
+      roots.push_back(e);
+    } else {
+      children[forest.parent[e]].push_back(e);
+    }
+  }
+  std::ostringstream out;
+  out << "join forest: " << m << " relation" << (m == 1 ? "" : "s") << ", "
+      << roots.size() << " root" << (roots.size() == 1 ? "" : "s") << "\n";
+  for (int root : roots) {
+    RenderForestNode(forest, relations, stats, children, root, 0, &out);
+  }
+  if (stats != nullptr) {
+    out << "full reducer: " << stats->semijoin_passes << " semijoin pass"
+        << (stats->semijoin_passes == 1 ? "" : "es") << ", "
+        << stats->rows_removed << " rows removed, peak reduced rows "
+        << stats->peak_reduced_rows << "\n";
+    out << "bottom-up joins: peak intermediate " << stats->peak_join_rows
+        << " rows, output " << stats->output_rows << " rows\n";
+  }
+  return out.str();
+}
+
+std::string ExplainBucketElimination(const CspInstance& csp,
+                                     const std::vector<int>& order,
+                                     const BucketStats& stats) {
+  const int n = csp.num_variables();
+  CSPDB_CHECK(static_cast<int>(order.size()) == n);
+  std::ostringstream out;
+  out << "bucket elimination: " << n << " variables, " << csp.num_values()
+      << " values, " << csp.constraints().size() << " constraints\n";
+  if (stats.induced_width >= 0) {
+    const double bound =
+        std::pow(static_cast<double>(csp.num_values()),
+                 static_cast<double>(stats.induced_width + 1));
+    out << "induced width w=" << stats.induced_width << ", table bound "
+        << "d^(w+1)=" << static_cast<int64_t>(bound) << ", observed max "
+        << stats.max_table_rows
+        << (static_cast<double>(stats.max_table_rows) <= bound
+                ? " (within bound)\n"
+                : " (EXCEEDS bound)\n");
+  } else {
+    out << "observed max table " << stats.max_table_rows << " rows\n";
+  }
+  out << "buckets in execution order (latest position first):\n";
+  for (int i = n - 1; i >= 0; --i) {
+    const int64_t rows = i < static_cast<int>(stats.bucket_rows.size())
+                             ? stats.bucket_rows[i]
+                             : 0;
+    if (rows == 0) continue;  // empty buckets carry no table
+    out << "  [" << i << "] eliminate " << csp.VariableName(order[i]) << ": "
+        << rows << " rows\n";
+  }
+  out << "total intermediate rows: " << stats.total_rows << "\n";
+  return out.str();
+}
+
+std::string ExplainSolver(const CspInstance& csp,
+                          const SolverOptions& options,
+                          const SolverStats& stats,
+                          const std::vector<int64_t>* revision_counts) {
+  std::ostringstream out;
+  out << "solver: backtracking search over " << csp.num_variables()
+      << " variables, " << csp.num_values() << " values, "
+      << csp.constraints().size() << " constraints\n";
+  out << "  propagation: ";
+  switch (options.propagation) {
+    case Propagation::kNone:
+      out << "none (check on full assignment)";
+      break;
+    case Propagation::kForwardChecking:
+      out << "forward checking";
+      break;
+    case Propagation::kGac:
+      out << "MAC (maintain GAC)";
+      break;
+  }
+  out << "\n  variable order: "
+      << (options.mrv ? "dynamic MRV + degree tie-break" : "static") << "\n";
+  out << "  node limit: ";
+  if (options.node_limit < 0) {
+    out << "unlimited";
+  } else {
+    out << options.node_limit;
+  }
+  out << "\nobserved: nodes=" << stats.nodes
+      << " backtracks=" << stats.backtracks << " prunings=" << stats.prunings
+      << " revisions=" << stats.revisions
+      << " aborted=" << (stats.aborted ? "yes" : "no") << "\n";
+  if (revision_counts != nullptr && !revision_counts->empty()) {
+    // Heaviest constraints first; cap the listing so huge instances stay
+    // readable.
+    std::vector<int> idx(revision_counts->size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(), [&](int x, int y) {
+      return (*revision_counts)[x] > (*revision_counts)[y];
+    });
+    const std::size_t shown = std::min<std::size_t>(idx.size(), 16);
+    out << "per-constraint revisions (top " << shown << "):\n";
+    for (std::size_t i = 0; i < shown; ++i) {
+      const int ci = idx[i];
+      out << "  c" << ci << " scope(";
+      const Constraint& c = csp.constraint(ci);
+      for (std::size_t q = 0; q < c.scope.size(); ++q) {
+        if (q > 0) out << ", ";
+        out << csp.VariableName(c.scope[q]);
+      }
+      out << "): " << (*revision_counts)[ci] << "\n";
+    }
+    if (idx.size() > shown) {
+      out << "  ... " << (idx.size() - shown) << " more constraints\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cspdb::obs

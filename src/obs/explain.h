@@ -1,0 +1,53 @@
+// EXPLAIN: renders the structural plans the engines execute — a join
+// forest, a bucket-elimination ordering, a solver configuration — with
+// the row counts and prune counts actually observed during a run. The
+// textual analogue of a query engine's EXPLAIN ANALYZE: the shape claims
+// in EXPERIMENTS.md (peak intermediate rows, d^(w+1) table bounds,
+// propagation-vs-search node counts) become inspectable per node instead
+// of one aggregate number.
+//
+// All functions are pure formatters over structures the caller already
+// has; none of them run anything. See examples/explain_tool.cc for an
+// end-to-end driver.
+
+#ifndef CSPDB_OBS_EXPLAIN_H_
+#define CSPDB_OBS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "csp/instance.h"
+#include "csp/solver.h"
+#include "db/acyclic.h"
+#include "db/relation.h"
+#include "treewidth/bucket_elimination.h"
+
+namespace cspdb::obs {
+
+/// Renders a join forest as an indented tree, one line per relation:
+/// schema, input rows, and — when `stats` carries them — rows after full
+/// reduction and the bottom-up join cardinality at that node.
+std::string ExplainJoinForest(const JoinForest& forest,
+                              const std::vector<DbRelation>& relations,
+                              const YannakakisStats* stats = nullptr);
+
+/// Renders a bucket-elimination run: the elimination ordering (latest
+/// position first, matching execution order) with each bucket's observed
+/// joined-table rows, plus the induced width and the d^(w+1) bound the
+/// tables are measured against.
+std::string ExplainBucketElimination(const CspInstance& csp,
+                                     const std::vector<int>& order,
+                                     const BucketStats& stats);
+
+/// Renders a solver configuration and its observed search counters;
+/// `revision_counts` (from BacktrackingSolver::revision_counts()), if
+/// non-null, adds a per-constraint revision breakdown.
+std::string ExplainSolver(const CspInstance& csp,
+                          const SolverOptions& options,
+                          const SolverStats& stats,
+                          const std::vector<int64_t>* revision_counts =
+                              nullptr);
+
+}  // namespace cspdb::obs
+
+#endif  // CSPDB_OBS_EXPLAIN_H_

@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cspdb::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Timer& MetricsRegistry::GetTimer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
+  }
+  return *it->second;
+}
+
+bool MetricsRegistry::HasCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.find(name) != counters_.end();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, timer] : timers_) {
+    snap.timers[name] = {timer->count(), timer->total_ns()};
+  }
+  return snap;
+}
+
+namespace {
+
+// Metric names are identifier-and-dot strings by convention, but escape
+// defensively so the snapshot is valid JSON for any name.
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SnapshotJson() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out << (first ? "\n    " : ",\n    ");
+    AppendJsonString(&out, name);
+    out << ": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    AppendJsonString(&out, name);
+    out << ": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"timers\": {";
+  first = true;
+  for (const auto& [name, value] : snap.timers) {
+    out << (first ? "\n    " : ",\n    ");
+    AppendJsonString(&out, name);
+    out << ": {\"count\": " << value.count
+        << ", \"total_ns\": " << value.total_ns << "}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, timer] : timers_) timer->Reset();
+}
+
+}  // namespace cspdb::obs

@@ -1,0 +1,140 @@
+// Instrumentation macros: the one header hot subsystems include.
+//
+// Tiering mirrors util/check.h's audit tier: CSPDB_OBS_ENABLED is 1 in
+// builds without NDEBUG (Debug) and in any build compiled with
+// -DCSPDB_ENABLE_OBS (the CMake option CSPDB_OBS=ON sets it, giving an
+// *instrumented* optimized build). Otherwise every macro expands to
+// nothing — operands are not evaluated — so CSPDB_OBS=OFF release builds
+// carry zero observability cost in the kernels.
+//
+// Macro summary (names must be string literals or otherwise outlive the
+// process):
+//   CSPDB_COUNT(name)            increment counter `name` by 1
+//   CSPDB_COUNT_N(name, n)       increment counter `name` by n
+//   CSPDB_GAUGE_SET(name, v)     set gauge `name` to v
+//   CSPDB_GAUGE_MAX(name, v)     raise gauge `name` to v (high watermark)
+//   CSPDB_TIMER_SCOPE(name)      RAII: accumulate this scope's wall time
+//                                into timer `name` AND emit a trace span
+//   CSPDB_TRACE_SPAN(name)       RAII: trace span only (no timer)
+//   CSPDB_TRACE_INSTANT(name)    instant event in the trace
+//   CSPDB_TRACE_COUNTER(name, v) counter track sample in the trace
+//
+// CSPDB_TIMER_SCOPE / CSPDB_TRACE_SPAN declare local objects: use them as
+// statements inside a block, not as the body of a braceless `if`.
+
+#ifndef CSPDB_OBS_OBS_H_
+#define CSPDB_OBS_OBS_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if defined(CSPDB_ENABLE_OBS) || !defined(NDEBUG)
+#define CSPDB_OBS_ENABLED 1
+#else
+#define CSPDB_OBS_ENABLED 0
+#endif
+
+namespace cspdb::obs {
+
+/// RAII helper behind CSPDB_TIMER_SCOPE: records elapsed wall time into a
+/// registry timer and brackets the scope with trace begin/end events when
+/// a trace session is active.
+class TimedSpan {
+ public:
+  TimedSpan(const char* name, Timer& timer)
+      : name_(name),
+        timer_(timer),
+        tracing_(TraceSession::Global().enabled()),
+        start_(std::chrono::steady_clock::now()) {
+    if (tracing_) TraceSession::Global().BeginSpan(name_);
+  }
+  ~TimedSpan() {
+    timer_.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+    if (tracing_) TraceSession::Global().EndSpan(name_);
+  }
+  TimedSpan(const TimedSpan&) = delete;
+  TimedSpan& operator=(const TimedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Timer& timer_;
+  bool tracing_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cspdb::obs
+
+#define CSPDB_OBS_CONCAT_INNER(a, b) a##b
+#define CSPDB_OBS_CONCAT(a, b) CSPDB_OBS_CONCAT_INNER(a, b)
+
+#if CSPDB_OBS_ENABLED
+
+#define CSPDB_COUNT(name) CSPDB_COUNT_N(name, 1)
+
+#define CSPDB_COUNT_N(name, n)                                      \
+  do {                                                              \
+    static ::cspdb::obs::Counter& cspdb_obs_counter =               \
+        ::cspdb::obs::MetricsRegistry::Global().GetCounter((name)); \
+    cspdb_obs_counter.Add((n));                                     \
+  } while (false)
+
+#define CSPDB_GAUGE_SET(name, v)                                  \
+  do {                                                            \
+    static ::cspdb::obs::Gauge& cspdb_obs_gauge =                 \
+        ::cspdb::obs::MetricsRegistry::Global().GetGauge((name)); \
+    cspdb_obs_gauge.Set((v));                                     \
+  } while (false)
+
+#define CSPDB_GAUGE_MAX(name, v)                                  \
+  do {                                                            \
+    static ::cspdb::obs::Gauge& cspdb_obs_gauge =                 \
+        ::cspdb::obs::MetricsRegistry::Global().GetGauge((name)); \
+    cspdb_obs_gauge.UpdateMax((v));                               \
+  } while (false)
+
+#define CSPDB_TIMER_SCOPE(name)                                            \
+  static ::cspdb::obs::Timer& CSPDB_OBS_CONCAT(cspdb_obs_timer_,           \
+                                               __LINE__) =                 \
+      ::cspdb::obs::MetricsRegistry::Global().GetTimer((name));            \
+  ::cspdb::obs::TimedSpan CSPDB_OBS_CONCAT(cspdb_obs_span_, __LINE__)(     \
+      (name), CSPDB_OBS_CONCAT(cspdb_obs_timer_, __LINE__))
+
+#define CSPDB_TRACE_SPAN(name) \
+  ::cspdb::obs::ScopedSpan CSPDB_OBS_CONCAT(cspdb_obs_span_, __LINE__)((name))
+
+#define CSPDB_TRACE_INSTANT(name)                                      \
+  do {                                                                 \
+    if (::cspdb::obs::TraceSession::Global().enabled()) {              \
+      ::cspdb::obs::TraceSession::Global().Instant((name));            \
+    }                                                                  \
+  } while (false)
+
+#define CSPDB_TRACE_COUNTER(name, v)                                   \
+  do {                                                                 \
+    if (::cspdb::obs::TraceSession::Global().enabled()) {              \
+      ::cspdb::obs::TraceSession::Global().CounterValue((name), (v));  \
+    }                                                                  \
+  } while (false)
+
+#else  // !CSPDB_OBS_ENABLED
+
+// sizeof keeps operands type-checked and "used" without evaluating them
+// (same trick as CSPDB_DCHECK), so instrumentation-only locals don't trip
+// -Wunused in CSPDB_OBS=OFF builds.
+#define CSPDB_COUNT(name) ((void)sizeof(name))
+#define CSPDB_COUNT_N(name, n) ((void)sizeof(name), (void)sizeof((n)))
+#define CSPDB_GAUGE_SET(name, v) ((void)sizeof(name), (void)sizeof((v)))
+#define CSPDB_GAUGE_MAX(name, v) ((void)sizeof(name), (void)sizeof((v)))
+#define CSPDB_TIMER_SCOPE(name) ((void)sizeof(name))
+#define CSPDB_TRACE_SPAN(name) ((void)sizeof(name))
+#define CSPDB_TRACE_INSTANT(name) ((void)sizeof(name))
+#define CSPDB_TRACE_COUNTER(name, v) ((void)sizeof(name), (void)sizeof((v)))
+
+#endif  // CSPDB_OBS_ENABLED
+
+#endif  // CSPDB_OBS_OBS_H_

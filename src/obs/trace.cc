@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+namespace cspdb::obs {
+
+namespace {
+
+uint64_t CurrentTid() {
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+void FlushGlobalAtExit() { TraceSession::Global().Stop(); }
+
+}  // namespace
+
+TraceSession::TraceSession() {
+  const char* path = std::getenv("CSPDB_TRACE");
+  if (path != nullptr && path[0] != '\0') {
+    Start(path);
+  }
+}
+
+TraceSession& TraceSession::Global() {
+  static TraceSession* session = new TraceSession();
+  return *session;
+}
+
+void TraceSession::Start(const std::string& path) {
+  Stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+  events_.clear();
+  t0_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count();
+  // Write an empty-but-valid trace immediately so a crashed run still
+  // leaves a loadable file.
+  WriteFileLocked();
+  static bool atexit_registered = []() {
+    std::atexit(FlushGlobalAtExit);
+    return true;
+  }();
+  (void)atexit_registered;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::Stop() {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteFileLocked();
+}
+
+void TraceSession::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) return;
+  WriteFileLocked();
+}
+
+int64_t TraceSession::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         t0_ns_;
+}
+
+void TraceSession::Record(char phase, const char* name, int64_t arg) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const int64_t ts = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({phase, name, ts, CurrentTid(), arg});
+}
+
+void TraceSession::BeginSpan(const char* name) { Record('B', name, 0); }
+void TraceSession::EndSpan(const char* name) { Record('E', name, 0); }
+void TraceSession::Instant(const char* name) { Record('i', name, 0); }
+void TraceSession::CounterValue(const char* name, int64_t value) {
+  Record('C', name, value);
+}
+
+void TraceSession::WriteFileLocked() {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) return;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  const char* sep = "\n";
+  for (const Event& e : events_) {
+    // Chrome trace timestamps are microseconds; keep ns resolution via
+    // the fractional part.
+    const int64_t us = e.ts_ns / 1000;
+    const int64_t frac = e.ts_ns % 1000;
+    out << sep << "{\"name\": \"" << e.name << "\", \"ph\": \"" << e.phase
+        << "\", \"ts\": " << us << "." << (frac / 100) << ((frac / 10) % 10)
+        << (frac % 10) << ", \"pid\": 1, \"tid\": " << (e.tid % 1000000);
+    if (e.phase == 'i') {
+      out << ", \"s\": \"t\"";
+    } else if (e.phase == 'C') {
+      out << ", \"args\": {\"value\": " << e.arg << "}";
+    }
+    out << "}";
+    sep = ",\n";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace cspdb::obs

@@ -1,0 +1,105 @@
+// Span tracer emitting Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing. A session buffers begin/end/instant events in memory
+// (one small POD per event, names must be string literals) and writes the
+// {"traceEvents": [...]} object on Stop()/Flush(), which also runs at
+// process exit.
+//
+// Activation: the first touch of TraceSession::Global() reads the
+// CSPDB_TRACE environment variable; if set, the session opens that path
+// and enables itself. Tests and tools can instead call Start(path)
+// programmatically. When disabled, emitting is a single relaxed atomic
+// load — the instrumentation macros stay cheap even in instrumented
+// builds with no trace requested.
+
+#ifndef CSPDB_OBS_TRACE_H_
+#define CSPDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cspdb::obs {
+
+/// The process-wide trace session.
+class TraceSession {
+ public:
+  /// Lazily constructed singleton; first call honors CSPDB_TRACE.
+  static TraceSession& Global();
+
+  /// True if events are currently being recorded.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Starts recording to `path` (overwrites). A running session is
+  /// stopped and flushed first.
+  void Start(const std::string& path);
+
+  /// Flushes buffered events to the file and disables recording.
+  /// No-op if not recording.
+  void Stop();
+
+  /// Writes the events buffered so far without ending the session.
+  void Flush();
+
+  /// Emits a duration-begin event ("ph":"B"). `name` must outlive the
+  /// session (string literals in practice). Balanced by EndSpan — use the
+  /// RAII wrappers below rather than calling these directly.
+  void BeginSpan(const char* name);
+
+  /// Emits the matching duration-end event ("ph":"E").
+  void EndSpan(const char* name);
+
+  /// Emits an instant event ("ph":"i", thread scope).
+  void Instant(const char* name);
+
+  /// Emits a counter event ("ph":"C") so numeric series (queue lengths,
+  /// delta sizes) render as tracks in the viewer.
+  void CounterValue(const char* name, int64_t value);
+
+ private:
+  TraceSession();
+
+  struct Event {
+    char phase;        // 'B', 'E', 'i', or 'C'
+    const char* name;  // not owned; must outlive the session
+    int64_t ts_ns;     // relative to session start
+    uint64_t tid;
+    int64_t arg;  // counter value for 'C' events
+  };
+
+  void Record(char phase, const char* name, int64_t arg);
+  int64_t NowNs() const;
+  // Rewrites the output file from the full event buffer (the file is
+  // valid JSON after every flush); caller holds mu_.
+  void WriteFileLocked();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::string path_;
+  std::vector<Event> events_;
+  int64_t t0_ns_ = 0;
+};
+
+/// RAII span: begin on construction, end on destruction. Does nothing if
+/// the session is disabled at construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(name), active_(TraceSession::Global().enabled()) {
+    if (active_) TraceSession::Global().BeginSpan(name_);
+  }
+  ~ScopedSpan() {
+    if (active_) TraceSession::Global().EndSpan(name_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+};
+
+}  // namespace cspdb::obs
+
+#endif  // CSPDB_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 #include "analysis/validate_csp.h"
 #include "db/algebra.h"
 #include "db/relation.h"
+#include "obs/obs.h"
 #include "relational/homomorphism.h"
 #include "treewidth/heuristics.h"
 #include "util/check.h"
@@ -15,6 +16,7 @@ namespace cspdb {
 std::optional<std::vector<int>> SolveByBucketElimination(
     const CspInstance& csp, const std::vector<int>& order,
     BucketStats* stats) {
+  CSPDB_TIMER_SCOPE("treewidth.bucket_elimination");
   int n = csp.num_variables();
   CSPDB_CHECK(static_cast<int>(order.size()) == n);
   if (n > 0 && csp.num_values() == 0) return std::nullopt;
@@ -46,6 +48,7 @@ std::optional<std::vector<int>> SolveByBucketElimination(
   }
 
   BucketStats local_stats;
+  local_stats.bucket_rows.assign(n, 0);
   if (stats != nullptr) {
     // Buckets are processed last-position-first, so the effective
     // elimination sequence is the reverse of `order`.
@@ -58,9 +61,13 @@ std::optional<std::vector<int>> SolveByBucketElimination(
   for (int i = n - 1; i >= 0; --i) {
     if (buckets[i].empty()) continue;
     DbRelation joined = JoinAll(buckets[i]);
+    local_stats.bucket_rows[i] = static_cast<int64_t>(joined.size());
     local_stats.max_table_rows = std::max(
         local_stats.max_table_rows, static_cast<int64_t>(joined.size()));
     local_stats.total_rows += static_cast<int64_t>(joined.size());
+    CSPDB_COUNT("treewidth.buckets_joined");
+    CSPDB_GAUGE_MAX("treewidth.max_table_rows",
+                    static_cast<int64_t>(joined.size()));
     if (joined.empty()) {
       if (stats != nullptr) *stats = local_stats;
       return std::nullopt;

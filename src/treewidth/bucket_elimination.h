@@ -21,6 +21,11 @@ struct BucketStats {
   int64_t max_table_rows = 0;   ///< largest intermediate relation
   int64_t total_rows = 0;       ///< sum of intermediate relation sizes
   int induced_width = -1;       ///< width induced by the ordering used
+
+  /// Joined-table rows per elimination position (index i = the bucket of
+  /// order[i]; 0 for empty buckets). Feeds obs/explain.h's per-bucket
+  /// rendering of the d^(w+1) table-growth claim.
+  std::vector<int64_t> bucket_rows;
 };
 
 /// Solves the instance along the given ordering (a permutation of the

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file written by src/obs/trace.cc.
+
+Checks, in order:
+  1. the file is valid JSON with the {"traceEvents": [...]} shape;
+  2. every event carries the required fields for its phase;
+  3. B/E duration events nest and balance per thread (LIFO discipline);
+  4. (optional) spans cover the subsystems named with --require, given as
+     name prefixes before the first '.' (e.g. "csp,consistency,db").
+
+Exit status 0 on success, 1 with a diagnostic on the first violation.
+
+Usage: validate_trace.py trace.json [--require csp,consistency,db,datalog]
+"""
+
+import argparse
+import json
+import sys
+
+DURATION_PHASES = {"B", "E"}
+KNOWN_PHASES = DURATION_PHASES | {"i", "C"}
+
+
+def fail(msg: str) -> int:
+    sys.stderr.write(f"validate_trace: {msg}\n")
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace_path")
+    parser.add_argument(
+        "--require",
+        default="",
+        help="comma-separated subsystem prefixes that must emit spans",
+    )
+    opts = parser.parse_args()
+
+    try:
+        with open(opts.trace_path) as f:
+            trace = json.load(f)
+    except OSError as e:
+        return fail(f"cannot read {opts.trace_path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        return fail(f"{opts.trace_path} is not valid JSON: {e}")
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return fail("top level must be an object with a traceEvents array")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        return fail("traceEvents must be an array")
+
+    # Per-thread stacks of open B spans; E must match the innermost one.
+    open_spans: dict = {}
+    span_subsystems = set()
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            return fail(f"{where}: not an object")
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in ev:
+                return fail(f"{where}: missing field {field!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            return fail(f"{where}: name must be a nonempty string")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            return fail(f"{where}: ts must be a nonnegative number")
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            return fail(f"{where}: unknown phase {ph!r}")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            return fail(f"{where}: instant event needs scope s in t/p/g")
+        if ph == "C" and not isinstance(
+            ev.get("args", {}).get("value"), (int, float)
+        ):
+            return fail(f"{where}: counter event needs numeric args.value")
+        if ph in DURATION_PHASES:
+            stack = open_spans.setdefault(ev["tid"], [])
+            if ph == "B":
+                stack.append((ev["name"], ev["ts"]))
+                span_subsystems.add(ev["name"].split(".", 1)[0])
+            else:
+                if not stack:
+                    return fail(f"{where}: E {ev['name']!r} with no open span")
+                name, begin_ts = stack.pop()
+                if name != ev["name"]:
+                    return fail(
+                        f"{where}: E {ev['name']!r} does not match "
+                        f"innermost open span {name!r} (bad nesting)"
+                    )
+                if ev["ts"] < begin_ts:
+                    return fail(f"{where}: span {name!r} ends before it begins")
+
+    for tid, stack in open_spans.items():
+        if stack:
+            return fail(f"tid {tid}: {len(stack)} span(s) never closed: {stack}")
+
+    required = {s for s in opts.require.split(",") if s}
+    missing = required - span_subsystems
+    if missing:
+        return fail(
+            f"no spans from required subsystem(s) {sorted(missing)}; "
+            f"saw {sorted(span_subsystems)}"
+        )
+
+    print(
+        f"ok: {len(events)} events, balanced spans from "
+        f"{sorted(span_subsystems)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
