@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
 """Distills Google-Benchmark JSON from bench_report into BENCH_kernels.json.
 
-Pairs BM_<op>_baseline/<size> with BM_<op>_optimized/<size> and emits one
-record per (op, size) with ns/op for both sides, the speedup, and the
-peak-rows counter where the benchmark reports one.
+Default mode pairs BM_<op>_baseline/<size> with BM_<op>_optimized/<size>
+and emits one record per (op, size) with ns/op for both sides, the
+speedup, and the peak-rows counter where the benchmark reports one.
+
+--mode parallel instead groups BM_<op>_t<threads>/<size> (bench_parallel):
+t1 is the true serial kernel, every other thread count gets a speedup
+relative to it. machine.num_cpus is recorded so readers can tell real
+scaling from oversubscription on a small machine.
 
 Usage: distill_bench.py <benchmark-json> <output-json> [--label LABEL]
+                        [--mode kernels|parallel]
 """
 
 import argparse
@@ -32,26 +38,11 @@ def git_head() -> str:
         return "unknown"
 
 NAME_RE = re.compile(r"^BM_(?P<op>\w+?)_(?P<side>baseline|optimized)/(?P<size>\d+)$")
+PARALLEL_RE = re.compile(r"^BM_(?P<op>\w+?)_t(?P<threads>\d+)/(?P<size>\d+)$")
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("in_path")
-    parser.add_argument("out_path")
-    parser.add_argument("--label", default="trajectory entry")
-    opts = parser.parse_args()
-    in_path, out_path, label = opts.in_path, opts.out_path, opts.label
-
-    try:
-        with open(in_path) as f:
-            report = json.load(f)
-    except OSError as e:
-        sys.stderr.write(f"error: cannot read {in_path}: {e.strerror}\n")
-        return 1
-    except json.JSONDecodeError as e:
-        sys.stderr.write(f"error: {in_path} is not valid JSON: {e}\n")
-        return 1
-
+def distill_kernels(report):
+    """(op, size) -> {baseline, optimized} records for bench_report."""
     cells = {}
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
@@ -81,10 +72,83 @@ def main() -> int:
         if "peak_rows" in opt:
             record["peak_rows"] = int(opt["peak_rows"])
         kernels.append(record)
+    return kernels
 
-    if not kernels:
-        sys.stderr.write("error: no paired BM_<op>_<side>/<size> benchmarks\n")
+
+def distill_parallel(report):
+    """(op, size) -> per-thread-count records for bench_parallel."""
+    cells = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        m = PARALLEL_RE.match(bench["name"])
+        if not m:
+            continue
+        key = (m.group("op"), int(m.group("size")))
+        cells.setdefault(key, {})[int(m.group("threads"))] = bench
+
+    kernels = []
+    for (op, size), by_threads in sorted(cells.items()):
+        if 1 not in by_threads:
+            sys.stderr.write(f"warning: no t1 baseline for {op}/{size}\n")
+            continue
+        serial_ns = by_threads[1]["real_time"]
+        record = {
+            "op": op,
+            "size": size,
+            "serial_ns_per_op": round(serial_ns, 1),
+            "threads": [],
+        }
+        for threads in sorted(by_threads):
+            if threads == 1:
+                continue
+            ns = by_threads[threads]["real_time"]
+            record["threads"].append(
+                {
+                    "threads": threads,
+                    "ns_per_op": round(ns, 1),
+                    "speedup_vs_serial": round(serial_ns / ns, 2)
+                    if ns > 0
+                    else None,
+                }
+            )
+        kernels.append(record)
+    return kernels
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("in_path")
+    parser.add_argument("out_path")
+    parser.add_argument("--label", default="trajectory entry")
+    parser.add_argument(
+        "--mode", choices=["kernels", "parallel"], default="kernels"
+    )
+    opts = parser.parse_args()
+    in_path, out_path, label = opts.in_path, opts.out_path, opts.label
+
+    try:
+        with open(in_path) as f:
+            report = json.load(f)
+    except OSError as e:
+        sys.stderr.write(f"error: cannot read {in_path}: {e.strerror}\n")
         return 1
+    except json.JSONDecodeError as e:
+        sys.stderr.write(f"error: {in_path} is not valid JSON: {e}\n")
+        return 1
+
+    if opts.mode == "parallel":
+        kernels = distill_parallel(report)
+        if not kernels:
+            sys.stderr.write("error: no BM_<op>_t<threads>/<size> benchmarks\n")
+            return 1
+    else:
+        kernels = distill_kernels(report)
+        if not kernels:
+            sys.stderr.write(
+                "error: no paired BM_<op>_<side>/<size> benchmarks\n"
+            )
+            return 1
 
     context = report.get("context", {})
     out = {
@@ -110,12 +174,22 @@ def main() -> int:
         f.write("\n")
 
     for k in kernels:
-        print(
-            f"{k['op']:>16}/{k['size']:<6} "
-            f"baseline {k['baseline_ns_per_op']:>12.1f} ns  "
-            f"optimized {k['optimized_ns_per_op']:>12.1f} ns  "
-            f"speedup {k['speedup']}x"
-        )
+        if opts.mode == "parallel":
+            scaling = "  ".join(
+                f"t{t['threads']} {t['speedup_vs_serial']}x"
+                for t in k["threads"]
+            )
+            print(
+                f"{k['op']:>16}/{k['size']:<6} "
+                f"serial {k['serial_ns_per_op']:>12.1f} ns  {scaling}"
+            )
+        else:
+            print(
+                f"{k['op']:>16}/{k['size']:<6} "
+                f"baseline {k['baseline_ns_per_op']:>12.1f} ns  "
+                f"optimized {k['optimized_ns_per_op']:>12.1f} ns  "
+                f"speedup {k['speedup']}x"
+            )
     return 0
 
 

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Builds the Release benchmark binary, runs the baseline-vs-optimized
-# kernel suite, and distills the results into BENCH_kernels.json at the
-# repository root (see EXPERIMENTS.md for methodology).
+# Builds the Release benchmark binaries, runs the baseline-vs-optimized
+# kernel suite and the serial-vs-parallel suite, and distills the results
+# into BENCH_kernels.json + BENCH_parallel.json at the repository root
+# (see EXPERIMENTS.md for methodology).
 #
 # Usage:
 #   bench/run_benchmarks.sh           # full run, refreshes BENCH_kernels.json
+#                                     # and BENCH_parallel.json
 #   bench/run_benchmarks.sh --smoke   # quick CI pass; writes into the build
 #                                     # dir only, never touches the committed
-#                                     # BENCH_kernels.json
+#                                     # JSON files
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,21 +24,34 @@ if command -v ccache >/dev/null; then
   CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}" >/dev/null
-cmake --build "$BUILD_DIR" --target bench_report -j"$(nproc)" >/dev/null
+cmake --build "$BUILD_DIR" --target bench_report bench_parallel \
+  -j"$(nproc)" >/dev/null
 
 BENCH_ARGS=(--benchmark_format=json)
+PAR_ARGS=(--benchmark_format=json)
 if [[ "$SMOKE" == 1 ]]; then
   # Smallest tier of each op, minimal sampling: validates the harness and
   # the distiller without burning CI minutes.
   BENCH_ARGS+=(--benchmark_filter='/(8|16|1000)$' --benchmark_min_time=0.01)
+  PAR_ARGS+=(--benchmark_filter='/(48|2000|10000)$' --benchmark_min_time=0.01)
   OUT=$BUILD_DIR/BENCH_kernels.smoke.json
+  PAR_OUT=$BUILD_DIR/BENCH_parallel.smoke.json
   LABEL="smoke"
+  PAR_LABEL="smoke"
 else
   OUT=BENCH_kernels.json
+  PAR_OUT=BENCH_parallel.json
   LABEL="flat-storage + bitset kernels vs frozen references"
+  PAR_LABEL="parallel GAC/join/full-reducer vs serial twins"
 fi
 
 RAW=$BUILD_DIR/bench_report.raw.json
 "$BUILD_DIR/bench/bench_report" "${BENCH_ARGS[@]}" > "$RAW"
 python3 bench/distill_bench.py "$RAW" "$OUT" --label "$LABEL"
 echo "wrote $OUT"
+
+PAR_RAW=$BUILD_DIR/bench_parallel.raw.json
+"$BUILD_DIR/bench/bench_parallel" "${PAR_ARGS[@]}" > "$PAR_RAW"
+python3 bench/distill_bench.py "$PAR_RAW" "$PAR_OUT" \
+  --label "$PAR_LABEL" --mode parallel
+echo "wrote $PAR_OUT"

@@ -29,6 +29,12 @@ struct AcResult {
   /// certainly unsolvable).
   bool consistent = true;
 
+  /// False if the run was cancelled before reaching the fixpoint (only the
+  /// parallel engine can be cancelled; serial engines always report true).
+  /// An incomplete result is still sound: `domains` over-approximates the
+  /// fixpoint, so no solution has been pruned.
+  bool complete = true;
+
   /// domains[v][d] is true iff value d survives for variable v.
   std::vector<Bitset> domains;
 

@@ -1,0 +1,224 @@
+#include "consistency/parallel_gac.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "csp/support_masks.h"
+#include "obs/obs.h"
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// True if the two word spans share a set bit.
+bool SpansIntersect(const uint64_t* a, const uint64_t* b, int words) {
+  for (int i = 0; i < words; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+// The shared mutable state of one parallel run. Domains are written with
+// atomic word-level fetch_and (each dead value's bit is cleared by exactly
+// one winner) and read with relaxed atomic loads; because domains only
+// shrink, any stale read is a superset of the truth and every pruning
+// decision made from it is sound.
+struct SharedState {
+  const CspInstance& csp;
+  const SupportMasks& masks;
+  std::vector<Bitset>& domains;
+  std::vector<std::atomic<uint8_t>>& dirty;
+  std::atomic<bool>& wiped;
+  std::atomic<int64_t>& revisions;
+  std::atomic<int64_t>& prunings;
+};
+
+// Snapshots variable `var`'s domain words into `snap` with relaxed
+// atomic loads (racing fetch_ands make plain reads UB under TSan).
+void SnapshotDomain(const Bitset& domain, std::vector<uint64_t>* snap) {
+  const int n = domain.num_words();
+  snap->resize(static_cast<std::size_t>(n));
+  // atomic_ref<const T> lands in C++26; the underlying words are non-const
+  // Bitset storage, so the const_cast is well-defined.
+  uint64_t* words = const_cast<uint64_t*>(domain.words());
+  for (int i = 0; i < n; ++i) {
+    (*snap)[i] =
+        std::atomic_ref<uint64_t>(words[i]).load(std::memory_order_relaxed);
+  }
+}
+
+// Clears (var, val) from the shared domains if still present. Returns
+// true if this call was the one that cleared it (exactly-once counting).
+bool TryPrune(const SharedState& s, int var, int val) {
+  uint64_t* words = s.domains[var].mutable_words();
+  const uint64_t bit = uint64_t{1} << (val & 63);
+  const uint64_t old = std::atomic_ref<uint64_t>(words[val >> 6])
+                           .fetch_and(~bit, std::memory_order_acq_rel);
+  if ((old & bit) == 0) return false;  // a racing revision beat us to it
+  CSPDB_COUNT("gac.prunings");
+  // Wipeout probe over the freshly shrunk domain.
+  uint64_t any = 0;
+  const int n = s.domains[var].num_words();
+  for (int i = 0; i < n; ++i) {
+    any |=
+        std::atomic_ref<uint64_t>(words[i]).load(std::memory_order_relaxed);
+  }
+  if (any == 0) s.wiped.store(true, std::memory_order_relaxed);
+  // Every constraint on var must re-check support (including the one
+  // currently being revised — serial GAC re-queues it too).
+  for (int other : s.csp.ConstraintsOn(var)) {
+    s.dirty[other].store(1, std::memory_order_release);
+  }
+  return true;
+}
+
+// One full revision of constraint `ci` against the current shared
+// domains. Rather than maintaining the incremental compact-table valid
+// mask under concurrency, the alive-tuple mask is recomputed from the
+// domain snapshot: AND over groups of (OR over alive values of the
+// group's support rows). The recomputed mask differs from the serial
+// incremental one only on tuples whose repeated-variable slots disagree —
+// tuples that appear in no support mask, so every probe answers
+// identically.
+void ReviseConstraint(const SharedState& s, int ci,
+                      std::vector<uint64_t>* valid,
+                      std::vector<uint64_t>* row,
+                      std::vector<uint64_t>* snap, int64_t* revisions,
+                      int64_t* prunings) {
+  const ConstraintSupport& cs = s.masks.constraints[ci];
+  const int words = cs.words;
+  const int num_values = s.csp.num_values();
+  const std::size_t num_groups = cs.group_var.size();
+  valid->assign(static_cast<std::size_t>(words), 0);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    SnapshotDomain(s.domains[cs.group_var[g]], snap);
+    row->assign(static_cast<std::size_t>(words), 0);
+    for (int wi = 0; wi < static_cast<int>(snap->size()); ++wi) {
+      uint64_t w = (*snap)[wi];
+      while (w != 0) {
+        const int val = (wi << 6) + std::countr_zero(w);
+        w &= w - 1;
+        const uint64_t* mask =
+            cs.SupportMask(static_cast<int>(g), num_values, val);
+        for (int i = 0; i < words; ++i) (*row)[i] |= mask[i];
+      }
+    }
+    if (g == 0) {
+      *valid = *row;
+    } else {
+      for (int i = 0; i < words; ++i) (*valid)[i] &= (*row)[i];
+    }
+  }
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const int var = cs.group_var[g];
+    ++*revisions;
+    CSPDB_COUNT("gac.revisions");
+    SnapshotDomain(s.domains[var], snap);
+    for (int wi = 0; wi < static_cast<int>(snap->size()); ++wi) {
+      uint64_t w = (*snap)[wi];
+      while (w != 0) {
+        const int val = (wi << 6) + std::countr_zero(w);
+        w &= w - 1;
+        if (SpansIntersect(valid->data(),
+                           cs.SupportMask(static_cast<int>(g), num_values,
+                                          val),
+                           words)) {
+          continue;
+        }
+        if (TryPrune(s, var, val)) ++*prunings;
+        if (s.wiped.load(std::memory_order_relaxed)) return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AcResult EnforceGacParallel(const CspInstance& csp,
+                            const ParallelGacOptions& options) {
+  AcResult result;
+  if (csp.num_variables() > 0 && csp.num_values() == 0) {
+    result.domains.assign(csp.num_variables(), Bitset(0));
+    result.consistent = false;
+    result.wipeouts = 1;
+    return result;
+  }
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    result.domains.assign(csp.num_variables(),
+                          Bitset(csp.num_values(), true));
+    result.complete = false;
+    return result;
+  }
+  const int m = static_cast<int>(csp.constraints().size());
+  exec::ThreadPool* pool =
+      options.pool != nullptr ? options.pool : &exec::ThreadPool::Global();
+  if (pool->num_threads() <= 1 || m < options.min_constraints) {
+    return EnforceGac(csp);  // fork/join overhead not worth it
+  }
+  CSPDB_TIMER_SCOPE("consistency.gac_parallel");
+
+  SupportMasks masks(csp);
+  std::vector<Bitset> domains(csp.num_variables(),
+                              Bitset(csp.num_values(), true));
+  std::vector<std::atomic<uint8_t>> dirty(m);
+  for (auto& d : dirty) d.store(1, std::memory_order_relaxed);
+  std::atomic<bool> wiped{false};
+  std::atomic<int64_t> revisions{0};
+  std::atomic<int64_t> prunings{0};
+  SharedState shared{csp,   masks,     domains, dirty,
+                     wiped, revisions, prunings};
+
+  std::vector<int> worklist;
+  worklist.reserve(static_cast<std::size_t>(m));
+  bool cancelled = false;
+  while (!wiped.load(std::memory_order_relaxed)) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      cancelled = true;
+      break;
+    }
+    worklist.clear();
+    for (int ci = 0; ci < m; ++ci) {
+      if (dirty[ci].exchange(0, std::memory_order_acquire) != 0) {
+        worklist.push_back(ci);
+      }
+    }
+    if (worklist.empty()) break;
+    CSPDB_COUNT("gac.parallel.rounds");
+    const int64_t size = static_cast<int64_t>(worklist.size());
+    const int64_t grain =
+        std::max<int64_t>(1, size / (4 * pool->num_threads()));
+    pool->ParallelFor(0, size, grain, [&](int64_t lo, int64_t hi) {
+      std::vector<uint64_t> valid, row, snap;
+      int64_t local_revisions = 0;
+      int64_t local_prunings = 0;
+      for (int64_t i = lo; i < hi; ++i) {
+        if (shared.wiped.load(std::memory_order_relaxed)) break;
+        if (options.cancel != nullptr && options.cancel->cancelled()) break;
+        ReviseConstraint(shared, worklist[static_cast<std::size_t>(i)],
+                         &valid, &row, &snap, &local_revisions,
+                         &local_prunings);
+      }
+      revisions.fetch_add(local_revisions, std::memory_order_relaxed);
+      prunings.fetch_add(local_prunings, std::memory_order_relaxed);
+    });
+  }
+
+  result.consistent = !wiped.load(std::memory_order_relaxed);
+  result.complete = !cancelled;
+  result.revisions = revisions.load(std::memory_order_relaxed);
+  result.prunings = prunings.load(std::memory_order_relaxed);
+  if (!result.consistent) {
+    result.wipeouts = 1;
+    CSPDB_COUNT("gac.wipeouts");
+    CSPDB_TRACE_INSTANT("gac.wipeout");
+  }
+  result.domains = std::move(domains);
+  return result;
+}
+
+}  // namespace cspdb

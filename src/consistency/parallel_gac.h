@@ -1,0 +1,49 @@
+// Parallel generalized arc consistency on the work-stealing pool
+// (exec/thread_pool.h). Independent constraints are revised concurrently
+// against shared packed domains; prunings clear domain bits with atomic
+// word-level fetch_and, so every dead value is counted exactly once.
+//
+// Determinism contract: on a consistent instance the GAC fixpoint is
+// unique (the largest arc-consistent sub-domain), and because domains only
+// ever shrink, a racy stale read is a superset of the truth — revisions
+// using it prune only values that are dead under *some* sound
+// over-approximation, hence dead at the fixpoint. The engine therefore
+// converges to domains bit-identical to EnforceGac's, with an equal
+// `prunings` count. On a wipeout only `consistent` is deterministic (which
+// constraint noticed first is a race, as serial engines stop at the first
+// wipeout anyway); differential tests compare the flag alone in that case.
+//
+// Cancellation is cooperative and checked between revisions: a cancelled
+// run returns complete=false with soundly over-approximated domains.
+
+#ifndef CSPDB_CONSISTENCY_PARALLEL_GAC_H_
+#define CSPDB_CONSISTENCY_PARALLEL_GAC_H_
+
+#include "consistency/arc_consistency.h"
+#include "csp/instance.h"
+#include "exec/cancellation.h"
+#include "exec/thread_pool.h"
+
+namespace cspdb {
+
+struct ParallelGacOptions {
+  /// Pool to run on; nullptr means ThreadPool::Global().
+  exec::ThreadPool* pool = nullptr;
+
+  /// Optional cooperative cancellation; polled between revisions.
+  const exec::CancellationToken* cancel = nullptr;
+
+  /// Below this many constraints the parallel engine delegates to the
+  /// serial EnforceGac — fork/join overhead dwarfs the work.
+  int min_constraints = 32;
+};
+
+/// Runs GAC-3 to fixpoint in parallel. Equivalent to EnforceGac on every
+/// consistent instance (bit-identical domains, equal prunings); the
+/// `revisions` counter is scheduling-dependent, as documented on AcResult.
+AcResult EnforceGacParallel(const CspInstance& csp,
+                            const ParallelGacOptions& options = {});
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CONSISTENCY_PARALLEL_GAC_H_

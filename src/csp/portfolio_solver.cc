@@ -1,0 +1,152 @@
+#include "csp/portfolio_solver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "csp/backjump_solver.h"
+#include "csp/solver.h"
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+// One racer's decisive answer (only read for the winning index).
+struct RacerOutcome {
+  std::optional<std::vector<int>> solution;
+  bool decided = false;
+};
+
+// Runs lineup entry `index` to completion or cancellation. Returns true
+// iff the run was decisive (not aborted).
+bool RunConfig(const CspInstance& csp, int index, int64_t node_limit,
+               const exec::CancellationToken* cancel,
+               std::optional<std::vector<int>>* solution, int64_t* nodes) {
+  switch (index) {
+    case 1: {
+      BackjumpOptions options;
+      options.node_limit = node_limit;
+      options.cancel = cancel;
+      BackjumpSolver solver(csp, options);
+      *solution = solver.Solve();
+      *nodes = solver.stats().nodes;
+      return !solver.stats().aborted;
+    }
+    default: {
+      SolverOptions options;
+      options.node_limit = node_limit;
+      options.cancel = cancel;
+      switch (index) {
+        case 0:  // MAC + MRV, natural value order
+          break;
+        case 2:
+          options.propagation = Propagation::kForwardChecking;
+          break;
+        case 3:
+          options.value_order_seed = 0x9e3779b97f4a7c15ull;
+          break;
+        case 4:
+          options.propagation = Propagation::kForwardChecking;
+          options.mrv = false;
+          options.value_order_seed = 0xc2b2ae3d27d4eb4full;
+          break;
+        default:
+          CSPDB_CHECK_MSG(false, "portfolio config index out of range");
+      }
+      BacktrackingSolver solver(csp, options);
+      *solution = solver.Solve();
+      *nodes = solver.stats().nodes;
+      return !solver.stats().aborted;
+    }
+  }
+}
+
+}  // namespace
+
+const char* PortfolioConfigName(int index) {
+  switch (index) {
+    case 0:
+      return "mac+mrv";
+    case 1:
+      return "backjump";
+    case 2:
+      return "fc+mrv";
+    case 3:
+      return "mac+mrv+shuffle";
+    case 4:
+      return "fc+static+shuffle";
+    default:
+      return "unknown";
+  }
+}
+
+PortfolioResult SolvePortfolio(const CspInstance& csp,
+                               const PortfolioOptions& options) {
+  CSPDB_TIMER_SCOPE("csp.portfolio");
+  PortfolioResult result;
+  exec::ThreadPool* pool =
+      options.pool != nullptr ? options.pool : &exec::ThreadPool::Global();
+  const int num_configs = std::clamp(options.num_configs, 1,
+                                     kNumPortfolioConfigs);
+
+  // The racers' shared stop signal: fires when a rival wins or when the
+  // caller's external token (deadline included) does.
+  exec::CancellationToken race_over;
+  race_over.set_parent(options.cancel);
+
+  if (pool->num_threads() <= 1 || num_configs == 1) {
+    // Nothing to race against: run the strongest default serially.
+    std::optional<std::vector<int>> solution;
+    int64_t nodes = 0;
+    const bool decided = RunConfig(csp, 0, options.node_limit, options.cancel,
+                                   &solution, &nodes);
+    result.total_nodes = nodes;
+    if (decided) {
+      result.solution = std::move(solution);
+      result.complete = true;
+      result.winner = 0;
+    }
+  } else {
+    std::vector<RacerOutcome> outcomes(num_configs);
+    std::atomic<int> winner{-1};
+    std::atomic<int64_t> total_nodes{0};
+    exec::TaskGroup group(pool);
+    for (int i = 0; i < num_configs; ++i) {
+      group.Run([&, i] {
+        std::optional<std::vector<int>> solution;
+        int64_t nodes = 0;
+        const bool decided = RunConfig(csp, i, options.node_limit,
+                                       &race_over, &solution, &nodes);
+        total_nodes.fetch_add(nodes, std::memory_order_relaxed);
+        if (!decided) return;
+        outcomes[i].solution = std::move(solution);
+        outcomes[i].decided = true;
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, i,
+                                           std::memory_order_acq_rel)) {
+          race_over.RequestCancel();  // first decisive finisher wins
+          CSPDB_COUNT("csp.portfolio.wins");
+          CSPDB_TRACE_INSTANT("csp.portfolio.winner");
+        }
+      });
+    }
+    group.Wait();
+    result.total_nodes = total_nodes.load(std::memory_order_relaxed);
+    const int w = winner.load(std::memory_order_acquire);
+    if (w >= 0) {
+      result.winner = w;
+      result.complete = true;
+      result.solution = std::move(outcomes[w].solution);
+    }
+  }
+
+  if (result.complete && result.solution.has_value()) {
+    // Trust no racer: a claimed solution must satisfy the instance.
+    CSPDB_CHECK_MSG(csp.IsSolution(*result.solution),
+                    "portfolio winner returned a non-solution");
+  }
+  return result;
+}
+
+}  // namespace cspdb

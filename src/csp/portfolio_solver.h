@@ -1,0 +1,75 @@
+// Portfolio search: race several complete solver configurations (MAC,
+// forward checking, conflict-directed backjumping, shuffled value orders)
+// on the thread pool and take the first decisive finisher. Classic
+// algorithm-portfolio idea: orderings have wildly different luck per
+// instance, and the racer inherits the minimum runtime of the lineup.
+//
+// Correctness does not depend on which config wins: every config is a
+// complete solver, a winning SAT answer is re-verified against the
+// instance (CSPDB_CHECK(IsSolution)), and a winning UNSAT answer is a
+// finished, un-aborted exhaustive search. Which config wins (and hence
+// which solution is returned on instances with several) is a benign race;
+// callers needing a canonical solution should run one solver directly.
+//
+// Cancellation: the racers share an internal token chained under the
+// caller's optional external token — the first decisive finisher cancels
+// the rivals, and an external cancel/deadline stops the whole race
+// (result.complete == false when nobody finished decisively).
+
+#ifndef CSPDB_CSP_PORTFOLIO_SOLVER_H_
+#define CSPDB_CSP_PORTFOLIO_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "csp/instance.h"
+#include "exec/cancellation.h"
+#include "exec/thread_pool.h"
+
+namespace cspdb {
+
+struct PortfolioOptions {
+  /// Pool to run on; nullptr means ThreadPool::Global().
+  exec::ThreadPool* pool = nullptr;
+
+  /// Optional external cancellation/deadline for the whole race.
+  const exec::CancellationToken* cancel = nullptr;
+
+  /// How many lineup entries to race, clamped to [1, kNumConfigs]. On a
+  /// 1-thread pool only config 0 runs (serially).
+  int num_configs = 4;
+
+  /// Per-racer node budget (safety valve); -1 = unlimited.
+  int64_t node_limit = -1;
+};
+
+struct PortfolioResult {
+  /// The winning answer: a (verified) solution, or std::nullopt meaning
+  /// UNSAT when complete, "no answer" when !complete.
+  std::optional<std::vector<int>> solution;
+
+  /// True iff some racer finished decisively (solved or exhausted its
+  /// search without aborting).
+  bool complete = false;
+
+  /// Lineup index of the winning config (see PortfolioConfigName), or -1.
+  int winner = -1;
+
+  /// Search nodes summed across every racer (winner and cancelled rivals).
+  int64_t total_nodes = 0;
+};
+
+/// Number of distinct configurations in the fixed lineup.
+inline constexpr int kNumPortfolioConfigs = 5;
+
+/// Human-readable name of lineup entry `index` (0..kNumPortfolioConfigs).
+const char* PortfolioConfigName(int index);
+
+/// Races the lineup and returns the first decisive answer.
+PortfolioResult SolvePortfolio(const CspInstance& csp,
+                               const PortfolioOptions& options = {});
+
+}  // namespace cspdb
+
+#endif  // CSPDB_CSP_PORTFOLIO_SOLVER_H_

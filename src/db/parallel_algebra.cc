@@ -1,0 +1,266 @@
+#include "db/parallel_algebra.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "db/algebra.h"
+#include "db/join_key.h"
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace cspdb {
+namespace {
+
+using db_internal::KeyIndex;
+using db_internal::kNoRow;
+using db_internal::SharedPositions;
+
+exec::ThreadPool* ResolvePool(const ParallelDbOptions& options) {
+  return options.pool != nullptr ? options.pool : &exec::ThreadPool::Global();
+}
+
+// Stripe geometry for a probe side of `rows` rows: contiguous stripes of
+// equal size (last one ragged), about 4 per worker so stealing can even
+// out skewed match densities.
+std::size_t StripeSize(std::size_t rows, int num_threads) {
+  const std::size_t stripes =
+      std::max<std::size_t>(1, static_cast<std::size_t>(num_threads) * 4);
+  return std::max<std::size_t>(1, (rows + stripes - 1) / stripes);
+}
+
+}  // namespace
+
+DbRelation NaturalJoinParallel(const DbRelation& r, const DbRelation& s,
+                               const ParallelDbOptions& options) {
+  exec::ThreadPool* pool = ResolvePool(options);
+  if (pool->num_threads() <= 1 || r.size() < options.min_probe_rows ||
+      s.empty()) {
+    return NaturalJoin(r, s);
+  }
+  CSPDB_TRACE_SPAN("db.natural_join_parallel");
+  CSPDB_COUNT("db.joins");
+  std::vector<int> r_pos, s_pos;
+  SharedPositions(r, s, &r_pos, &s_pos);
+  std::vector<int> schema = r.schema();
+  std::vector<int> s_extra_pos;
+  for (std::size_t i = 0; i < s.schema().size(); ++i) {
+    if (r.AttributePosition(s.schema()[i]) < 0) {
+      schema.push_back(s.schema()[i]);
+      s_extra_pos.push_back(static_cast<int>(i));
+    }
+  }
+  const int r_arity = r.arity();
+  const int s_arity = s.arity();
+  const int out_arity = static_cast<int>(schema.size());
+  DbRelation out(std::move(schema));
+
+  // Build serially (same index, hence same chain order, as the serial
+  // kernel), probe in stripes.
+  KeyIndex index(s, s_pos);
+  const std::size_t stripe = StripeSize(r.size(), pool->num_threads());
+  const std::size_t num_stripes = (r.size() + stripe - 1) / stripe;
+  std::vector<std::vector<int>> buffers(num_stripes);
+  const int* r_data = r.data().data();
+  const int* s_data = s.data().data();
+  pool->ParallelFor(
+      0, static_cast<int64_t>(num_stripes), 1,
+      [&](int64_t lo, int64_t hi) {
+        std::vector<int> out_row(static_cast<std::size_t>(out_arity));
+        for (int64_t si = lo; si < hi; ++si) {
+          std::vector<int>& buf = buffers[static_cast<std::size_t>(si)];
+          const std::size_t begin = static_cast<std::size_t>(si) * stripe;
+          const std::size_t end = std::min(begin + stripe, r.size());
+          for (std::size_t i = begin; i < end; ++i) {
+            const int* rrow = r_data + i * static_cast<std::size_t>(r_arity);
+            for (uint32_t m = index.FirstMatch(rrow, r_pos); m != kNoRow;
+                 m = index.NextMatch(m, rrow, r_pos)) {
+              const int* srow =
+                  s_data + m * static_cast<std::size_t>(s_arity);
+              std::copy(rrow, rrow + r_arity, out_row.begin());
+              for (std::size_t k = 0; k < s_extra_pos.size(); ++k) {
+                out_row[static_cast<std::size_t>(r_arity) + k] =
+                    srow[s_extra_pos[k]];
+              }
+              buf.insert(buf.end(), out_row.begin(), out_row.end());
+            }
+          }
+        }
+      });
+  // Stripe-ordered concatenation == probe-row order == serial row order.
+  std::size_t total_rows = 0;
+  for (const std::vector<int>& buf : buffers) {
+    total_rows += buf.size() / static_cast<std::size_t>(out_arity);
+  }
+  out.Reserve(total_rows);
+  for (const std::vector<int>& buf : buffers) {
+    out.AppendRowsUnchecked(
+        buf.data(), buf.size() / static_cast<std::size_t>(out_arity));
+  }
+  CSPDB_COUNT_N("db.join.rows_out", static_cast<int64_t>(out.size()));
+  CSPDB_GAUGE_MAX("db.join.peak_rows", static_cast<int64_t>(out.size()));
+  return out;
+}
+
+DbRelation SemijoinParallel(const DbRelation& r, const DbRelation& s,
+                            const ParallelDbOptions& options) {
+  exec::ThreadPool* pool = ResolvePool(options);
+  if (pool->num_threads() <= 1 || r.size() < options.min_probe_rows ||
+      s.empty()) {
+    return Semijoin(r, s);
+  }
+  CSPDB_COUNT("db.semijoins");
+  std::vector<int> r_pos, s_pos;
+  SharedPositions(r, s, &r_pos, &s_pos);
+  DbRelation out(r.schema());
+  KeyIndex index(s, s_pos);
+  const int r_arity = r.arity();
+  const std::size_t stripe = StripeSize(r.size(), pool->num_threads());
+  const std::size_t num_stripes = (r.size() + stripe - 1) / stripe;
+  std::vector<std::vector<int>> buffers(num_stripes);
+  const int* r_data = r.data().data();
+  pool->ParallelFor(
+      0, static_cast<int64_t>(num_stripes), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t si = lo; si < hi; ++si) {
+          std::vector<int>& buf = buffers[static_cast<std::size_t>(si)];
+          const std::size_t begin = static_cast<std::size_t>(si) * stripe;
+          const std::size_t end = std::min(begin + stripe, r.size());
+          for (std::size_t i = begin; i < end; ++i) {
+            const int* rrow = r_data + i * static_cast<std::size_t>(r_arity);
+            if (index.FirstMatch(rrow, r_pos) != kNoRow) {
+              buf.insert(buf.end(), rrow, rrow + r_arity);
+            }
+          }
+        }
+      });
+  std::size_t total_rows = 0;
+  for (const std::vector<int>& buf : buffers) {
+    total_rows += buf.size() / static_cast<std::size_t>(r_arity);
+  }
+  out.Reserve(total_rows);
+  for (const std::vector<int>& buf : buffers) {
+    out.AppendRowsUnchecked(
+        buf.data(), buf.size() / static_cast<std::size_t>(r_arity));
+  }
+  CSPDB_COUNT_N("db.semijoin.rows_removed",
+                static_cast<int64_t>(r.size() - out.size()));
+  return out;
+}
+
+void FullReducerParallel(const JoinForest& forest,
+                         std::vector<DbRelation>* relations,
+                         const ParallelDbOptions& options,
+                         YannakakisStats* stats) {
+  exec::ThreadPool* pool = ResolvePool(options);
+  const int n = static_cast<int>(relations->size());
+  if (pool->num_threads() <= 1 ||
+      relations->size() < options.min_forest_nodes) {
+    FullReducer(forest, relations, stats);
+    return;
+  }
+  CSPDB_TIMER_SCOPE("db.full_reducer_parallel");
+  if (stats != nullptr) {
+    stats->input_rows.clear();
+    for (const DbRelation& r : *relations) {
+      stats->input_rows.push_back(static_cast<int64_t>(r.size()));
+    }
+  }
+  std::vector<std::vector<int>> children(n);
+  for (int e = 0; e < n; ++e) {
+    if (forest.parent[e] >= 0) children[forest.parent[e]].push_back(e);
+  }
+  std::atomic<int64_t> passes{0};
+  std::atomic<int64_t> removed{0};
+  // Semijoins into the same parent commute exactly (Semijoin keeps probe
+  // rows in order), so a per-parent mutex is enough for determinism.
+  std::vector<std::unique_ptr<std::mutex>> node_mu(n);
+  for (auto& mu : node_mu) mu = std::make_unique<std::mutex>();
+  auto reduce = [&](int target, int with) {
+    std::lock_guard<std::mutex> lock(*node_mu[target]);
+    const int64_t before = static_cast<int64_t>((*relations)[target].size());
+    (*relations)[target] =
+        Semijoin((*relations)[target], (*relations)[with]);
+    passes.fetch_add(1, std::memory_order_relaxed);
+    removed.fetch_add(
+        before - static_cast<int64_t>((*relations)[target].size()),
+        std::memory_order_relaxed);
+  };
+
+  // Upward pass: node e may fold into its parent once all of e's own
+  // children have folded into e.
+  {
+    std::vector<std::atomic<int>> pending(n);
+    for (int e = 0; e < n; ++e) {
+      pending[e].store(static_cast<int>(children[e].size()),
+                       std::memory_order_relaxed);
+    }
+    exec::TaskGroup group(pool);
+    std::function<void(int)> fold_up = [&](int e) {
+      const int f = forest.parent[e];
+      if (f < 0) return;
+      reduce(f, e);
+      if (pending[f].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        group.Run([&fold_up, f] { fold_up(f); });
+      }
+    };
+    for (int e = 0; e < n; ++e) {
+      if (children[e].empty()) {
+        group.Run([&fold_up, e] { fold_up(e); });
+      }
+    }
+    group.Wait();
+  }
+
+  // Downward pass: fan out from the roots; each task writes only its own
+  // node and reads its (already final) parent — lock-free.
+  {
+    exec::TaskGroup group(pool);
+    std::function<void(int)> fold_down = [&](int e) {
+      for (int c : children[e]) {
+        group.Run([&, c, e] {
+          const int64_t before =
+              static_cast<int64_t>((*relations)[c].size());
+          (*relations)[c] = Semijoin((*relations)[c], (*relations)[e]);
+          passes.fetch_add(1, std::memory_order_relaxed);
+          removed.fetch_add(
+              before - static_cast<int64_t>((*relations)[c].size()),
+              std::memory_order_relaxed);
+          fold_down(c);
+        });
+      }
+    };
+    for (int e = 0; e < n; ++e) {
+      if (forest.parent[e] < 0) fold_down(e);
+    }
+    group.Wait();
+  }
+
+  if (stats != nullptr) {
+    stats->semijoin_passes += passes.load(std::memory_order_relaxed);
+    stats->rows_removed += removed.load(std::memory_order_relaxed);
+    stats->reduced_rows.clear();
+    for (const DbRelation& r : *relations) {
+      const int64_t rows = static_cast<int64_t>(r.size());
+      stats->reduced_rows.push_back(rows);
+      stats->peak_reduced_rows = std::max(stats->peak_reduced_rows, rows);
+    }
+  }
+}
+
+bool AcyclicJoinNonemptyParallel(const JoinForest& forest,
+                                 std::vector<DbRelation> relations,
+                                 const ParallelDbOptions& options) {
+  if (relations.empty()) return true;
+  FullReducerParallel(forest, &relations, options);
+  for (const DbRelation& r : relations) {
+    if (r.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace cspdb

@@ -1,0 +1,70 @@
+// Parallel relational kernels on the work-stealing pool: striped hash
+// joins/semijoins and a task-graph full reducer over join forests.
+//
+// Determinism contract (DESIGN.md): every operator here returns output
+// bit-identical to its serial twin in db/algebra.h / db/acyclic.h.
+//   * NaturalJoinParallel / SemijoinParallel build the same KeyIndex the
+//     serial kernels do (db/join_key.h — same chain order), split the
+//     probe side into contiguous stripes, and concatenate the per-stripe
+//     outputs in stripe order, which reproduces the serial row order
+//     exactly.
+//   * FullReducerParallel runs independent subtree semijoins concurrently.
+//     Semijoin preserves probe-row order, so the several semijoins into
+//     one parent commute exactly; a per-parent mutex serializes the writes
+//     and the final contents are order-independent.
+// These kernels are not cancellation points: each is a polynomial pass,
+// and an interrupted join would be wrong rather than merely incomplete
+// (unlike GAC pruning, which is sound to stop early).
+
+#ifndef CSPDB_DB_PARALLEL_ALGEBRA_H_
+#define CSPDB_DB_PARALLEL_ALGEBRA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "db/acyclic.h"
+#include "db/relation.h"
+#include "exec/thread_pool.h"
+
+namespace cspdb {
+
+struct ParallelDbOptions {
+  /// Pool to run on; nullptr means ThreadPool::Global().
+  exec::ThreadPool* pool = nullptr;
+
+  /// Probe sides smaller than this fall back to the serial kernel — the
+  /// per-stripe buffer and fork/join overhead beats the win below it.
+  std::size_t min_probe_rows = 2048;
+
+  /// Forests smaller than this run the serial FullReducer.
+  std::size_t min_forest_nodes = 4;
+};
+
+/// NaturalJoin(r, s) with the probe side (r) striped across the pool.
+/// Bit-identical to the serial NaturalJoin, including row order.
+DbRelation NaturalJoinParallel(const DbRelation& r, const DbRelation& s,
+                               const ParallelDbOptions& options = {});
+
+/// Semijoin(r, s) with the probe side (r) striped across the pool.
+/// Bit-identical to the serial Semijoin, including row order.
+DbRelation SemijoinParallel(const DbRelation& r, const DbRelation& s,
+                            const ParallelDbOptions& options = {});
+
+/// FullReducer with independent subtree semijoin passes run concurrently:
+/// the upward pass folds a node into its parent as soon as all of the
+/// node's own children have folded in; the downward pass fans out from the
+/// roots. Final relation contents (and stats totals) are identical to the
+/// serial FullReducer.
+void FullReducerParallel(const JoinForest& forest,
+                         std::vector<DbRelation>* relations,
+                         const ParallelDbOptions& options = {},
+                         YannakakisStats* stats = nullptr);
+
+/// AcyclicJoinNonempty via FullReducerParallel.
+bool AcyclicJoinNonemptyParallel(const JoinForest& forest,
+                                 std::vector<DbRelation> relations,
+                                 const ParallelDbOptions& options = {});
+
+}  // namespace cspdb
+
+#endif  // CSPDB_DB_PARALLEL_ALGEBRA_H_

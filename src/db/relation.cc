@@ -12,6 +12,9 @@ constexpr std::size_t kMinIndexCapacity = 16;
 
 // Smallest power of two >= n (and >= kMinIndexCapacity).
 std::size_t IndexCapacityFor(std::size_t rows) {
+  // Row counts are capped below 2^32, so the doubling cannot overflow a
+  // 64-bit capacity; the audit guards the cap against future changes.
+  CSPDB_DCHECK(rows < 0xffffffffull);
   // Target load factor ~0.7.
   std::size_t needed = rows + (rows >> 1) + 1;
   std::size_t cap = kMinIndexCapacity;
@@ -48,6 +51,14 @@ bool DbRelation::RowEquals(std::size_t idx, const int* row) const {
 }
 
 void DbRelation::RehashInto(std::size_t capacity) const {
+  // The open-addressed probe sequence masks with capacity-1: a zero
+  // capacity would underflow the mask and a non-power-of-two would skip
+  // slots, so both are hard errors rather than silent corruption.
+  CSPDB_CHECK_MSG(capacity >= kMinIndexCapacity &&
+                      (capacity & (capacity - 1)) == 0,
+                  "row-hash capacity must be a power of two >= 16");
+  CSPDB_CHECK_MSG(num_rows_ + (num_rows_ >> 1) < capacity,
+                  "row-hash capacity too small for row count");
   slots_.assign(capacity, 0);
   const std::size_t mask = capacity - 1;
   for (std::size_t r = 0; r < num_rows_; ++r) {
@@ -97,6 +108,18 @@ void DbRelation::AppendRowUnchecked(const int* row) {
   ++num_rows_;
   index_valid_ = false;
 }
+
+void DbRelation::AppendRowsUnchecked(const int* rows, std::size_t num_rows) {
+  if (num_rows == 0) return;
+  CSPDB_CHECK_MSG(num_rows_ + num_rows < 0xfffffffeu,
+                  "relation exceeds 2^32-2 rows");
+  data_.insert(data_.end(), rows,
+               rows + num_rows * static_cast<std::size_t>(arity()));
+  num_rows_ += num_rows;
+  index_valid_ = false;
+}
+
+void DbRelation::PrepareIndex() const { EnsureIndex(); }
 
 bool DbRelation::HasRow(const Tuple& row) const {
   CSPDB_CHECK_MSG(static_cast<int>(row.size()) == arity(),

@@ -101,6 +101,16 @@ class DbRelation {
   /// membership probe; the lazy index is rebuilt on the next query.
   void AppendRowUnchecked(const int* row);
 
+  /// Bulk AppendRowUnchecked: `num_rows` rows packed row-major in `rows`
+  /// (the parallel join concatenates per-stripe outputs this way).
+  void AppendRowsUnchecked(const int* rows, std::size_t num_rows);
+
+  /// Forces the lazy row-hash index to be built now. HasRow is const but
+  /// rebuilds the index on first use after a bulk append, so concurrent
+  /// readers must call this (single-threaded) first; afterwards HasRow is
+  /// safe from many threads as long as nobody mutates the relation.
+  void PrepareIndex() const;
+
   const std::vector<int>& schema() const { return schema_; }
 
   /// Iterable view of all rows: `for (auto row : rel.rows())`.

@@ -73,9 +73,14 @@ void AppendJsonString(std::ostringstream* out, const std::string& s) {
         *out << "\\\\";
         break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        // Escape DEL alongside the control range, and format via unsigned
+        // char: a negative signed char sign-extends through %x into
+        // eight hex digits, corrupting the JSON instead of escaping it.
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) == 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           *out << buf;
         } else {
           *out << c;

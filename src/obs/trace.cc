@@ -1,23 +1,53 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <functional>
-#include <thread>
 
 namespace cspdb::obs {
 
 namespace {
 
-uint64_t CurrentTid() {
-  return static_cast<uint64_t>(
-      std::hash<std::thread::id>{}(std::this_thread::get_id()));
-}
-
 void FlushGlobalAtExit() { TraceSession::Global().Stop(); }
 
+// Minimal JSON string escaping for event/track names (quote, backslash,
+// and control characters; names are identifiers in practice).
+void WriteJsonString(std::ofstream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out << '\\' << *s;
+    } else if (c < 0x20 || c == 0x7f) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out << buf;
+    } else {
+      out << *s;
+    }
+  }
+  out << '"';
+}
+
 }  // namespace
+
+uint64_t TraceSession::CurrentTid() {
+  // Sequential registry instead of std::hash<std::thread::id>: hashes can
+  // collide (merging two threads' tracks, breaking span nesting) and vary
+  // across runs (unstable track ids in diffs). Ids are never reused.
+  static std::atomic<uint64_t> next_tid{0};
+  thread_local const uint64_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void TraceSession::SetCurrentThreadName(const char* name) {
+  TraceSession& session = Global();
+  std::lock_guard<std::mutex> lock(session.mu_);
+  session.thread_names_[CurrentTid()] = name;
+}
 
 TraceSession::TraceSession() {
   const char* path = std::getenv("CSPDB_TRACE");
@@ -89,14 +119,27 @@ void TraceSession::WriteFileLocked() {
   if (!out) return;
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   const char* sep = "\n";
+  // Metadata first: bind each registered thread's sequential tid to its
+  // track name so viewers label worker tracks.
+  for (const auto& [tid, name] : thread_names_) {
+    out << sep
+        << "{\"name\": \"thread_name\", \"ph\": \"M\", \"ts\": 0, "
+           "\"pid\": 1, \"tid\": "
+        << tid << ", \"args\": {\"name\": ";
+    WriteJsonString(out, name.c_str());
+    out << "}}";
+    sep = ",\n";
+  }
   for (const Event& e : events_) {
     // Chrome trace timestamps are microseconds; keep ns resolution via
     // the fractional part.
     const int64_t us = e.ts_ns / 1000;
     const int64_t frac = e.ts_ns % 1000;
-    out << sep << "{\"name\": \"" << e.name << "\", \"ph\": \"" << e.phase
-        << "\", \"ts\": " << us << "." << (frac / 100) << ((frac / 10) % 10)
-        << (frac % 10) << ", \"pid\": 1, \"tid\": " << (e.tid % 1000000);
+    out << sep << "{\"name\": ";
+    WriteJsonString(out, e.name);
+    out << ", \"ph\": \"" << e.phase << "\", \"ts\": " << us << "."
+        << (frac / 100) << ((frac / 10) % 10) << (frac % 10)
+        << ", \"pid\": 1, \"tid\": " << e.tid;
     if (e.phase == 'i') {
       out << ", \"s\": \"t\"";
     } else if (e.phase == 'C') {

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -27,6 +28,18 @@ class TraceSession {
  public:
   /// Lazily constructed singleton; first call honors CSPDB_TRACE.
   static TraceSession& Global();
+
+  /// The calling thread's trace track id: a small sequential integer
+  /// assigned on first use (0 for the first thread that emits, 1 for the
+  /// next, ...). Stable for the thread's lifetime and collision-free,
+  /// unlike hashing std::thread::id.
+  static uint64_t CurrentTid();
+
+  /// Names the calling thread's track ("exec.worker.0.3"). Remembered
+  /// across Start()/Stop() cycles and emitted as a thread_name metadata
+  /// event in every written trace, so worker threads register once at
+  /// spawn. Safe to call whether or not a session is recording.
+  static void SetCurrentThreadName(const char* name);
 
   /// True if events are currently being recorded.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -78,6 +91,8 @@ class TraceSession {
   mutable std::mutex mu_;
   std::string path_;
   std::vector<Event> events_;
+  // tid -> human-readable track name; persists across Start/Stop cycles.
+  std::map<uint64_t, std::string> thread_names_;
   int64_t t0_ns_ = 0;
 };
 

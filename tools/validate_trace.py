@@ -5,7 +5,11 @@ Checks, in order:
   1. the file is valid JSON with the {"traceEvents": [...]} shape;
   2. every event carries the required fields for its phase;
   3. B/E duration events nest and balance per thread (LIFO discipline);
-  4. (optional) spans cover the subsystems named with --require, given as
+  4. "M" thread_name metadata events carry a string args.name, no tid is
+     named twice, and no track name is bound to two tids (a duplicate
+     binding means the tid registry handed out colliding ids — the bug the
+     sequential registry replaced hashed ids to fix);
+  5. (optional) spans cover the subsystems named with --require, given as
      name prefixes before the first '.' (e.g. "csp,consistency,db").
 
 Exit status 0 on success, 1 with a diagnostic on the first violation.
@@ -18,7 +22,7 @@ import json
 import sys
 
 DURATION_PHASES = {"B", "E"}
-KNOWN_PHASES = DURATION_PHASES | {"i", "C"}
+KNOWN_PHASES = DURATION_PHASES | {"i", "C", "M"}
 
 
 def fail(msg: str) -> int:
@@ -53,6 +57,8 @@ def main() -> int:
     # Per-thread stacks of open B spans; E must match the innermost one.
     open_spans: dict = {}
     span_subsystems = set()
+    tid_to_name: dict = {}  # thread_name metadata: tid -> track name
+    name_to_tid: dict = {}  # ...and the reverse binding
     for i, ev in enumerate(events):
         where = f"event {i}"
         if not isinstance(ev, dict):
@@ -73,6 +79,29 @@ def main() -> int:
             ev.get("args", {}).get("value"), (int, float)
         ):
             return fail(f"{where}: counter event needs numeric args.value")
+        if ph == "M":
+            if ev["name"] != "thread_name":
+                return fail(
+                    f"{where}: unsupported metadata event {ev['name']!r}"
+                )
+            track = ev.get("args", {}).get("name")
+            if not isinstance(track, str) or not track:
+                return fail(
+                    f"{where}: thread_name needs a nonempty string args.name"
+                )
+            tid = ev["tid"]
+            if tid in tid_to_name and tid_to_name[tid] != track:
+                return fail(
+                    f"{where}: tid {tid} bound to both "
+                    f"{tid_to_name[tid]!r} and {track!r}"
+                )
+            if track in name_to_tid and name_to_tid[track] != tid:
+                return fail(
+                    f"{where}: track name {track!r} bound to both tid "
+                    f"{name_to_tid[track]} and tid {tid} (colliding ids)"
+                )
+            tid_to_name[tid] = track
+            name_to_tid[track] = tid
         if ph in DURATION_PHASES:
             stack = open_spans.setdefault(ev["tid"], [])
             if ph == "B":
@@ -103,8 +132,8 @@ def main() -> int:
         )
 
     print(
-        f"ok: {len(events)} events, balanced spans from "
-        f"{sorted(span_subsystems)}"
+        f"ok: {len(events)} events, {len(tid_to_name)} named thread(s), "
+        f"balanced spans from {sorted(span_subsystems)}"
     )
     return 0
 
