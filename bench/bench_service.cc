@@ -1,0 +1,138 @@
+// Serving-layer benchmarks (ISSUE 5): cache hit vs miss latency, the
+// canonicalization cost that the hit path pays, skewed-stream replay hit
+// rates, and overload shedding. Names follow BM_<op>/<size> and are
+// distilled by bench/distill_bench.py --mode service into
+// BENCH_service.json; the rate counters ride along as benchmark counters.
+
+#include <future>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "csp/instance.h"
+#include "exec/thread_pool.h"
+#include "gen/generators.h"
+#include "service/fingerprint.h"
+#include "service/server.h"
+#include "service/workload.h"
+#include "util/rng.h"
+
+namespace cspdb::service {
+namespace {
+
+CspInstance BenchCsp(int num_variables) {
+  Rng rng(271828);
+  return RandomBinaryCsp(num_variables, 4, num_variables * 3 / 2, 0.3, &rng);
+}
+
+// Latency of a guaranteed cache hit: canonicalize + lookup + map-back.
+void BM_service_hit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  CspdbService service;
+  ServiceRequest request = SolveCspRequest{BenchCsp(n)};
+  benchmark::DoNotOptimize(service.Handle(request));  // warm
+  for (auto _ : state) {
+    Response r = service.Handle(request);
+    benchmark::DoNotOptimize(r);
+  }
+  const ServiceStats stats = service.stats();
+  state.counters["hit_rate"] =
+      stats.requests > 0
+          ? static_cast<double>(stats.cache_hits) / stats.requests
+          : 0.0;
+}
+BENCHMARK(BM_service_hit)->Arg(12)->Arg(24)->Arg(48);
+
+// Latency of a guaranteed miss (invalidated every iteration): the full
+// canonicalize + engine + insert path on a small instance.
+void BM_service_miss(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  CspdbService service;
+  ServiceRequest request = SolveCspRequest{BenchCsp(n)};
+  for (auto _ : state) {
+    service.InvalidateKind(RequestKind::kSolveCsp);
+    Response r = service.Handle(request);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_service_miss)->Arg(12)->Arg(24)->Arg(48);
+
+// The fixed cost both paths pay: canonical labeling + fingerprint.
+void BM_canonicalize_csp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const CspInstance csp = BenchCsp(n);
+  for (auto _ : state) {
+    CanonicalCsp canon = CanonicalizeCsp(csp);
+    benchmark::DoNotOptimize(canon);
+  }
+}
+BENCHMARK(BM_canonicalize_csp)->Arg(12)->Arg(24)->Arg(48);
+
+// End-to-end replay of a Zipf-skewed stream on a fresh service: ns/op is
+// the whole-stream wall time; hit/coalesce rates ride as counters.
+void BM_service_replay(benchmark::State& state) {
+  WorkloadOptions workload;
+  workload.num_requests = static_cast<int>(state.range(0));
+  workload.pool_size = 12;
+  workload.zipf_s = 1.1;
+  workload.seed = 7;
+  const std::vector<ServiceRequest> stream = GenerateRequestStream(workload);
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    CspdbService service;
+    for (const ServiceRequest& request : stream) {
+      Response r = service.Handle(request);
+      benchmark::DoNotOptimize(r);
+    }
+    const ServiceStats stats = service.stats();
+    hit_rate = stats.requests > 0
+                   ? static_cast<double>(stats.cache_hits) / stats.requests
+                   : 0.0;
+  }
+  state.counters["hit_rate"] = hit_rate;
+  state.counters["requests"] = static_cast<double>(stream.size());
+}
+BENCHMARK(BM_service_replay)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// Overload: a burst of 4x max_pending short-deadline submissions against
+// a 2-thread pool. ns/op is burst-to-drain wall time; the shed/rejected
+// split shows the admission queue and deadline checks doing their job.
+void BM_service_overload(benchmark::State& state) {
+  const int max_pending = static_cast<int>(state.range(0));
+  const int burst = 4 * max_pending;
+  WorkloadOptions workload;
+  workload.num_requests = burst;
+  workload.pool_size = 16;
+  workload.seed = 11;
+  const std::vector<ServiceRequest> stream = GenerateRequestStream(workload);
+  int64_t shed = 0, rejected = 0, total = 0;
+  for (auto _ : state) {
+    exec::ThreadPool pool(2);
+    {
+      ServiceOptions options;
+      options.pool = &pool;
+      options.max_pending = max_pending;
+      options.default_timeout_ns = 500'000;  // 0.5ms: most queued sheds
+      CspdbService service(options);
+      std::vector<std::future<Response>> futures;
+      futures.reserve(stream.size());
+      for (const ServiceRequest& request : stream) {
+        futures.push_back(service.Submit(request));
+      }
+      for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+      const ServiceStats stats = service.stats();
+      shed = stats.shed_deadline;
+      rejected = stats.rejected;
+      total = stats.requests;
+    }
+  }
+  state.counters["shed_rate"] =
+      total > 0 ? static_cast<double>(shed) / total : 0.0;
+  state.counters["rejected_rate"] =
+      total > 0 ? static_cast<double>(rejected) / total : 0.0;
+}
+BENCHMARK(BM_service_overload)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cspdb::service

@@ -10,8 +10,12 @@ t1 is the true serial kernel, every other thread count gets a speedup
 relative to it. machine.num_cpus is recorded so readers can tell real
 scaling from oversubscription on a small machine.
 
+--mode service takes plain BM_<op>/<size> names (bench_service) and emits
+ns/op plus any serving-layer rate counters the benchmark reported
+(hit_rate, shed_rate, rejected_rate, requests).
+
 Usage: distill_bench.py <benchmark-json> <output-json> [--label LABEL]
-                        [--mode kernels|parallel]
+                        [--mode kernels|parallel|service]
 """
 
 import argparse
@@ -39,6 +43,8 @@ def git_head() -> str:
 
 NAME_RE = re.compile(r"^BM_(?P<op>\w+?)_(?P<side>baseline|optimized)/(?P<size>\d+)$")
 PARALLEL_RE = re.compile(r"^BM_(?P<op>\w+?)_t(?P<threads>\d+)/(?P<size>\d+)$")
+SERVICE_RE = re.compile(r"^BM_(?P<op>\w+)/(?P<size>\d+)$")
+SERVICE_COUNTERS = ("hit_rate", "shed_rate", "rejected_rate", "requests")
 
 
 def distill_kernels(report):
@@ -116,13 +122,39 @@ def distill_parallel(report):
     return kernels
 
 
+def distill_service(report):
+    """BM_<op>/<size> -> ns/op + rate counters for bench_service."""
+    kernels = []
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        m = SERVICE_RE.match(bench["name"])
+        if not m:
+            continue
+        # real_time is reported in the benchmark's own unit (ns or ms).
+        scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}.get(
+            bench.get("time_unit", "ns"), 1
+        )
+        record = {
+            "op": m.group("op"),
+            "size": int(m.group("size")),
+            "ns_per_op": round(bench["real_time"] * scale, 1),
+        }
+        for counter in SERVICE_COUNTERS:
+            if counter in bench:
+                record[counter] = round(float(bench[counter]), 4)
+        kernels.append(record)
+    kernels.sort(key=lambda k: (k["op"], k["size"]))
+    return kernels
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("in_path")
     parser.add_argument("out_path")
     parser.add_argument("--label", default="trajectory entry")
     parser.add_argument(
-        "--mode", choices=["kernels", "parallel"], default="kernels"
+        "--mode", choices=["kernels", "parallel", "service"], default="kernels"
     )
     opts = parser.parse_args()
     in_path, out_path, label = opts.in_path, opts.out_path, opts.label
@@ -141,6 +173,11 @@ def main() -> int:
         kernels = distill_parallel(report)
         if not kernels:
             sys.stderr.write("error: no BM_<op>_t<threads>/<size> benchmarks\n")
+            return 1
+    elif opts.mode == "service":
+        kernels = distill_service(report)
+        if not kernels:
+            sys.stderr.write("error: no BM_<op>/<size> benchmarks\n")
             return 1
     else:
         kernels = distill_kernels(report)
@@ -174,7 +211,15 @@ def main() -> int:
         f.write("\n")
 
     for k in kernels:
-        if opts.mode == "parallel":
+        if opts.mode == "service":
+            rates = "  ".join(
+                f"{c} {k[c]}" for c in SERVICE_COUNTERS if c in k
+            )
+            print(
+                f"{k['op']:>20}/{k['size']:<6} "
+                f"{k['ns_per_op']:>14.1f} ns  {rates}"
+            )
+        elif opts.mode == "parallel":
             scaling = "  ".join(
                 f"t{t['threads']} {t['speedup_vs_serial']}x"
                 for t in k["threads"]

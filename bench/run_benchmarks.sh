@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Builds the Release benchmark binaries, runs the baseline-vs-optimized
-# kernel suite and the serial-vs-parallel suite, and distills the results
-# into BENCH_kernels.json + BENCH_parallel.json at the repository root
-# (see EXPERIMENTS.md for methodology).
+# kernel suite, the serial-vs-parallel suite, and the serving-layer suite,
+# and distills the results into BENCH_kernels.json + BENCH_parallel.json +
+# BENCH_service.json at the repository root (see EXPERIMENTS.md for
+# methodology).
 #
 # Usage:
-#   bench/run_benchmarks.sh           # full run, refreshes BENCH_kernels.json
-#                                     # and BENCH_parallel.json
+#   bench/run_benchmarks.sh           # full run, refreshes the committed
+#                                     # BENCH_*.json files
 #   bench/run_benchmarks.sh --smoke   # quick CI pass; writes into the build
 #                                     # dir only, never touches the committed
 #                                     # JSON files
@@ -25,24 +26,30 @@ if command -v ccache >/dev/null; then
 fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}" >/dev/null
 cmake --build "$BUILD_DIR" --target bench_report bench_parallel \
-  -j"$(nproc)" >/dev/null
+  bench_service -j"$(nproc)" >/dev/null
 
 BENCH_ARGS=(--benchmark_format=json)
 PAR_ARGS=(--benchmark_format=json)
+SVC_ARGS=(--benchmark_format=json)
 if [[ "$SMOKE" == 1 ]]; then
   # Smallest tier of each op, minimal sampling: validates the harness and
   # the distiller without burning CI minutes.
   BENCH_ARGS+=(--benchmark_filter='/(8|16|1000)$' --benchmark_min_time=0.01)
   PAR_ARGS+=(--benchmark_filter='/(48|2000|10000)$' --benchmark_min_time=0.01)
+  SVC_ARGS+=(--benchmark_filter='/(12|64|256)$' --benchmark_min_time=0.01)
   OUT=$BUILD_DIR/BENCH_kernels.smoke.json
   PAR_OUT=$BUILD_DIR/BENCH_parallel.smoke.json
+  SVC_OUT=$BUILD_DIR/BENCH_service.smoke.json
   LABEL="smoke"
   PAR_LABEL="smoke"
+  SVC_LABEL="smoke"
 else
   OUT=BENCH_kernels.json
   PAR_OUT=BENCH_parallel.json
+  SVC_OUT=BENCH_service.json
   LABEL="flat-storage + bitset kernels vs frozen references"
   PAR_LABEL="parallel GAC/join/full-reducer vs serial twins"
+  SVC_LABEL="serving layer: hit/miss latency, replay hit rate, overload shed"
 fi
 
 RAW=$BUILD_DIR/bench_report.raw.json
@@ -55,3 +62,9 @@ PAR_RAW=$BUILD_DIR/bench_parallel.raw.json
 python3 bench/distill_bench.py "$PAR_RAW" "$PAR_OUT" \
   --label "$PAR_LABEL" --mode parallel
 echo "wrote $PAR_OUT"
+
+SVC_RAW=$BUILD_DIR/bench_service.raw.json
+"$BUILD_DIR/bench/bench_service" "${SVC_ARGS[@]}" > "$SVC_RAW"
+python3 bench/distill_bench.py "$SVC_RAW" "$SVC_OUT" \
+  --label "$SVC_LABEL" --mode service
+echo "wrote $SVC_OUT"

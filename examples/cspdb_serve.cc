@@ -1,0 +1,95 @@
+// cspdb_serve: replay a generated request stream through CspdbService and
+// report serving statistics (hit rate, coalescing, sheds, latency). The
+// stream is seeded, so two runs with the same flags see identical
+// requests. With CSPDB_TRACE=out.json the run emits a Chrome trace whose
+// "service.*" spans show the cache/engine split per request.
+//
+//   cspdb_serve [num_requests] [pool_size] [zipf_s] [mutation_prob]
+//               [timeout_ms]
+//
+// The final "cache_hits=N ..." line is machine-greppable (CI asserts a
+// nonzero hit count on the default workload).
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/server.h"
+#include "service/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace cspdb;
+  using namespace cspdb::service;
+
+  WorkloadOptions workload;
+  workload.num_requests = argc > 1 ? std::atoi(argv[1]) : 400;
+  workload.pool_size = argc > 2 ? std::atoi(argv[2]) : 12;
+  workload.zipf_s = argc > 3 ? std::atof(argv[3]) : 1.1;
+  workload.mutation_prob = argc > 4 ? std::atof(argv[4]) : 0.05;
+  const int64_t timeout_ms = argc > 5 ? std::atoll(argv[5]) : 2000;
+  workload.seed = 42;
+
+  std::printf("generating %d requests (pool %d per kind, zipf s=%.2f, "
+              "mutation %.2f)...\n",
+              workload.num_requests, workload.pool_size, workload.zipf_s,
+              workload.mutation_prob);
+  std::vector<ServiceRequest> stream = GenerateRequestStream(workload);
+
+  ServiceOptions options;
+  options.default_timeout_ns = timeout_ms * 1'000'000;
+  CspdbService server(options);
+
+  std::vector<std::future<Response>> futures;
+  futures.reserve(stream.size());
+  for (ServiceRequest& request : stream) {
+    futures.push_back(server.Submit(std::move(request)));
+  }
+
+  int64_t by_status[3] = {0, 0, 0};
+  int64_t total_latency_ns = 0;
+  int64_t max_latency_ns = 0;
+  for (auto& f : futures) {
+    Response r = f.get();
+    ++by_status[static_cast<int>(r.status)];
+    total_latency_ns += r.latency_ns;
+    if (r.latency_ns > max_latency_ns) max_latency_ns = r.latency_ns;
+  }
+
+  const ServiceStats stats = server.stats();
+  const CacheStats cache = server.cache().stats();
+  std::printf("\n--- serving summary ---\n");
+  std::printf("requests:          %lld\n", (long long)stats.requests);
+  std::printf("  ok:              %lld\n", (long long)by_status[0]);
+  std::printf("  deadline_exceeded: %lld\n", (long long)by_status[1]);
+  std::printf("  rejected:        %lld\n", (long long)by_status[2]);
+  std::printf("cache hits:        %lld (misses %lld)\n",
+              (long long)stats.cache_hits, (long long)stats.cache_misses);
+  std::printf("coalesced:         %lld\n", (long long)stats.coalesced);
+  std::printf("engine runs:       %lld\n",
+              (long long)stats.engine_invocations);
+  std::printf("cache bytes:       %lld / %lld (entries %lld, "
+              "evictions %lld)\n",
+              (long long)cache.bytes, (long long)server.cache().max_bytes(),
+              (long long)cache.entries, (long long)cache.evictions);
+  const int64_t handled = by_status[0] + by_status[1];
+  std::printf("mean latency:      %.1f us (max %.1f us)\n",
+              handled > 0 ? total_latency_ns / 1e3 / handled : 0.0,
+              max_latency_ns / 1e3);
+
+  // Machine-readable line for CI (service-smoke greps cache_hits).
+  std::printf("cache_hits=%lld coalesced=%lld engine_invocations=%lld "
+              "shed=%lld rejected=%lld\n",
+              (long long)stats.cache_hits, (long long)stats.coalesced,
+              (long long)stats.engine_invocations,
+              (long long)stats.shed_deadline, (long long)stats.rejected);
+
+  // In observability builds the "service.*" metrics mirror these counts.
+  if (obs::MetricsRegistry::Global().HasCounter("service.requests")) {
+    std::printf("\nmetrics snapshot:\n%s\n",
+                obs::MetricsRegistry::Global().SnapshotJson().c_str());
+  }
+  return 0;
+}

@@ -28,6 +28,14 @@ ThreadPool::ThreadPool(int num_threads) {
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  // Wait until every worker has entered its loop (and registered its
+  // trace track): callers may start a trace session or tear the pool
+  // down immediately after construction, and both must observe fully
+  // started workers.
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  started_cv_.wait(lock, [this, num_threads] {
+    return started_ == num_threads;
+  });
 }
 
 ThreadPool::~ThreadPool() {
@@ -100,6 +108,11 @@ bool ThreadPool::RunOneTask() {
 void ThreadPool::WorkerLoop(int worker_index) {
   obs::TraceSession::SetCurrentThreadName(
       worker_names_[worker_index].c_str());
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++started_;
+  }
+  started_cv_.notify_one();
   while (true) {
     std::function<void()> fn = TakeTask(worker_index);
     if (fn != nullptr) {

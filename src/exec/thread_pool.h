@@ -60,6 +60,19 @@ class ThreadPool {
 
   /// The process-wide default pool, sized to the hardware concurrency.
   /// Never destroyed (leaked singleton, like the obs registries).
+  ///
+  /// Exit-ordering contract (audited for the serving layer, ISSUE 5):
+  /// because the pool is leaked, its workers survive static destruction
+  /// and atexit, so objects with static storage duration may still drain
+  /// work through Global() from their destructors — CspdbService relies
+  /// on this to drain pending submissions whenever it is destroyed.
+  /// Ordering with the tracer: TraceSession::Start registers an atexit
+  /// flush; spans emitted by pool workers *after* that flush has run
+  /// (e.g. during a later static destructor's drain) are silently
+  /// dropped by the tracer's enabled-flag guard — never a crash, at
+  /// worst missing tail spans. A locally constructed pool, by contrast,
+  /// must outlive every object that submits to it (its destructor CHECKs
+  /// the queues are empty), so declare the pool before the service.
   static ThreadPool& Global();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -104,6 +117,11 @@ class ThreadPool {
   // Sleep/wake management for idle workers.
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
+
+  // Startup latch (guarded by idle_mu_): the constructor blocks until
+  // every worker has entered its loop and registered its trace track.
+  int started_ = 0;
+  std::condition_variable started_cv_;
 };
 
 /// A fork/join scope: Run() spawns tasks on the pool, Wait() blocks until

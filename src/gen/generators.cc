@@ -1,6 +1,7 @@
 #include "gen/generators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <utility>
 
@@ -187,6 +188,59 @@ GraphDb RandomGraphDb(int num_nodes, int num_labels, int num_edges,
                rng->UniformInt(0, num_nodes - 1));
   }
   return db;
+}
+
+std::vector<int> ZipfianIndices(int pool_size, int count, double s,
+                                Rng* rng) {
+  CSPDB_CHECK(pool_size >= 1);
+  CSPDB_CHECK(s >= 0.0);
+  // Cumulative mass of 1/(i+1)^s, sampled by binary search per draw.
+  std::vector<double> cdf(pool_size);
+  double total = 0.0;
+  for (int i = 0; i < pool_size; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[i] = total;
+  }
+  std::vector<int> indices;
+  indices.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const double u = rng->UniformDouble() * total;
+    indices.push_back(static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin()));
+  }
+  return indices;
+}
+
+CspInstance MutateCsp(const CspInstance& csp, Rng* rng) {
+  CSPDB_CHECK(!csp.constraints().empty());
+  const int target = rng->UniformInt(
+      0, static_cast<int>(csp.constraints().size()) - 1);
+  CspInstance mutated(csp.num_variables(), csp.num_values());
+  for (int c = 0; c < static_cast<int>(csp.constraints().size()); ++c) {
+    const Constraint& constraint = csp.constraint(c);
+    std::vector<Tuple> allowed = constraint.allowed;
+    if (c == target) {
+      // Toggle one tuple: drop an allowed one, or add a random forbidden
+      // one (retrying a few times; a full relation stays full).
+      if (!allowed.empty() && rng->Bernoulli(0.5)) {
+        allowed.erase(allowed.begin() +
+                      rng->UniformInt(0, static_cast<int>(allowed.size()) - 1));
+      } else {
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          Tuple t(constraint.arity());
+          for (int& x : t) x = rng->UniformInt(0, csp.num_values() - 1);
+          if (!constraint.allowed_set.count(t)) {
+            allowed.push_back(std::move(t));
+            break;
+          }
+        }
+      }
+    }
+    mutated.AddConstraint(constraint.scope, std::move(allowed));
+  }
+  CSPDB_AUDIT(
+      AuditOrDie("mutated CSP instance", ValidateCspInstance(mutated)));
+  return mutated;
 }
 
 }  // namespace cspdb

@@ -54,6 +54,22 @@ Structure RandomTreewidthDigraph(int n, int k, double keep_p, Rng* rng);
 GraphDb RandomGraphDb(int num_nodes, int num_labels, int num_edges,
                       Rng* rng);
 
+/// `count` indices into a pool of `pool_size` items drawn from a Zipfian
+/// distribution with exponent `s` (P(i) proportional to 1/(i+1)^s): the
+/// skewed repetition profile of real query workloads, which makes cache
+/// hit-rate benchmarks reproducible (ISSUE 5). `s = 0` degenerates to
+/// uniform; larger `s` concentrates mass on low indices. Requires
+/// pool_size >= 1 and s >= 0.
+std::vector<int> ZipfianIndices(int pool_size, int count, double s,
+                                Rng* rng);
+
+/// A mutated copy of a binary (or any-arity) CSP instance: one randomly
+/// chosen constraint has one value tuple toggled (an allowed tuple
+/// removed, or a currently-forbidden tuple added). The mutation knob of
+/// the request-stream generator — mutants fingerprint differently from
+/// their base instance with overwhelming probability.
+CspInstance MutateCsp(const CspInstance& csp, Rng* rng);
+
 }  // namespace cspdb
 
 #endif  // CSPDB_GEN_GENERATORS_H_

@@ -1,0 +1,52 @@
+#include "service/request.h"
+
+namespace cspdb::service {
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSolveCsp:
+      return "solve_csp";
+    case RequestKind::kEvalCq:
+      return "eval_cq";
+    case RequestKind::kDatalogFixpoint:
+      return "datalog_fixpoint";
+    case RequestKind::kCheckContainment:
+      return "check_containment";
+  }
+  return "unknown";
+}
+
+RequestKind KindOf(const ServiceRequest& request) {
+  return static_cast<RequestKind>(request.index());
+}
+
+const char* StatusCodeName(StatusCode status) {
+  switch (status) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kRejected:
+      return "REJECTED";
+  }
+  return "unknown";
+}
+
+std::size_t AnswerApproxBytes(const EngineAnswer& answer) {
+  struct Sizer {
+    std::size_t operator()(const CspAnswer& a) const {
+      return sizeof(a) +
+             (a.solution ? a.solution->capacity() * sizeof(int) : 0);
+    }
+    std::size_t operator()(const RowsAnswer& a) const {
+      return sizeof(a) + a.rows.capacity() * sizeof(int);
+    }
+    std::size_t operator()(const DatalogAnswer& a) const {
+      return sizeof(a) + a.goal_facts.rows.capacity() * sizeof(int);
+    }
+    std::size_t operator()(const BoolAnswer& a) const { return sizeof(a); }
+  };
+  return std::visit(Sizer{}, answer);
+}
+
+}  // namespace cspdb::service

@@ -1,0 +1,130 @@
+#include "service/result_cache.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace cspdb::service {
+
+namespace {
+// Accounted per-entry overhead beyond the answer payload: list node,
+// index slot, key. A round constant keeps the arithmetic obvious.
+constexpr std::size_t kEntryOverhead = 128;
+}  // namespace
+
+ResultCache::ResultCache(CacheConfig config) : config_(config) {
+  if (config_.num_shards < 1) config_.num_shards = 1;
+  shards_.reserve(config_.num_shards);
+  for (int i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_budget_ = config_.max_bytes / shards_.size();
+}
+
+std::shared_ptr<const EngineAnswer> ResultCache::Lookup(
+    const Fingerprint& key, RequestKind kind, int64_t now_ns) {
+  if (!key.exact) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  const uint64_t current_gen =
+      generations_[static_cast<int>(kind)].load(std::memory_order_acquire);
+  const int64_t ttl = config_.ttl_ns[static_cast<int>(kind)];
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Entry& entry = *it->second;
+  const bool stale = entry.generation != current_gen ||
+                     (ttl > 0 && now_ns - entry.inserted_ns >= ttl);
+  if (stale) {
+    RemoveLocked(shard, it->second);
+    expirations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  CSPDB_COUNT("service.cache.hit");
+  return entry.answer;
+}
+
+void ResultCache::Insert(const Fingerprint& key, RequestKind kind,
+                         std::shared_ptr<const EngineAnswer> answer,
+                         int64_t now_ns) {
+  CSPDB_DCHECK(answer != nullptr);
+  if (!key.exact) return;
+  const std::size_t bytes = AnswerApproxBytes(*answer) + kEntryOverhead;
+  if (bytes > shard_budget_) return;  // would evict a whole shard: skip
+  Entry entry;
+  entry.key = key;
+  entry.kind = kind;
+  entry.answer = std::move(answer);
+  entry.bytes = bytes;
+  entry.inserted_ns = now_ns;
+  entry.generation =
+      generations_[static_cast<int>(kind)].load(std::memory_order_acquire);
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) RemoveLocked(shard, it->second);
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  CSPDB_COUNT("service.cache.insert");
+  EvictLocked(shard);
+}
+
+void ResultCache::InvalidateKind(RequestKind kind) {
+  generations_[static_cast<int>(kind)].fetch_add(1,
+                                                 std::memory_order_acq_rel);
+  CSPDB_COUNT("service.cache.invalidate_kind");
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.expirations = expirations_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.bytes += shard->bytes;
+    s.entries += static_cast<int64_t>(shard->lru.size());
+  }
+  return s;
+}
+
+void ResultCache::RemoveLocked(Shard& shard,
+                               std::list<Entry>::iterator it) {
+  shard.bytes -= it->bytes;
+  shard.index.erase(it->key);
+  shard.lru.erase(it);
+}
+
+void ResultCache::EvictLocked(Shard& shard) {
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    auto last = std::prev(shard.lru.end());
+    RemoveLocked(shard, last);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    CSPDB_COUNT("service.cache.evict");
+  }
+}
+
+}  // namespace cspdb::service

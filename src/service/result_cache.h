@@ -1,0 +1,132 @@
+// Fingerprint-keyed result cache: a sharded LRU with a byte-accounted
+// memory budget. Keys are canonical fingerprints (service/fingerprint.h),
+// values are engine answers in canonical space, so every request
+// isomorphic to a cached one hits regardless of its variable labeling.
+//
+// Negative results (UNSAT instances, empty answer sets, false
+// containments) are cached like any other complete answer — repetitive
+// workloads repeat their misses too.
+//
+// Invalidation: each request kind carries a generation counter; bumping
+// it (InvalidateKind) makes every older entry of that kind a miss, and a
+// per-kind TTL ages entries out on lookup. Both exist for engines whose
+// answers may be recomputed under changed configuration; the entries are
+// reclaimed lazily by LRU eviction.
+//
+// Thread safety: fully thread-safe. Shard mutexes are leaf locks (nothing
+// is called while holding one), keyed by the fingerprint's low word.
+
+#ifndef CSPDB_SERVICE_RESULT_CACHE_H_
+#define CSPDB_SERVICE_RESULT_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "service/fingerprint.h"
+#include "service/request.h"
+
+namespace cspdb::service {
+
+struct CacheConfig {
+  /// Total byte budget across all shards. Eviction keeps the accounted
+  /// footprint (answer bytes + per-entry overhead) at or under this.
+  std::size_t max_bytes = 64u << 20;
+
+  /// Shard count (clamped to >= 1). More shards, less lock contention.
+  int num_shards = 16;
+
+  /// Per-kind time-to-live in nanoseconds; <= 0 means entries never
+  /// expire. Indexed by RequestKind.
+  std::array<int64_t, kNumRequestKinds> ttl_ns = {-1, -1, -1, -1};
+};
+
+/// Point-in-time counters (monotonic except bytes/entries).
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;       ///< budget-driven removals
+  int64_t expirations = 0;     ///< TTL / generation removals on lookup
+  std::size_t bytes = 0;       ///< currently accounted bytes
+  int64_t entries = 0;         ///< currently resident entries
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheConfig config);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached answer for `key`, or nullptr on miss. `now_ns` is
+  /// a steady-clock timestamp for TTL checks. Refreshes LRU position.
+  /// Inexact fingerprints never hit (they are process-unique by
+  /// construction, but the fast-path check keeps intent explicit).
+  std::shared_ptr<const EngineAnswer> Lookup(const Fingerprint& key,
+                                             RequestKind kind,
+                                             int64_t now_ns);
+
+  /// Inserts (or replaces) the entry for `key`. Entries larger than the
+  /// whole budget are dropped on the floor. Inexact keys are not stored.
+  void Insert(const Fingerprint& key, RequestKind kind,
+              std::shared_ptr<const EngineAnswer> answer, int64_t now_ns);
+
+  /// Invalidates every current entry of `kind` (lazily: entries stop
+  /// hitting immediately and are reclaimed by LRU pressure or lookup).
+  void InvalidateKind(RequestKind kind);
+
+  /// Drops every entry.
+  void Clear();
+
+  CacheStats stats() const;
+  std::size_t max_bytes() const { return config_.max_bytes; }
+
+ private:
+  struct Entry {
+    Fingerprint key;
+    RequestKind kind;
+    std::shared_ptr<const EngineAnswer> answer;
+    std::size_t bytes = 0;
+    int64_t inserted_ns = 0;
+    uint64_t generation = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<Fingerprint, std::list<Entry>::iterator,
+                       FingerprintHash>
+        index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const Fingerprint& key) {
+    return *shards_[key.lo % shards_.size()];
+  }
+  // Removes `it` from `shard` (caller holds shard.mu).
+  void RemoveLocked(Shard& shard, std::list<Entry>::iterator it);
+  // Evicts LRU entries until the shard is within its budget share.
+  void EvictLocked(Shard& shard);
+
+  CacheConfig config_;
+  std::size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::array<std::atomic<uint64_t>, kNumRequestKinds> generations_{};
+
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> insertions_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> expirations_{0};
+};
+
+}  // namespace cspdb::service
+
+#endif  // CSPDB_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,318 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "csp/solver.h"
+#include "datalog/eval.h"
+#include "db/containment.h"
+#include "db/relation.h"
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace cspdb::service {
+
+namespace {
+
+constexpr uint64_t kSaltEvalCq = 0x65766171ull;
+constexpr uint64_t kSaltDatalog = 0x646c6f67ull;
+constexpr uint64_t kSaltContainment = 0x636f6e74ull;
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t AbsoluteDeadline(int64_t timeout_ns, int64_t default_timeout_ns) {
+  const int64_t t = timeout_ns > 0 ? timeout_ns : default_timeout_ns;
+  return t > 0 ? NowNs() + t : -1;
+}
+
+bool DeadlinePassed(int64_t deadline_ns) {
+  return deadline_ns > 0 && NowNs() >= deadline_ns;
+}
+
+// Sorts `tuples` lexicographically and flattens into a RowsAnswer — the
+// canonical answer order that makes responses byte-identical regardless
+// of evaluation path.
+RowsAnswer CanonicalRows(std::vector<Tuple> tuples, int arity) {
+  std::sort(tuples.begin(), tuples.end());
+  RowsAnswer out;
+  out.arity = arity;
+  out.num_rows = static_cast<int64_t>(tuples.size());
+  out.rows.reserve(tuples.size() * static_cast<std::size_t>(arity));
+  for (const Tuple& t : tuples) {
+    out.rows.insert(out.rows.end(), t.begin(), t.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+CspdbService::CspdbService(ServiceOptions options)
+    : options_(options),
+      pool_(options.pool != nullptr ? options.pool
+                                    : &exec::ThreadPool::Global()),
+      cache_(options.cache) {}
+
+CspdbService::~CspdbService() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+Response CspdbService::Handle(const ServiceRequest& request,
+                              int64_t timeout_ns) {
+  return HandleAbsolute(
+      request, AbsoluteDeadline(timeout_ns, options_.default_timeout_ns));
+}
+
+std::future<Response> CspdbService::Submit(ServiceRequest request,
+                                           int64_t timeout_ns) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  const int64_t deadline_ns =
+      AbsoluteDeadline(timeout_ns, options_.default_timeout_ns);
+
+  const int admitted = pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (options_.max_pending > 0 && admitted >= options_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    CSPDB_COUNT("service.shed.rejected");
+    Response response;
+    response.status = StatusCode::kRejected;
+    response.kind = KindOf(request);
+    promise->set_value(std::move(response));
+    return future;
+  }
+
+  pool_->Submit([this, promise, request = std::move(request), deadline_ns] {
+    promise->set_value(HandleAbsolute(request, deadline_ns));
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Lock/unlock pairs with the destructor's predicate check so a
+      // destructor that just saw pending > 0 cannot sleep through this
+      // final decrement.
+      { std::lock_guard<std::mutex> lock(drain_mu_); }
+      drain_cv_.notify_all();
+    }
+  });
+  return future;
+}
+
+ServiceStats CspdbService::stats() const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.engine_invocations =
+      engine_invocations_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.uncacheable = uncacheable_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void CspdbService::InvalidateKind(RequestKind kind) {
+  cache_.InvalidateKind(kind);
+}
+
+CspdbService::CanonicalRequest CspdbService::Canonicalize(
+    const ServiceRequest& request) const {
+  CSPDB_TIMER_SCOPE("service.canonicalize");
+  CanonicalRequest canon;
+  switch (KindOf(request)) {
+    case RequestKind::kSolveCsp: {
+      canon.csp = CanonicalizeCsp(std::get<SolveCspRequest>(request).instance);
+      canon.fingerprint = canon.csp->fingerprint;
+      break;
+    }
+    case RequestKind::kEvalCq: {
+      const auto& req = std::get<EvalCqRequest>(request);
+      canon.fingerprint = CombineFingerprints(
+          kSaltEvalCq,
+          {FingerprintQuery(req.query), FingerprintStructure(req.database)});
+      break;
+    }
+    case RequestKind::kDatalogFixpoint: {
+      const auto& req = std::get<DatalogFixpointRequest>(request);
+      canon.fingerprint = CombineFingerprints(
+          kSaltDatalog,
+          {FingerprintProgram(req.program), FingerprintStructure(req.edb)});
+      break;
+    }
+    case RequestKind::kCheckContainment: {
+      const auto& req = std::get<CheckContainmentRequest>(request);
+      canon.fingerprint = CombineFingerprints(
+          kSaltContainment,
+          {FingerprintQuery(req.q1), FingerprintQuery(req.q2)});
+      break;
+    }
+  }
+  return canon;
+}
+
+std::shared_ptr<const EngineAnswer> CspdbService::RunEngine(
+    const ServiceRequest& request, const CanonicalRequest& canon,
+    int64_t deadline_ns) {
+  engine_invocations_.fetch_add(1, std::memory_order_relaxed);
+  CSPDB_COUNT("service.engine_invocations");
+  switch (KindOf(request)) {
+    case RequestKind::kSolveCsp: {
+      CSPDB_TIMER_SCOPE("service.engine.solve_csp");
+      exec::CancellationToken cancel;
+      if (deadline_ns > 0) {
+        cancel.CancelAfter(std::chrono::nanoseconds(deadline_ns - NowNs()));
+      }
+      SolverOptions solver_options;
+      solver_options.node_limit = options_.solver_node_limit;
+      solver_options.cancel = &cancel;
+      // Always solved in canonical space: every isomorphic request maps
+      // onto the same deterministic engine run.
+      BacktrackingSolver solver(canon.csp->canonical, solver_options);
+      CspAnswer answer;
+      answer.solution = solver.Solve();
+      if (solver.stats().aborted) return nullptr;  // deadline / node budget
+      answer.complete = true;
+      return std::make_shared<const EngineAnswer>(std::move(answer));
+    }
+    case RequestKind::kEvalCq: {
+      CSPDB_TIMER_SCOPE("service.engine.eval_cq");
+      const auto& req = std::get<EvalCqRequest>(request);
+      const DbRelation result = Evaluate(req.query, req.database);
+      std::vector<Tuple> tuples;
+      tuples.reserve(result.size());
+      for (auto row : result.rows()) tuples.push_back(row.ToTuple());
+      return std::make_shared<const EngineAnswer>(
+          CanonicalRows(std::move(tuples), result.arity()));
+    }
+    case RequestKind::kDatalogFixpoint: {
+      CSPDB_TIMER_SCOPE("service.engine.datalog_fixpoint");
+      const auto& req = std::get<DatalogFixpointRequest>(request);
+      const DatalogResult result = EvaluateSemiNaive(req.program, req.edb);
+      DatalogAnswer answer;
+      answer.goal_derived = result.GoalDerived(req.program);
+      const TupleSet& goal_facts = result.Facts(req.program.goal());
+      std::vector<Tuple> tuples(goal_facts.begin(), goal_facts.end());
+      const int goal_arity =
+          std::max(0, req.program.ArityOf(req.program.goal()));
+      answer.goal_facts = CanonicalRows(std::move(tuples), goal_arity);
+      answer.total_idb_facts = 0;
+      for (const auto& [predicate, facts] : result.idb) {
+        answer.total_idb_facts += static_cast<int64_t>(facts.size());
+      }
+      return std::make_shared<const EngineAnswer>(std::move(answer));
+    }
+    case RequestKind::kCheckContainment: {
+      CSPDB_TIMER_SCOPE("service.engine.check_containment");
+      const auto& req = std::get<CheckContainmentRequest>(request);
+      BoolAnswer answer;
+      answer.value = IsContainedIn(req.q1, req.q2);
+      return std::make_shared<const EngineAnswer>(answer);
+    }
+  }
+  return nullptr;
+}
+
+EngineAnswer CspdbService::MapBack(const EngineAnswer& canonical,
+                                   const CanonicalRequest& canon) const {
+  if (!canon.csp.has_value()) return canonical;
+  const CspAnswer& in = std::get<CspAnswer>(canonical);
+  CspAnswer out;
+  out.complete = in.complete;
+  if (in.solution.has_value()) {
+    const std::vector<int>& perm = canon.csp->perm;
+    std::vector<int> solution(perm.size());
+    for (std::size_t v = 0; v < perm.size(); ++v) {
+      solution[v] = (*in.solution)[perm[v]];
+    }
+    out.solution = std::move(solution);
+  }
+  return EngineAnswer(std::move(out));
+}
+
+Response CspdbService::HandleAbsolute(const ServiceRequest& request,
+                                      int64_t deadline_ns) {
+  CSPDB_TIMER_SCOPE("service.handle");
+  const int64_t start_ns = NowNs();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  CSPDB_COUNT("service.requests");
+
+  Response response;
+  response.kind = KindOf(request);
+
+  auto finish = [&](StatusCode status) -> Response {
+    response.status = status;
+    response.latency_ns = NowNs() - start_ns;
+    if (status == StatusCode::kOk) {
+      ok_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status == StatusCode::kDeadlineExceeded) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      CSPDB_COUNT("service.shed.deadline");
+    }
+    return response;
+  };
+
+  // Shed before paying for canonicalization or an engine: a request whose
+  // deadline passed while queued gets its explicit status immediately.
+  if (DeadlinePassed(deadline_ns)) return finish(StatusCode::kDeadlineExceeded);
+
+  const CanonicalRequest canon = Canonicalize(request);
+  const bool cacheable = options_.enable_cache && canon.fingerprint.exact;
+  if (!canon.fingerprint.exact) {
+    uncacheable_.fetch_add(1, std::memory_order_relaxed);
+    CSPDB_COUNT("service.uncacheable");
+  }
+
+  if (cacheable) {
+    std::shared_ptr<const EngineAnswer> cached =
+        cache_.Lookup(canon.fingerprint, response.kind, NowNs());
+    if (cached != nullptr) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      response.cache_hit = true;
+      response.answer = MapBack(*cached, canon);
+      return finish(StatusCode::kOk);
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    CSPDB_COUNT("service.cache.miss");
+  }
+
+  if (DeadlinePassed(deadline_ns)) return finish(StatusCode::kDeadlineExceeded);
+
+  // The compute path: run the engine and make the answer durable before
+  // it is published to coalesced waiters.
+  auto compute = [&]() -> std::shared_ptr<const EngineAnswer> {
+    std::shared_ptr<const EngineAnswer> answer =
+        RunEngine(request, canon, deadline_ns);
+    if (answer != nullptr && cacheable) {
+      cache_.Insert(canon.fingerprint, response.kind, answer, NowNs());
+    }
+    return answer;
+  };
+
+  std::shared_ptr<const EngineAnswer> answer;
+  if (options_.enable_single_flight && canon.fingerprint.exact) {
+    SingleFlight::Outcome outcome =
+        single_flight_.Do(canon.fingerprint, deadline_ns, compute);
+    if (outcome.coalesced) {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      CSPDB_COUNT("service.coalesced");
+      response.coalesced = true;
+    }
+    answer = std::move(outcome.answer);
+  } else {
+    answer = compute();
+  }
+
+  if (answer == nullptr) return finish(StatusCode::kDeadlineExceeded);
+  response.answer = MapBack(*answer, canon);
+  return finish(StatusCode::kOk);
+}
+
+}  // namespace cspdb::service

@@ -1,0 +1,162 @@
+// CspdbService: the deadline-aware serving layer over the CSP/query
+// engines (tentpole of ISSUE 5; DESIGN.md "Serving layer"). A request
+// flows through four stages:
+//
+//   canonicalize -> result cache -> single-flight -> engine
+//
+// 1. The request is canonically fingerprinted (service/fingerprint.h);
+//    SolveCsp requests are additionally relabeled so the engine always
+//    sees the canonical instance and the cache stores canonical-space
+//    answers, mapped back through each requester's own permutation.
+// 2. The sharded LRU result cache (service/result_cache.h) answers
+//    repeats — including negative answers (UNSAT, empty, not-contained).
+// 3. Concurrent identical misses coalesce onto one engine run
+//    (service/single_flight.h).
+// 4. The engine runs under a CancellationToken armed with the request
+//    deadline (the CSP solver cancels mid-search; the other engines
+//    observe deadlines at request boundaries).
+//
+// Overload behaviour: Submit() maps requests onto the shared thread pool
+// behind a bounded admission count — beyond it requests are REJECTED
+// immediately, and requests whose deadline passes while queued are shed
+// with DEADLINE_EXCEEDED before touching an engine. The service never
+// queues unboundedly and never blocks a caller past its deadline.
+//
+// Determinism contract (verified by tests/service_differential_test.cc):
+// for a fixed request, the response answer is byte-identical whether it
+// was computed cold, served from cache, or coalesced onto another
+// caller's run — answers are deterministic functions of the canonical
+// request (rows in lexicographic order; the solver run on the canonical
+// instance with default options).
+
+#ifndef CSPDB_SERVICE_SERVER_H_
+#define CSPDB_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "exec/cancellation.h"
+#include "exec/thread_pool.h"
+#include "service/fingerprint.h"
+#include "service/request.h"
+#include "service/result_cache.h"
+#include "service/single_flight.h"
+
+namespace cspdb::service {
+
+struct ServiceOptions {
+  /// Pool for async Submit() work; nullptr means ThreadPool::Global().
+  exec::ThreadPool* pool = nullptr;
+
+  CacheConfig cache;
+  bool enable_cache = true;
+  bool enable_single_flight = true;
+
+  /// Admission bound for Submit(): requests beyond this many concurrently
+  /// pending (queued or executing) are REJECTED. <= 0 disables admission
+  /// control (unbounded; not recommended under load).
+  int max_pending = 1024;
+
+  /// Default per-request timeout when the caller passes none; <= 0 means
+  /// unlimited.
+  int64_t default_timeout_ns = -1;
+
+  /// Safety-valve node budget for the CSP solver; -1 = unlimited. A
+  /// budget-aborted search is reported as DEADLINE_EXCEEDED.
+  int64_t solver_node_limit = -1;
+};
+
+/// Always-compiled service counters (a per-service view of the
+/// "service.*" obs metrics, which are absent in CSPDB_OBS=OFF builds).
+struct ServiceStats {
+  int64_t requests = 0;        ///< everything submitted, any outcome
+  int64_t ok = 0;              ///< responses with StatusCode::kOk
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;    ///< exact-key lookups that missed
+  int64_t coalesced = 0;       ///< served by another request's engine run
+  int64_t engine_invocations = 0;
+  int64_t shed_deadline = 0;   ///< DEADLINE_EXCEEDED responses
+  int64_t rejected = 0;        ///< REJECTED at admission
+  int64_t uncacheable = 0;     ///< inexact fingerprint: cache bypassed
+};
+
+class CspdbService {
+ public:
+  explicit CspdbService(ServiceOptions options = {});
+
+  /// Blocks until every async submission has completed.
+  ~CspdbService();
+
+  CspdbService(const CspdbService&) = delete;
+  CspdbService& operator=(const CspdbService&) = delete;
+
+  /// Synchronous path: handles the request on the calling thread (the
+  /// engines may still fan out onto the pool internally). `timeout_ns`
+  /// is relative; <= 0 uses options.default_timeout_ns.
+  Response Handle(const ServiceRequest& request, int64_t timeout_ns = -1);
+
+  /// Asynchronous path through the admission queue and thread pool.
+  /// Returns a future that always completes: with kRejected immediately
+  /// when the admission bound is hit, with kDeadlineExceeded if the
+  /// deadline passes while queued, with the handled response otherwise.
+  std::future<Response> Submit(ServiceRequest request,
+                               int64_t timeout_ns = -1);
+
+  ServiceStats stats() const;
+
+  /// Drops every cached answer of `kind` (per-engine invalidation hook).
+  void InvalidateKind(RequestKind kind);
+
+  ResultCache& cache() { return cache_; }
+
+ private:
+  // Canonical form of a request: the cache/single-flight key, plus the
+  // relabeling data SolveCsp needs to map answers back.
+  struct CanonicalRequest {
+    Fingerprint fingerprint;
+    std::optional<CanonicalCsp> csp;  // engaged for kSolveCsp
+  };
+
+  CanonicalRequest Canonicalize(const ServiceRequest& request) const;
+
+  Response HandleAbsolute(const ServiceRequest& request, int64_t deadline_ns);
+
+  // Runs the engine for `request` (canonical instance for SolveCsp).
+  // Returns nullptr iff the run was deadline/budget-aborted.
+  std::shared_ptr<const EngineAnswer> RunEngine(
+      const ServiceRequest& request, const CanonicalRequest& canon,
+      int64_t deadline_ns);
+
+  // Converts a canonical-space answer into request space (identity for
+  // all kinds except SolveCsp, which un-relabels the solution).
+  EngineAnswer MapBack(const EngineAnswer& canonical,
+                       const CanonicalRequest& canon) const;
+
+  ServiceOptions options_;
+  exec::ThreadPool* pool_;
+  ResultCache cache_;
+  SingleFlight single_flight_;
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> ok_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> coalesced_{0};
+  std::atomic<int64_t> engine_invocations_{0};
+  std::atomic<int64_t> shed_deadline_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> uncacheable_{0};
+
+  std::atomic<int> pending_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace cspdb::service
+
+#endif  // CSPDB_SERVICE_SERVER_H_

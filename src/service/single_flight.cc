@@ -1,0 +1,131 @@
+#include "service/single_flight.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace cspdb::service {
+
+namespace {
+
+std::chrono::steady_clock::time_point ToTimePoint(int64_t deadline_ns) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(deadline_ns));
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SingleFlight::Outcome SingleFlight::Do(
+    const Fingerprint& key, int64_t deadline_ns,
+    const std::function<std::shared_ptr<const EngineAnswer>()>& compute) {
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      flight = std::make_shared<Flight>();
+      flights_.emplace(key, flight);
+      leader = true;  // Flight::running starts true
+    } else {
+      flight = it->second;
+    }
+  }
+
+  auto run_as_leader = [&]() -> Outcome {
+    std::shared_ptr<const EngineAnswer> result = compute();
+    if (result != nullptr) {
+      // Success: retire the flight *before* publishing so a late joiner
+      // either sees the published result or starts fresh (and then hits
+      // the cache the compute callback populated).
+      {
+        std::lock_guard<std::mutex> table_lock(mu_);
+        auto it = flights_.find(key);
+        if (it != flights_.end() && it->second == flight) {
+          flights_.erase(it);
+        }
+      }
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->result = result;
+      flight->done = true;
+      flight->running = false;
+      flight->cv.notify_all();
+      return Outcome{std::move(result), /*leader=*/true, /*coalesced=*/false,
+                     /*timed_out=*/false};
+    }
+    // Failure (deadline-aborted engine): hand the flight to a waiting
+    // follower for promotion, or retire it if nobody is waiting.
+    {
+      std::lock_guard<std::mutex> table_lock(mu_);
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->running = false;
+      if (flight->waiters == 0) {
+        auto it = flights_.find(key);
+        if (it != flights_.end() && it->second == flight) {
+          flights_.erase(it);
+        }
+      } else {
+        flight->cv.notify_all();
+        CSPDB_COUNT("service.single_flight.handoff");
+      }
+    }
+    return Outcome{nullptr, /*leader=*/true, /*coalesced=*/false,
+                   /*timed_out=*/false};
+  };
+
+  if (leader) return run_as_leader();
+
+  // Follower: wait for a published result, a promotion slot, or our own
+  // deadline.
+  std::unique_lock<std::mutex> lock(flight->mu);
+  ++flight->waiters;
+  for (;;) {
+    if (flight->done) {
+      --flight->waiters;
+      CSPDB_COUNT("service.single_flight.coalesced");
+      return Outcome{flight->result, /*leader=*/false, /*coalesced=*/true,
+                     /*timed_out=*/false};
+    }
+    if (!flight->running) {
+      // The previous leader failed; promote ourselves.
+      flight->running = true;
+      --flight->waiters;
+      lock.unlock();
+      CSPDB_COUNT("service.single_flight.promoted");
+      return run_as_leader();
+    }
+    if (deadline_ns > 0 && NowNs() >= deadline_ns) {
+      --flight->waiters;
+      const bool abandoned =
+          flight->waiters == 0 && !flight->running && !flight->done;
+      lock.unlock();
+      if (abandoned) {
+        // Last one out retires a dead flight (failed leader, no heir).
+        std::lock_guard<std::mutex> table_lock(mu_);
+        std::lock_guard<std::mutex> relock(flight->mu);
+        if (flight->waiters == 0 && !flight->running && !flight->done) {
+          auto it = flights_.find(key);
+          if (it != flights_.end() && it->second == flight) {
+            flights_.erase(it);
+          }
+        }
+      }
+      return Outcome{nullptr, /*leader=*/false, /*coalesced=*/false,
+                     /*timed_out=*/true};
+    }
+    if (deadline_ns > 0) {
+      flight->cv.wait_until(lock, ToTimePoint(deadline_ns));
+    } else {
+      flight->cv.wait(lock);
+    }
+  }
+}
+
+}  // namespace cspdb::service

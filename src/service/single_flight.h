@@ -1,0 +1,68 @@
+// Single-flight request coalescing: concurrent requests with the same
+// canonical fingerprint share one engine invocation. The first arrival
+// becomes the *leader* and computes; the rest become *followers* and
+// block (with their own deadlines) for the leader's published answer.
+//
+// Failure semantics: a leader whose deadline expires mid-engine publishes
+// failure instead of an answer; one waiting follower is then *promoted*
+// to leader and recomputes under its own (longer) deadline, so a caller
+// with a generous deadline is never poisoned by a stranger's tight one.
+// A follower whose own deadline passes while waiting gives up with
+// timed_out — load-shedding at the coalescing layer.
+//
+// Thread safety: fully thread-safe; the table mutex is never held while
+// `compute` runs.
+
+#ifndef CSPDB_SERVICE_SINGLE_FLIGHT_H_
+#define CSPDB_SERVICE_SINGLE_FLIGHT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "service/fingerprint.h"
+#include "service/request.h"
+
+namespace cspdb::service {
+
+class SingleFlight {
+ public:
+  struct Outcome {
+    /// The shared answer; nullptr when every attempted leader failed or
+    /// the caller timed out waiting.
+    std::shared_ptr<const EngineAnswer> answer;
+    bool leader = false;     ///< this call ran `compute` (possibly promoted)
+    bool coalesced = false;  ///< served by another caller's computation
+    bool timed_out = false;  ///< own deadline expired while waiting
+  };
+
+  /// Runs `compute` for `key`, coalescing with concurrent identical
+  /// calls. `compute` returns the answer (after making it durable, e.g.
+  /// inserting it into the result cache) or nullptr on failure
+  /// (deadline-aborted engine). `deadline_ns` is a steady-clock absolute
+  /// deadline; <= 0 means none.
+  Outcome Do(const Fingerprint& key, int64_t deadline_ns,
+             const std::function<std::shared_ptr<const EngineAnswer>()>&
+                 compute);
+
+ private:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool running = true;  ///< a leader is currently computing
+    bool done = false;    ///< result published; flight is finished
+    std::shared_ptr<const EngineAnswer> result;
+    int waiters = 0;  ///< followers currently blocked on cv
+  };
+
+  std::mutex mu_;  // guards flights_ only; leaf with respect to Flight::mu
+  std::unordered_map<Fingerprint, std::shared_ptr<Flight>, FingerprintHash>
+      flights_;
+};
+
+}  // namespace cspdb::service
+
+#endif  // CSPDB_SERVICE_SINGLE_FLIGHT_H_

@@ -1,0 +1,167 @@
+#include "service/workload.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "csp/instance.h"
+#include "datalog/program.h"
+#include "db/conjunctive_query.h"
+#include "gen/generators.h"
+#include "relational/structure.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cspdb::service {
+namespace {
+
+// A random conjunctive query over the digraph vocabulary {E/2}:
+// `num_atoms` subgoals E(x, y) with uniformly drawn variables, and a head
+// of `head_arity` uniformly drawn variables. Every variable is forced to
+// appear in the body (safety) by padding with extra atoms if needed.
+ConjunctiveQuery RandomCq(int num_variables, int num_atoms, int head_arity,
+                          Rng* rng) {
+  CSPDB_CHECK(num_variables >= 1);
+  std::vector<Atom> body;
+  std::vector<bool> used(num_variables, false);
+  for (int i = 0; i < num_atoms; ++i) {
+    const int u = rng->UniformInt(0, num_variables - 1);
+    const int v = rng->UniformInt(0, num_variables - 1);
+    used[u] = used[v] = true;
+    body.push_back({"E", {u, v}});
+  }
+  for (int v = 0; v < num_variables; ++v) {
+    if (!used[v]) body.push_back({"E", {v, rng->UniformInt(0, num_variables - 1)}});
+  }
+  std::vector<int> head;
+  head.reserve(head_arity);
+  for (int i = 0; i < head_arity; ++i) {
+    head.push_back(rng->UniformInt(0, num_variables - 1));
+  }
+  return ConjunctiveQuery(num_variables, std::move(head), std::move(body));
+}
+
+// A small family of Datalog programs: the Section 4 non-2-colorability
+// program, plus reachability variants with a random goal-marker EDB shape.
+DatalogProgram RandomDatalogProgram(Rng* rng) {
+  if (rng->Bernoulli(0.5)) return NonTwoColorabilityProgram();
+  // Transitive closure with a Boolean goal "some vertex reaches itself in
+  // >= 1 step" or "edge closure nonempty", depending on a coin flip.
+  DatalogProgram p;
+  p.AddRule({{"T", {0, 1}}, {{"E", {0, 1}}}, 2});
+  p.AddRule({{"T", {0, 1}}, {{"T", {0, 2}}, {"E", {2, 1}}}, 3});
+  if (rng->Bernoulli(0.5)) {
+    p.AddRule({{"G", {}}, {{"T", {0, 0}}}, 1});
+  } else {
+    p.AddRule({{"G", {}}, {{"T", {0, 1}}, {"T", {1, 0}}}, 2});
+  }
+  p.SetGoal("G");
+  return p;
+}
+
+}  // namespace
+
+std::vector<ServiceRequest> GenerateRequestStream(
+    const WorkloadOptions& options) {
+  CSPDB_CHECK(options.pool_size >= 1);
+  CSPDB_CHECK(options.num_requests >= 0);
+  Rng rng(options.seed);
+
+  // Base pools, one per request kind.
+  std::vector<SolveCspRequest> csp_pool;
+  std::vector<EvalCqRequest> cq_pool;
+  std::vector<DatalogFixpointRequest> datalog_pool;
+  std::vector<CheckContainmentRequest> contain_pool;
+  for (int i = 0; i < options.pool_size; ++i) {
+    csp_pool.push_back({RandomBinaryCsp(options.csp_variables,
+                                        options.csp_values,
+                                        options.csp_constraints,
+                                        options.csp_tightness, &rng)});
+    cq_pool.push_back(
+        {RandomCq(options.cq_variables, options.cq_atoms, /*head_arity=*/2,
+                  &rng),
+         RandomDigraph(options.db_nodes, options.db_edge_prob, &rng)});
+    datalog_pool.push_back(
+        {RandomDatalogProgram(&rng),
+         RandomDigraph(options.db_nodes, options.db_edge_prob, &rng)});
+    // Containment pairs share head arity (required by IsContainedIn);
+    // drawing both queries over the same variable budget keeps the
+    // canonical-database homomorphism checks small.
+    contain_pool.push_back(
+        {RandomCq(options.cq_variables, options.cq_atoms, /*head_arity=*/2,
+                  &rng),
+         RandomCq(options.cq_variables, options.cq_atoms, /*head_arity=*/2,
+                  &rng)});
+  }
+
+  // Kind mix: cumulative weights, drawn per request.
+  double w[kNumRequestKinds] = {
+      std::max(0.0, options.weight_solve_csp),
+      std::max(0.0, options.weight_eval_cq),
+      std::max(0.0, options.weight_datalog),
+      std::max(0.0, options.weight_containment)};
+  double total_weight = w[0] + w[1] + w[2] + w[3];
+  if (total_weight <= 0.0) {
+    w[0] = total_weight = 1.0;
+  }
+
+  // One Zipfian index stream per kind so each kind's pool has the same
+  // skew profile regardless of the mix.
+  std::vector<std::vector<int>> zipf(kNumRequestKinds);
+  for (int k = 0; k < kNumRequestKinds; ++k) {
+    zipf[k] = ZipfianIndices(options.pool_size, options.num_requests,
+                             options.zipf_s, &rng);
+  }
+  std::vector<int> cursor(kNumRequestKinds, 0);
+
+  std::vector<ServiceRequest> stream;
+  stream.reserve(options.num_requests);
+  for (int i = 0; i < options.num_requests; ++i) {
+    double roll = rng.UniformDouble() * total_weight;
+    int kind = 0;
+    while (kind + 1 < kNumRequestKinds && roll >= w[kind]) {
+      roll -= w[kind];
+      ++kind;
+    }
+    const int idx = zipf[kind][cursor[kind]++];
+    const bool mutate =
+        options.mutation_prob > 0.0 && rng.Bernoulli(options.mutation_prob);
+    switch (static_cast<RequestKind>(kind)) {
+      case RequestKind::kSolveCsp: {
+        SolveCspRequest r = csp_pool[idx];
+        if (mutate) r.instance = MutateCsp(r.instance, &rng);
+        stream.emplace_back(std::move(r));
+        break;
+      }
+      case RequestKind::kEvalCq: {
+        EvalCqRequest r = cq_pool[idx];
+        if (mutate) {
+          r.database =
+              RandomDigraph(options.db_nodes, options.db_edge_prob, &rng);
+        }
+        stream.emplace_back(std::move(r));
+        break;
+      }
+      case RequestKind::kDatalogFixpoint: {
+        DatalogFixpointRequest r = datalog_pool[idx];
+        if (mutate) {
+          r.edb = RandomDigraph(options.db_nodes, options.db_edge_prob, &rng);
+        }
+        stream.emplace_back(std::move(r));
+        break;
+      }
+      case RequestKind::kCheckContainment: {
+        CheckContainmentRequest r = contain_pool[idx];
+        if (mutate) {
+          r.q2 = RandomCq(options.cq_variables, options.cq_atoms,
+                          /*head_arity=*/2, &rng);
+        }
+        stream.emplace_back(std::move(r));
+        break;
+      }
+    }
+  }
+  return stream;
+}
+
+}  // namespace cspdb::service

@@ -1,0 +1,57 @@
+// Seeded request-stream generation for the serving layer: a pool of base
+// requests per engine kind, replayed with Zipfian repetition (the skewed
+// repeat profile of real CQ workloads — HyperBench, PAPERS.md) and an
+// optional mutation knob that injects never-before-seen variants. Streams
+// are fully determined by the options, so cache hit-rate benchmarks and
+// the serving smoke tests are reproducible run to run.
+
+#ifndef CSPDB_SERVICE_WORKLOAD_H_
+#define CSPDB_SERVICE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "service/request.h"
+
+namespace cspdb::service {
+
+struct WorkloadOptions {
+  uint64_t seed = 1;
+
+  int num_requests = 1000;
+
+  /// Distinct base requests per engine kind in the pool.
+  int pool_size = 16;
+
+  /// Zipfian exponent of the repetition distribution (0 = uniform).
+  double zipf_s = 1.1;
+
+  /// Probability that a drawn request is replaced by a fresh mutant of
+  /// the drawn base (a guaranteed-ish cache miss). 0 disables mutation.
+  double mutation_prob = 0.0;
+
+  /// Relative weights of the four request kinds in the stream (need not
+  /// sum to 1; all-zero falls back to SolveCsp only).
+  double weight_solve_csp = 0.4;
+  double weight_eval_cq = 0.3;
+  double weight_datalog = 0.2;
+  double weight_containment = 0.1;
+
+  /// Instance size knobs for the generated pools.
+  int csp_variables = 12;
+  int csp_values = 4;
+  int csp_constraints = 18;
+  double csp_tightness = 0.3;
+  int db_nodes = 14;
+  double db_edge_prob = 0.25;
+  int cq_variables = 4;
+  int cq_atoms = 4;
+};
+
+/// Generates a reproducible request stream (see file comment).
+std::vector<ServiceRequest> GenerateRequestStream(
+    const WorkloadOptions& options);
+
+}  // namespace cspdb::service
+
+#endif  // CSPDB_SERVICE_WORKLOAD_H_

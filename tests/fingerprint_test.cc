@@ -1,0 +1,247 @@
+// Soundness tests for the serving layer's canonical fingerprints
+// (ISSUE 5 satellite): isomorphic requests must collide, and across a
+// fuzz corpus, instances with different solution sets must never collide.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "boolean/hell_nesetril.h"
+#include "csp/instance.h"
+#include "datalog/program.h"
+#include "db/conjunctive_query.h"
+#include "gen/generators.h"
+#include "relational/structure.h"
+#include "relational/vocabulary.h"
+#include "service/fingerprint.h"
+#include "util/rng.h"
+
+namespace cspdb::service {
+namespace {
+
+// All satisfying assignments of a (small) instance by brute force.
+std::set<std::vector<int>> SolutionSet(const CspInstance& csp) {
+  std::set<std::vector<int>> solutions;
+  std::vector<int> assignment(csp.num_variables(), 0);
+  while (true) {
+    if (csp.IsSolution(assignment)) solutions.insert(assignment);
+    int i = 0;
+    for (; i < csp.num_variables(); ++i) {
+      if (++assignment[i] < csp.num_values()) break;
+      assignment[i] = 0;
+    }
+    if (i == csp.num_variables()) break;
+  }
+  return solutions;
+}
+
+// A copy of `csp` with variables renamed by `perm` (new id of old v is
+// perm[v]), constraints added in shuffled order, and each constraint's
+// tuple list shuffled. Isomorphic to `csp` by construction.
+CspInstance RenamedShuffledCopy(const CspInstance& csp,
+                                const std::vector<int>& perm, Rng* rng) {
+  std::vector<int> order(csp.constraints().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  CspInstance copy(csp.num_variables(), csp.num_values());
+  for (int c : order) {
+    const Constraint& constraint = csp.constraint(c);
+    std::vector<int> scope;
+    for (int v : constraint.scope) scope.push_back(perm[v]);
+    std::vector<Tuple> allowed = constraint.allowed;
+    std::vector<int> tuple_order(allowed.size());
+    for (std::size_t i = 0; i < tuple_order.size(); ++i) tuple_order[i] = i;
+    rng->Shuffle(&tuple_order);
+    std::vector<Tuple> shuffled;
+    for (int i : tuple_order) shuffled.push_back(allowed[i]);
+    copy.AddConstraint(std::move(scope), std::move(shuffled));
+  }
+  return copy;
+}
+
+std::vector<int> RandomPermutation(int n, Rng* rng) {
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  rng->Shuffle(&perm);
+  return perm;
+}
+
+TEST(FingerprintTest, IsomorphicCopiesCollide) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(seed + 1);
+    CspInstance csp = RandomBinaryCsp(/*num_variables=*/8, /*num_values=*/3,
+                                      /*num_constraints=*/10,
+                                      /*tightness=*/0.35, &rng);
+    CanonicalCsp base = CanonicalizeCsp(csp);
+    ASSERT_TRUE(base.fingerprint.exact) << "seed " << seed;
+
+    CspInstance copy =
+        RenamedShuffledCopy(csp, RandomPermutation(8, &rng), &rng);
+    CanonicalCsp renamed = CanonicalizeCsp(copy);
+    EXPECT_EQ(base.fingerprint, renamed.fingerprint) << "seed " << seed;
+    // The canonical instances — not just the digests — must agree: the
+    // cache serves canonical-space answers across isomorphic requests.
+    EXPECT_EQ(base.canonical.DebugString(), renamed.canonical.DebugString())
+        << "seed " << seed;
+  }
+}
+
+TEST(FingerprintTest, PermutationMapsCanonicalSolutionsBack) {
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed * 7 + 3);
+    CspInstance csp = RandomBinaryCsp(6, 3, 8, 0.3, &rng);
+    CanonicalCsp canon = CanonicalizeCsp(csp);
+    ASSERT_EQ(static_cast<int>(canon.perm.size()), csp.num_variables());
+
+    std::set<std::vector<int>> original = SolutionSet(csp);
+    std::set<std::vector<int>> canonical = SolutionSet(canon.canonical);
+    EXPECT_EQ(original.size(), canonical.size()) << "seed " << seed;
+    for (const std::vector<int>& sol : canonical) {
+      std::vector<int> mapped(csp.num_variables());
+      for (int v = 0; v < csp.num_variables(); ++v) {
+        mapped[v] = sol[canon.perm[v]];
+      }
+      EXPECT_TRUE(csp.IsSolution(mapped)) << "seed " << seed;
+    }
+  }
+}
+
+// The fuzz corpus: 500 seeded instances, brute-forced solution sets.
+// Two instances with different solution sets must never share an exact
+// fingerprint (a collision there would serve one instance's cached
+// answer for the other).
+TEST(FingerprintTest, DistinctSolutionSetsNeverCollideFuzz) {
+  struct Entry {
+    uint64_t seed;
+    std::set<std::vector<int>> solutions;
+    std::string canonical_dump;
+  };
+  std::map<std::pair<uint64_t, uint64_t>, Entry> by_fingerprint;
+  int collisions_checked = 0;
+  std::set<std::pair<uint64_t, uint64_t>> distinct;
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    Rng rng(seed);
+    CspInstance csp = RandomBinaryCsp(/*num_variables=*/6, /*num_values=*/3,
+                                      /*num_constraints=*/7,
+                                      /*tightness=*/0.4, &rng);
+    CanonicalCsp canon = CanonicalizeCsp(csp);
+    ASSERT_TRUE(canon.fingerprint.exact) << "seed " << seed;
+    std::pair<uint64_t, uint64_t> key = {canon.fingerprint.lo,
+                                         canon.fingerprint.hi};
+    distinct.insert(key);
+    Entry entry = {seed, SolutionSet(canon.canonical),
+                   canon.canonical.DebugString()};
+    auto [it, inserted] = by_fingerprint.emplace(key, std::move(entry));
+    if (!inserted) {
+      ++collisions_checked;
+      // A collision is only legal between isomorphic instances, which
+      // share a canonical form and hence canonical solution set.
+      EXPECT_EQ(it->second.canonical_dump, canon.canonical.DebugString())
+          << "unsound collision: seeds " << it->second.seed << " and "
+          << seed;
+      EXPECT_EQ(it->second.solutions, SolutionSet(canon.canonical))
+          << "seeds " << it->second.seed << " and " << seed;
+    }
+  }
+  // Random model-B instances are essentially never isomorphic: expect an
+  // (almost) collision-free corpus.
+  EXPECT_GE(distinct.size(), 498u) << "suspicious collision rate; "
+                                   << collisions_checked << " collisions";
+}
+
+TEST(FingerprintTest, MutantsGetFreshFingerprints) {
+  int changed = 0;
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(seed + 11);
+    CspInstance csp = RandomBinaryCsp(8, 3, 10, 0.3, &rng);
+    CspInstance mutant = MutateCsp(csp, &rng);
+    if (CanonicalizeCsp(mutant).fingerprint !=
+        CanonicalizeCsp(csp).fingerprint) {
+      ++changed;
+    }
+  }
+  // A toggled tuple occasionally no-ops (full relation, 16 failed add
+  // retries) but must almost always produce a fresh key.
+  EXPECT_GE(changed, 95);
+}
+
+TEST(FingerprintTest, QueryInvariantUnderExistentialRenamingAndReorder) {
+  // Q(x0, x1) :- E(x0, x2), E(x2, x3), E(x3, x1)
+  ConjunctiveQuery q(4, {0, 1},
+                     {{"E", {0, 2}}, {"E", {2, 3}}, {"E", {3, 1}}});
+  // Existentials renamed (2<->3) and body reordered.
+  ConjunctiveQuery renamed(4, {0, 1},
+                           {{"E", {2, 1}}, {"E", {0, 3}}, {"E", {3, 2}}});
+  EXPECT_EQ(FingerprintQuery(q), FingerprintQuery(renamed));
+
+  // A genuinely different body (path of length 2) must not collide.
+  ConjunctiveQuery shorter(3, {0, 1}, {{"E", {0, 2}}, {"E", {2, 1}}});
+  EXPECT_NE(FingerprintQuery(q), FingerprintQuery(shorter));
+
+  // Head order is significant: Q(x,y) and Q(y,x) have different answers.
+  ConjunctiveQuery swapped(4, {1, 0},
+                           {{"E", {0, 2}}, {"E", {2, 3}}, {"E", {3, 1}}});
+  EXPECT_NE(FingerprintQuery(q), FingerprintQuery(swapped));
+}
+
+TEST(FingerprintTest, StructureInsertionOrderIndependent) {
+  Structure a(GraphVocabulary(), 4);
+  a.AddTuple(0, {0, 1});
+  a.AddTuple(0, {1, 2});
+  a.AddTuple(0, {2, 3});
+  Structure b(GraphVocabulary(), 4);
+  b.AddTuple(0, {2, 3});
+  b.AddTuple(0, {0, 1});
+  b.AddTuple(0, {1, 2});
+  EXPECT_EQ(FingerprintStructure(a), FingerprintStructure(b));
+
+  Structure c(GraphVocabulary(), 4);
+  c.AddTuple(0, {0, 1});
+  c.AddTuple(0, {1, 2});
+  c.AddTuple(0, {3, 2});
+  EXPECT_NE(FingerprintStructure(a), FingerprintStructure(c));
+
+  // Domain size matters even with identical tuples (isolated elements
+  // change CSP/query semantics).
+  Structure d(GraphVocabulary(), 5);
+  d.AddTuple(0, {0, 1});
+  d.AddTuple(0, {1, 2});
+  d.AddTuple(0, {2, 3});
+  EXPECT_NE(FingerprintStructure(a), FingerprintStructure(d));
+}
+
+TEST(FingerprintTest, ProgramInvariantUnderRuleOrderAndLocalRenaming) {
+  DatalogProgram p = NonTwoColorabilityProgram();
+
+  // Same rules, different order, different rule-local variable ids.
+  DatalogProgram q;
+  q.AddRule({{"Q", {}}, {{"P", {0, 0}}}, 1});
+  q.AddRule({{"P", {3, 1}}, {{"P", {3, 0}}, {"E", {0, 2}}, {"E", {2, 1}}}, 4});
+  q.AddRule({{"P", {1, 0}}, {{"E", {1, 0}}}, 2});
+  q.SetGoal("Q");
+  EXPECT_EQ(FingerprintProgram(p), FingerprintProgram(q));
+
+  // Dropping the recursive rule changes the program.
+  DatalogProgram r;
+  r.AddRule({{"P", {0, 1}}, {{"E", {0, 1}}}, 2});
+  r.AddRule({{"Q", {}}, {{"P", {0, 0}}}, 1});
+  r.SetGoal("Q");
+  EXPECT_NE(FingerprintProgram(p), FingerprintProgram(r));
+}
+
+TEST(FingerprintTest, CombineIsOrderSensitiveAndInexactnessContagious) {
+  Fingerprint a{1, 2, true};
+  Fingerprint b{3, 4, true};
+  EXPECT_NE(CombineFingerprints(7, {a, b}), CombineFingerprints(7, {b, a}));
+  EXPECT_NE(CombineFingerprints(7, {a, b}), CombineFingerprints(8, {a, b}));
+  Fingerprint inexact{1, 2, false};
+  EXPECT_FALSE(CombineFingerprints(7, {a, inexact}).exact);
+}
+
+}  // namespace
+}  // namespace cspdb::service

@@ -1,0 +1,395 @@
+// Unit tests for the serving layer (ISSUE 5): cache semantics (TTL,
+// invalidation, byte budget, negative caching), admission control,
+// deadline shedding, destructor drain, and the static-storage /
+// exit-ordering regression for services built on ThreadPool::Global().
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "csp/instance.h"
+#include "exec/thread_pool.h"
+#include "gen/generators.h"
+#include "service/result_cache.h"
+#include "service/server.h"
+#include "service/workload.h"
+#include "util/rng.h"
+
+namespace cspdb::service {
+namespace {
+
+// n variables, pairwise distinct, d values: satisfiable iff n <= d.
+// With n > d this is the pigeonhole instance — exponential for
+// backtracking search, the deterministic "slow engine" of these tests.
+CspInstance AllDifferent(int n, int d) {
+  std::vector<Tuple> neq;
+  for (int x = 0; x < d; ++x) {
+    for (int y = 0; y < d; ++y) {
+      if (x != y) neq.push_back({x, y});
+    }
+  }
+  CspInstance csp(n, d);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) csp.AddConstraint({u, v}, neq);
+  }
+  return csp;
+}
+
+ServiceRequest SolveRequest(CspInstance csp) {
+  return SolveCspRequest{std::move(csp)};
+}
+
+// `k` disjoint directed 3-cycles with identical not-equal constraints
+// over 3 values (3-colorable, trivially solvable). Every vertex occurs
+// once at scope position 0 and once at position 1 with identical edge
+// content, so color refinement cannot split anything and the canonical
+// labeling search must branch 3k * 3(k-1) * ... ways — past its leaf
+// budget for k >= 5. The deterministic "pathologically symmetric"
+// instance of these tests.
+CspInstance DisjointTriangles(int k) {
+  std::vector<Tuple> neq = {{0, 1}, {0, 2}, {1, 0}, {1, 2}, {2, 0}, {2, 1}};
+  CspInstance csp(3 * k, 3);
+  for (int c = 0; c < k; ++c) {
+    const int base = 3 * c;
+    csp.AddConstraint({base, base + 1}, neq);
+    csp.AddConstraint({base + 1, base + 2}, neq);
+    csp.AddConstraint({base + 2, base}, neq);
+  }
+  return csp;
+}
+
+// Parks a blocking task on `pool`'s worker and returns once the worker
+// has actually picked it up (the pool pops LIFO, so without the ack a
+// later submission could run first).
+void OccupyWorker(exec::ThreadPool* pool, std::shared_future<void> gate) {
+  std::promise<void> started;
+  std::future<void> started_future = started.get_future();
+  pool->Submit([gate, &started] {
+    started.set_value();
+    gate.wait();
+  });
+  started_future.wait();
+}
+
+TEST(ServiceTest, RepeatAndIsomorphicRequestsHitTheCache) {
+  CspdbService service;
+  Rng rng(7);
+  CspInstance csp = RandomBinaryCsp(8, 3, 10, 0.3, &rng);
+
+  Response first = service.Handle(SolveRequest(csp));
+  ASSERT_EQ(first.status, StatusCode::kOk);
+  EXPECT_FALSE(first.cache_hit);
+
+  Response repeat = service.Handle(SolveRequest(csp));
+  ASSERT_EQ(repeat.status, StatusCode::kOk);
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(std::get<CspAnswer>(first.answer).solution,
+            std::get<CspAnswer>(repeat.answer).solution);
+
+  // An isomorphic copy (variables reversed) hits too, and its answer is
+  // valid for *its* labeling.
+  CspInstance renamed(csp.num_variables(), csp.num_values());
+  const int n = csp.num_variables();
+  for (const Constraint& c : csp.constraints()) {
+    std::vector<int> scope;
+    for (int v : c.scope) scope.push_back(n - 1 - v);
+    renamed.AddConstraint(std::move(scope), c.allowed);
+  }
+  Response iso = service.Handle(SolveRequest(renamed));
+  ASSERT_EQ(iso.status, StatusCode::kOk);
+  EXPECT_TRUE(iso.cache_hit);
+  const CspAnswer& answer = std::get<CspAnswer>(iso.answer);
+  ASSERT_TRUE(answer.solution.has_value());
+  EXPECT_TRUE(renamed.IsSolution(*answer.solution));
+
+  EXPECT_EQ(service.stats().engine_invocations, 1);
+  EXPECT_EQ(service.stats().cache_hits, 2);
+}
+
+TEST(ServiceTest, NegativeAnswersAreCached) {
+  CspdbService service;
+  // Unsatisfiable: 3 pigeons, 2 holes.
+  ServiceRequest request = SolveRequest(AllDifferent(3, 2));
+  Response first = service.Handle(request);
+  ASSERT_EQ(first.status, StatusCode::kOk);
+  EXPECT_FALSE(std::get<CspAnswer>(first.answer).solution.has_value());
+
+  Response repeat = service.Handle(request);
+  ASSERT_EQ(repeat.status, StatusCode::kOk);
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_FALSE(std::get<CspAnswer>(repeat.answer).solution.has_value());
+  EXPECT_EQ(service.stats().engine_invocations, 1);
+}
+
+TEST(ServiceTest, InvalidateKindForcesRecompute) {
+  CspdbService service;
+  Rng rng(11);
+  ServiceRequest request = SolveRequest(RandomBinaryCsp(8, 3, 10, 0.3, &rng));
+  EXPECT_EQ(service.Handle(request).status, StatusCode::kOk);
+  service.InvalidateKind(RequestKind::kSolveCsp);
+  Response after = service.Handle(request);
+  EXPECT_EQ(after.status, StatusCode::kOk);
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(service.stats().engine_invocations, 2);
+}
+
+TEST(ServiceTest, CacheCanBeDisabled) {
+  ServiceOptions options;
+  options.enable_cache = false;
+  CspdbService service(options);
+  Rng rng(13);
+  ServiceRequest request = SolveRequest(RandomBinaryCsp(8, 3, 10, 0.3, &rng));
+  service.Handle(request);
+  Response repeat = service.Handle(request);
+  EXPECT_FALSE(repeat.cache_hit);
+  EXPECT_EQ(service.stats().engine_invocations, 2);
+  EXPECT_EQ(service.stats().cache_hits, 0);
+}
+
+TEST(ServiceTest, HighlySymmetricInstanceDegradesToUncacheable) {
+  // Five identical disjoint triangles: the canonical labeling search
+  // blows its leaf budget, so the fingerprint is inexact and the request
+  // bypasses cache and single-flight (soundness over hit rate).
+  CspdbService service;
+  ServiceRequest request = SolveRequest(DisjointTriangles(5));
+  Response first = service.Handle(request);
+  ASSERT_EQ(first.status, StatusCode::kOk);
+  EXPECT_TRUE(std::get<CspAnswer>(first.answer).solution.has_value());
+  Response repeat = service.Handle(request);
+  ASSERT_EQ(repeat.status, StatusCode::kOk);
+  EXPECT_FALSE(repeat.cache_hit);
+  EXPECT_EQ(service.stats().uncacheable, 2);
+  EXPECT_EQ(service.stats().engine_invocations, 2);
+}
+
+// --- ResultCache unit tests (deterministic timestamps) ---
+
+std::shared_ptr<const EngineAnswer> RowsOfBytes(int ints) {
+  RowsAnswer rows;
+  rows.arity = 1;
+  rows.num_rows = ints;
+  rows.rows.assign(ints, 42);
+  return std::make_shared<const EngineAnswer>(std::move(rows));
+}
+
+TEST(ResultCacheTest, TtlExpiresEntries) {
+  CacheConfig config;
+  config.ttl_ns[static_cast<int>(RequestKind::kSolveCsp)] = 100;
+  ResultCache cache(config);
+  Fingerprint key{1, 2, true};
+  cache.Insert(key, RequestKind::kSolveCsp, RowsOfBytes(4), /*now_ns=*/0);
+  EXPECT_NE(cache.Lookup(key, RequestKind::kSolveCsp, 50), nullptr);
+  EXPECT_EQ(cache.Lookup(key, RequestKind::kSolveCsp, 150), nullptr);
+  EXPECT_EQ(cache.stats().expirations, 1);
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST(ResultCacheTest, PerKindInvalidation) {
+  ResultCache cache(CacheConfig{});
+  Fingerprint csp_key{1, 2, true};
+  Fingerprint cq_key{3, 4, true};
+  cache.Insert(csp_key, RequestKind::kSolveCsp, RowsOfBytes(4), 0);
+  cache.Insert(cq_key, RequestKind::kEvalCq, RowsOfBytes(4), 0);
+  cache.InvalidateKind(RequestKind::kSolveCsp);
+  EXPECT_EQ(cache.Lookup(csp_key, RequestKind::kSolveCsp, 1), nullptr);
+  EXPECT_NE(cache.Lookup(cq_key, RequestKind::kEvalCq, 1), nullptr);
+}
+
+TEST(ResultCacheTest, ByteBudgetDrivesLruEviction) {
+  CacheConfig config;
+  config.max_bytes = 4096;
+  config.num_shards = 1;
+  ResultCache cache(config);
+  // Each entry ~128B overhead + 400B payload; ~7 fit in 4096.
+  for (uint64_t i = 0; i < 32; ++i) {
+    cache.Insert({i, i, true}, RequestKind::kEvalCq, RowsOfBytes(100), 0);
+    EXPECT_LE(cache.stats().bytes, config.max_bytes) << "after insert " << i;
+  }
+  CacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_GT(stats.entries, 0);
+  // Oldest gone, newest resident.
+  EXPECT_EQ(cache.Lookup({0, 0, true}, RequestKind::kEvalCq, 1), nullptr);
+  EXPECT_NE(cache.Lookup({31, 31, true}, RequestKind::kEvalCq, 1), nullptr);
+}
+
+TEST(ResultCacheTest, OversizedEntryIsDropped) {
+  CacheConfig config;
+  config.max_bytes = 1024;
+  config.num_shards = 1;
+  ResultCache cache(config);
+  cache.Insert({9, 9, true}, RequestKind::kEvalCq, RowsOfBytes(10000), 0);
+  EXPECT_EQ(cache.Lookup({9, 9, true}, RequestKind::kEvalCq, 1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(ResultCacheTest, InexactKeysNeverStoredOrHit) {
+  ResultCache cache(CacheConfig{});
+  Fingerprint inexact{5, 6, false};
+  cache.Insert(inexact, RequestKind::kSolveCsp, RowsOfBytes(4), 0);
+  EXPECT_EQ(cache.Lookup(inexact, RequestKind::kSolveCsp, 1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+// --- admission / deadline behaviour ---
+
+TEST(ServiceTest, AdmissionRejectsBeyondMaxPending) {
+  exec::ThreadPool pool(1);
+  // Occupy the pool's only worker so admitted submissions stay pending.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  OccupyWorker(&pool, gate);
+
+  ServiceOptions options;
+  options.pool = &pool;
+  options.max_pending = 2;
+  Rng rng(17);
+  CspInstance csp = RandomBinaryCsp(6, 3, 7, 0.3, &rng);
+  {
+    CspdbService service(options);
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 5; ++i) {
+      futures.push_back(service.Submit(SolveRequest(csp)));
+    }
+    // Beyond max_pending the service rejects immediately, without
+    // touching the (blocked) pool.
+    int rejected = 0;
+    for (int i = 2; i < 5; ++i) {
+      ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      if (futures[i].get().status == StatusCode::kRejected) ++rejected;
+    }
+    EXPECT_EQ(rejected, 3);
+    EXPECT_EQ(service.stats().rejected, 3);
+
+    release.set_value();
+    EXPECT_EQ(futures[0].get().status, StatusCode::kOk);
+    EXPECT_EQ(futures[1].get().status, StatusCode::kOk);
+  }  // service drains before the pool is destroyed
+}
+
+TEST(ServiceTest, DeadlinePassedWhileQueuedShedsExplicitly) {
+  exec::ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  OccupyWorker(&pool, gate);
+
+  ServiceOptions options;
+  options.pool = &pool;
+  Rng rng(19);
+  CspInstance csp = RandomBinaryCsp(6, 3, 7, 0.3, &rng);
+  {
+    CspdbService service(options);
+    std::future<Response> future =
+        service.Submit(SolveRequest(csp), /*timeout_ns=*/1'000'000);  // 1ms
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release.set_value();
+    Response response = future.get();
+    EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(service.stats().shed_deadline, 1);
+    EXPECT_EQ(service.stats().engine_invocations, 0);
+  }
+}
+
+TEST(ServiceTest, ExpiredDeadlineShedsBeforeTheEngine) {
+  CspdbService service;
+  Rng rng(23);
+  Response response =
+      service.Handle(SolveRequest(RandomBinaryCsp(6, 3, 7, 0.3, &rng)),
+                     /*timeout_ns=*/1);
+  EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().engine_invocations, 0);
+}
+
+TEST(ServiceTest, NodeBudgetAbortsSearchMidEngine) {
+  // Pigeonhole 11-into-10 is exponential; a small node budget aborts the
+  // search deterministically (no wall-clock dependence) and the service
+  // reports the shed explicitly. Nothing is cached for the aborted run.
+  ServiceOptions options;
+  options.solver_node_limit = 200;
+  CspdbService service(options);
+  ServiceRequest request = SolveRequest(AllDifferent(11, 10));
+  Response response = service.Handle(request);
+  EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().engine_invocations, 1);
+  Response again = service.Handle(request);
+  EXPECT_EQ(again.status, StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(service.stats().engine_invocations, 2);
+}
+
+TEST(ServiceTest, DeadlineCancelsSolverMidSearch) {
+  CspdbService service;
+  // Exponential instance, 50ms budget: the cancellation token stops the
+  // search long before it completes.
+  Response response = service.Handle(SolveRequest(AllDifferent(40, 39)),
+                                     /*timeout_ns=*/50'000'000);
+  EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+  EXPECT_GE(service.stats().shed_deadline, 1);
+}
+
+TEST(ServiceTest, DestructorDrainsInFlightSubmissions) {
+  exec::ThreadPool pool(2);
+  std::vector<std::future<Response>> futures;
+  Rng rng(29);
+  {
+    ServiceOptions options;
+    options.pool = &pool;
+    CspdbService service(options);
+    for (int i = 0; i < 40; ++i) {
+      futures.push_back(
+          service.Submit(SolveRequest(RandomBinaryCsp(7, 3, 8, 0.3, &rng))));
+    }
+    // Destroyed with work in flight: the destructor must block until all
+    // 40 submissions completed (otherwise their lambdas would touch a
+    // dead service, and the pool destructor would CHECK-fail on
+    // non-empty queues).
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(f.get().status, StatusCode::kOk);
+  }
+}
+
+TEST(ServiceTest, CacheBudgetHoldsUnderWorkloadReplay) {
+  ServiceOptions options;
+  options.cache.max_bytes = 16 << 10;
+  options.cache.num_shards = 2;
+  CspdbService service(options);
+  WorkloadOptions workload;
+  workload.num_requests = 150;
+  workload.pool_size = 8;
+  workload.seed = 5;
+  for (ServiceRequest& request : GenerateRequestStream(workload)) {
+    ASSERT_EQ(service.Handle(request).status, StatusCode::kOk);
+    ASSERT_LE(service.cache().stats().bytes, options.cache.max_bytes);
+  }
+  EXPECT_GT(service.stats().cache_hits, 0);
+}
+
+// Exit-ordering regression (ISSUE 5 satellite): a service with static
+// storage duration, backed by the leaked ThreadPool::Global(), must let
+// the process exit cleanly — its destructor (run during static
+// teardown) drains via Global()'s still-alive workers, and any spans
+// emitted after the tracer's atexit flush are dropped, not crashed on.
+// The assertion is the test *binary* exiting 0 after this test ran.
+TEST(ServiceTest, StaticStorageServiceSurvivesProcessExit) {
+  static CspdbService service;
+  Rng rng(31);
+  std::future<Response> future =
+      service.Submit(SolveRequest(RandomBinaryCsp(7, 3, 8, 0.3, &rng)));
+  EXPECT_EQ(future.get().status, StatusCode::kOk);
+  // Leave one more submission racing process teardown paths: it still
+  // completes inside the static destructor's drain.
+  service.Submit(SolveRequest(RandomBinaryCsp(7, 3, 8, 0.3, &rng)));
+}
+
+}  // namespace
+}  // namespace cspdb::service
