@@ -39,6 +39,13 @@ std::shared_ptr<const EngineAnswer> ResultCache::Lookup(
     return nullptr;
   }
   Entry& entry = *it->second;
+  if (entry.kind != kind) {
+    // Cross-kind fingerprint collision (the kind salts make this a
+    // 128-bit event, but Insert replaces whatever holds the key): never
+    // serve an answer variant the caller did not ask for.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   const bool stale = entry.generation != current_gen ||
                      (ttl > 0 && now_ns - entry.inserted_ns >= ttl);
   if (stale) {

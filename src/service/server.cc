@@ -75,6 +75,7 @@ std::future<Response> CspdbService::Submit(ServiceRequest request,
                                            int64_t timeout_ns) {
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> future = promise->get_future();
+  const int64_t start_ns = NowNs();
   const int64_t deadline_ns =
       AbsoluteDeadline(timeout_ns, options_.default_timeout_ns);
 
@@ -87,17 +88,27 @@ std::future<Response> CspdbService::Submit(ServiceRequest request,
     Response response;
     response.status = StatusCode::kRejected;
     response.kind = KindOf(request);
+    // Stamp latency like every finish() path does, so rejections are
+    // distinguishable from genuinely-zero-latency responses in replays.
+    response.latency_ns = NowNs() - start_ns;
     promise->set_value(std::move(response));
     return future;
   }
 
   pool_->Submit([this, promise, request = std::move(request), deadline_ns] {
-    promise->set_value(HandleAbsolute(request, deadline_ns));
+    try {
+      promise->set_value(HandleAbsolute(request, deadline_ns));
+    } catch (...) {
+      // The future must always complete and pending_ must always drop,
+      // or Submit callers hang and the destructor's drain never finishes.
+      promise->set_exception(std::current_exception());
+    }
+    // Decrement and notify while holding drain_mu_: the destructor may
+    // destroy drain_mu_/drain_cv_ the moment its wait observes
+    // pending_ == 0, so the zero transition and the notify must both
+    // happen before it can re-acquire the lock and return.
+    std::lock_guard<std::mutex> lock(drain_mu_);
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Lock/unlock pairs with the destructor's predicate check so a
-      // destructor that just saw pending > 0 cannot sleep through this
-      // final decrement.
-      { std::lock_guard<std::mutex> lock(drain_mu_); }
       drain_cv_.notify_all();
     }
   });

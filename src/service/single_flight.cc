@@ -93,14 +93,9 @@ SingleFlight::Outcome SingleFlight::Do(
       return Outcome{flight->result, /*leader=*/false, /*coalesced=*/true,
                      /*timed_out=*/false};
     }
-    if (!flight->running) {
-      // The previous leader failed; promote ourselves.
-      flight->running = true;
-      --flight->waiters;
-      lock.unlock();
-      CSPDB_COUNT("service.single_flight.promoted");
-      return run_as_leader();
-    }
+    // Deadline before promotion: an expired follower must time out, not
+    // become a doomed leader whose engine run immediately aborts and
+    // hands the flight down a chain of equally-expired waiters.
     if (deadline_ns > 0 && NowNs() >= deadline_ns) {
       --flight->waiters;
       const bool abandoned =
@@ -119,6 +114,14 @@ SingleFlight::Outcome SingleFlight::Do(
       }
       return Outcome{nullptr, /*leader=*/false, /*coalesced=*/false,
                      /*timed_out=*/true};
+    }
+    if (!flight->running) {
+      // The previous leader failed; promote ourselves.
+      flight->running = true;
+      --flight->waiters;
+      lock.unlock();
+      CSPDB_COUNT("service.single_flight.promoted");
+      return run_as_leader();
     }
     if (deadline_ns > 0) {
       flight->cv.wait_until(lock, ToTimePoint(deadline_ns));
