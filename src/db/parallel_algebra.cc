@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "db/algebra.h"
 #include "db/join_key.h"
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/sync.h"
 
 namespace cspdb {
 namespace {
@@ -178,10 +178,11 @@ void FullReducerParallel(const JoinForest& forest,
   std::atomic<int64_t> removed{0};
   // Semijoins into the same parent commute exactly (Semijoin keeps probe
   // rows in order), so a per-parent mutex is enough for determinism.
-  std::vector<std::unique_ptr<std::mutex>> node_mu(n);
-  for (auto& mu : node_mu) mu = std::make_unique<std::mutex>();
+  // Leaf locks: Semijoin acquires nothing, so no ordering constraint.
+  std::vector<std::unique_ptr<util::Mutex>> node_mu(n);
+  for (auto& mu : node_mu) mu = std::make_unique<util::Mutex>();
   auto reduce = [&](int target, int with) {
-    std::lock_guard<std::mutex> lock(*node_mu[target]);
+    util::MutexLock lock(*node_mu[target]);
     const int64_t before = static_cast<int64_t>((*relations)[target].size());
     (*relations)[target] =
         Semijoin((*relations)[target], (*relations)[with]);

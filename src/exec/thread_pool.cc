@@ -32,18 +32,16 @@ ThreadPool::ThreadPool(int num_threads) {
   // trace track): callers may start a trace session or tear the pool
   // down immediately after construction, and both must observe fully
   // started workers.
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  started_cv_.wait(lock, [this, num_threads] {
-    return started_ == num_threads;
-  });
+  util::MutexLock lock(idle_mu_);
+  while (started_ != num_threads) started_cv_.Wait(idle_mu_);
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    util::MutexLock lock(idle_mu_);
     stop_.store(true, std::memory_order_relaxed);
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
   // Every scheduling primitive is blocking or group-scoped, so a
   // destroyed pool must have drained; dropped tasks would be a bug.
@@ -61,21 +59,21 @@ void ThreadPool::Submit(std::function<void()> fn) {
   const std::size_t target =
       submit_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    util::MutexLock lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(fn));
   }
   queued_.fetch_add(1, std::memory_order_release);
   // Lock/unlock pairs with the worker's predicate check so a worker that
   // just found the queues empty cannot sleep through this submit.
-  { std::lock_guard<std::mutex> lock(idle_mu_); }
-  idle_cv_.notify_one();
+  { util::MutexLock lock(idle_mu_); }
+  idle_cv_.NotifyOne();
 }
 
 std::function<void()> ThreadPool::TakeTask(int home) {
   const int n = static_cast<int>(queues_.size());
   if (home >= 0) {
     WorkerQueue& own = *queues_[home];
-    std::lock_guard<std::mutex> lock(own.mu);
+    util::MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       std::function<void()> fn = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -87,7 +85,7 @@ std::function<void()> ThreadPool::TakeTask(int home) {
     const int victim = (home < 0 ? k : (home + 1 + k) % n);
     if (victim == home) continue;
     WorkerQueue& q = *queues_[victim];
-    std::lock_guard<std::mutex> lock(q.mu);
+    util::MutexLock lock(q.mu);
     if (!q.tasks.empty()) {
       std::function<void()> fn = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -109,21 +107,21 @@ void ThreadPool::WorkerLoop(int worker_index) {
   obs::TraceSession::SetCurrentThreadName(
       worker_names_[worker_index].c_str());
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    util::MutexLock lock(idle_mu_);
     ++started_;
   }
-  started_cv_.notify_one();
+  started_cv_.NotifyOne();
   while (true) {
     std::function<void()> fn = TakeTask(worker_index);
     if (fn != nullptr) {
       fn();
       continue;
     }
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_relaxed) ||
-             queued_.load(std::memory_order_acquire) > 0;
-    });
+    util::MutexLock lock(idle_mu_);
+    while (!stop_.load(std::memory_order_relaxed) &&
+           queued_.load(std::memory_order_acquire) <= 0) {
+      idle_cv_.Wait(idle_mu_);
+    }
     if (stop_.load(std::memory_order_relaxed) &&
         queued_.load(std::memory_order_acquire) == 0) {
       return;
@@ -163,32 +161,33 @@ void ThreadPool::ParallelFor(
 
 void TaskGroup::Run(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Submit([this, fn = std::move(fn)] {
     fn();
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     // Notify while still holding mu_: the moment the lock is released a
     // waiter may observe pending_ == 0 and destroy the group, so the
     // broadcast must finish first (cv destroy-while-notify race).
-    if (--pending_ == 0) cv_.notify_all();
+    if (--pending_ == 0) cv_.NotifyAll();
   });
 }
 
 void TaskGroup::Wait() {
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (pending_ == 0) return;
     }
     // Help instead of blocking so nested Wait() inside pool tasks cannot
     // starve the pool; fall back to a short timed sleep when every queue
-    // is empty (our tasks are in flight on other threads).
+    // is empty (our tasks are in flight on other threads). A spurious
+    // wake just loops back around to helping — no predicate needed.
     if (pool_->RunOneTask()) continue;
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, std::chrono::milliseconds(1),
-                 [this] { return pending_ == 0; });
+    util::MutexLock lock(mu_);
+    if (pending_ == 0) return;
+    cv_.WaitFor(mu_, std::chrono::milliseconds(1));
     if (pending_ == 0) return;
   }
 }

@@ -30,15 +30,15 @@
 #define CSPDB_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace cspdb::exec {
 
@@ -92,8 +92,10 @@ class ThreadPool {
   friend class TaskGroup;
 
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    // Leaf lock in the pool: nothing else is acquired while holding it
+    // (Submit releases it before touching idle_mu_).
+    util::Mutex mu;
+    std::deque<std::function<void()>> tasks CSPDB_GUARDED_BY(mu);
   };
 
   void WorkerLoop(int worker_index);
@@ -114,14 +116,15 @@ class ThreadPool {
   std::atomic<int64_t> queued_{0};  // tasks pushed, not yet popped
   std::atomic<bool> stop_{false};
 
-  // Sleep/wake management for idle workers.
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  // Sleep/wake management for idle workers. Never held together with a
+  // WorkerQueue::mu.
+  util::Mutex idle_mu_;
+  util::CondVar idle_cv_;
 
-  // Startup latch (guarded by idle_mu_): the constructor blocks until
-  // every worker has entered its loop and registered its trace track.
-  int started_ = 0;
-  std::condition_variable started_cv_;
+  // Startup latch: the constructor blocks until every worker has entered
+  // its loop and registered its trace track.
+  int started_ CSPDB_GUARDED_BY(idle_mu_) = 0;
+  util::CondVar started_cv_;
 };
 
 /// A fork/join scope: Run() spawns tasks on the pool, Wait() blocks until
@@ -146,9 +149,11 @@ class TaskGroup {
 
  private:
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t pending_ = 0;  // guarded by mu_
+  // Acquired only after every pool lock is released (tasks run lock-free;
+  // Wait helps via RunOneTask before touching mu_).
+  util::Mutex mu_;
+  util::CondVar cv_;
+  int64_t pending_ CSPDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cspdb::exec

@@ -11,7 +11,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -21,7 +21,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -30,7 +30,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Timer& MetricsRegistry::GetTimer(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = timers_.find(name);
   if (it == timers_.end()) {
     it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
@@ -39,12 +39,12 @@ Timer& MetricsRegistry::GetTimer(std::string_view name) {
 }
 
 bool MetricsRegistry::HasCounter(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ReaderLock lock(mu_);
   return counters_.find(name) != counters_.end();
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ReaderLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->value();
@@ -125,7 +125,9 @@ std::string MetricsRegistry::SnapshotJson() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Reader lock is enough: the maps are only read, and the metric
+  // objects reset through their own atomics.
+  util::ReaderLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, timer] : timers_) timer->Reset();

@@ -17,9 +17,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/sync.h"
 
 namespace cspdb::obs {
 
@@ -88,9 +89,10 @@ struct MetricsSnapshot {
   std::map<std::string, TimerValue> timers;
 };
 
-/// The process-wide registry. Registration takes a mutex; increments on
-/// returned handles are lock-free. Names are conventionally
-/// dot-separated, subsystem first ("csp.nodes", "gac.revisions",
+/// The process-wide registry. Registration takes a writer lock,
+/// snapshots and existence checks a reader lock; increments on returned
+/// handles are lock-free. Names are conventionally dot-separated,
+/// subsystem first ("csp.nodes", "gac.revisions",
 /// "db.semijoin.rows_removed").
 class MetricsRegistry {
  public:
@@ -119,11 +121,17 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  // node-based maps: handle addresses are stable across registrations.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  // Leaf lock: nothing is acquired while holding it. The maps are
+  // guarded; the Counter/Gauge/Timer objects they own are not (their
+  // state is atomic, and handle addresses are stable across
+  // registrations because the maps are node-based).
+  mutable util::SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CSPDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CSPDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_
+      CSPDB_GUARDED_BY(mu_);
 };
 
 }  // namespace cspdb::obs

@@ -45,11 +45,13 @@ uint64_t TraceSession::CurrentTid() {
 
 void TraceSession::SetCurrentThreadName(const char* name) {
   TraceSession& session = Global();
-  std::lock_guard<std::mutex> lock(session.mu_);
+  util::MutexLock lock(session.mu_);
   session.thread_names_[CurrentTid()] = name;
 }
 
 TraceSession::TraceSession() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, inside the
+  // magic-static constructor of Global() — no concurrent setenv exists.
   const char* path = std::getenv("CSPDB_TRACE");
   if (path != nullptr && path[0] != '\0') {
     Start(path);
@@ -62,8 +64,12 @@ TraceSession& TraceSession::Global() {
 }
 
 void TraceSession::Start(const std::string& path) {
-  Stop();
-  std::lock_guard<std::mutex> lock(mu_);
+  // One critical section for the whole transition: the old session (if
+  // any) is flushed and the new one armed without a window where a
+  // racing Record() could deposit an event against a half-switched
+  // path_/t0_ns_ (previously Stop() ran before the lock was taken).
+  util::MutexLock lock(mu_);
+  StopLocked();
   path_ = path;
   events_.clear();
   t0_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -81,14 +87,22 @@ void TraceSession::Start(const std::string& path) {
 }
 
 void TraceSession::Stop() {
+  util::MutexLock lock(mu_);
+  StopLocked();
+}
+
+void TraceSession::StopLocked() {
+  // The enabled_ check-then-clear races with concurrent Stop()/Start()
+  // were real (two Stops could both flush; a Stop could disable a
+  // just-started session's flag after its buffer swap) — transitions
+  // now happen only with mu_ held.
   if (!enabled_.load(std::memory_order_relaxed)) return;
   enabled_.store(false, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
   WriteFileLocked();
 }
 
 void TraceSession::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (path_.empty()) return;
   WriteFileLocked();
 }
@@ -102,9 +116,14 @@ int64_t TraceSession::NowNs() const {
 
 void TraceSession::Record(char phase, const char* name, int64_t arg) {
   if (!enabled_.load(std::memory_order_relaxed)) return;
-  const int64_t ts = NowNs();
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back({phase, name, ts, CurrentTid(), arg});
+  util::MutexLock lock(mu_);
+  // Re-check under the lock: a Stop() that won the race must not see a
+  // straggler land in the next session's cleared buffer. The timestamp
+  // is also taken here — NowNs() reads t0_ns_, which a concurrent
+  // Start() rewrites (previously an unguarded read, flagged by the
+  // thread-safety analysis).
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  events_.push_back({phase, name, NowNs(), CurrentTid(), arg});
 }
 
 void TraceSession::BeginSpan(const char* name) { Record('B', name, 0); }

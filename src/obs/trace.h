@@ -17,9 +17,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace cspdb::obs {
 
@@ -82,18 +83,25 @@ class TraceSession {
   };
 
   void Record(char phase, const char* name, int64_t arg);
-  int64_t NowNs() const;
+  // Session-relative timestamp; reads t0_ns_, so the caller holds mu_.
+  int64_t NowNs() const CSPDB_REQUIRES(mu_);
   // Rewrites the output file from the full event buffer (the file is
-  // valid JSON after every flush); caller holds mu_.
-  void WriteFileLocked();
+  // valid JSON after every flush).
+  void WriteFileLocked() CSPDB_REQUIRES(mu_);
+  // Disables recording and flushes; shared by Stop() and Start().
+  void StopLocked() CSPDB_REQUIRES(mu_);
 
+  // enabled_ is the lock-free fast-path flag read by every emit site;
+  // its transitions happen only under mu_, so Start/Stop/Record cannot
+  // interleave half-switched (a racer past the relaxed fast path
+  // re-checks under the lock).
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::string path_;
-  std::vector<Event> events_;
+  mutable util::Mutex mu_;
+  std::string path_ CSPDB_GUARDED_BY(mu_);
+  std::vector<Event> events_ CSPDB_GUARDED_BY(mu_);
   // tid -> human-readable track name; persists across Start/Stop cycles.
-  std::map<uint64_t, std::string> thread_names_;
-  int64_t t0_ns_ = 0;
+  std::map<uint64_t, std::string> thread_names_ CSPDB_GUARDED_BY(mu_);
+  int64_t t0_ns_ CSPDB_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span: begin on construction, end on destruction. Does nothing if

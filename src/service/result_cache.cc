@@ -32,7 +32,7 @@ std::shared_ptr<const EngineAnswer> ResultCache::Lookup(
       generations_[static_cast<int>(kind)].load(std::memory_order_acquire);
   const int64_t ttl = config_.ttl_ns[static_cast<int>(kind)];
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -77,7 +77,7 @@ void ResultCache::Insert(const Fingerprint& key, RequestKind kind,
       generations_[static_cast<int>(kind)].load(std::memory_order_acquire);
 
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) RemoveLocked(shard, it->second);
   shard.lru.push_front(std::move(entry));
@@ -96,7 +96,7 @@ void ResultCache::InvalidateKind(RequestKind kind) {
 
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
@@ -111,7 +111,7 @@ CacheStats ResultCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.expirations = expirations_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     s.bytes += shard->bytes;
     s.entries += static_cast<int64_t>(shard->lru.size());
   }

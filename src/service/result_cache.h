@@ -25,12 +25,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "service/fingerprint.h"
 #include "service/request.h"
+#include "util/sync.h"
 
 namespace cspdb::service {
 
@@ -99,21 +99,25 @@ class ResultCache {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
+    // Leaf lock in the serving layer's hierarchy: single-flight and
+    // engine code may call into the cache, but nothing is called while
+    // a shard is held.
+    util::Mutex mu;
+    std::list<Entry> lru CSPDB_GUARDED_BY(mu);  // front = most recent
     std::unordered_map<Fingerprint, std::list<Entry>::iterator,
                        FingerprintHash>
-        index;
-    std::size_t bytes = 0;
+        index CSPDB_GUARDED_BY(mu);
+    std::size_t bytes CSPDB_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Fingerprint& key) {
     return *shards_[key.lo % shards_.size()];
   }
-  // Removes `it` from `shard` (caller holds shard.mu).
-  void RemoveLocked(Shard& shard, std::list<Entry>::iterator it);
+  // Removes `it` from `shard`.
+  void RemoveLocked(Shard& shard, std::list<Entry>::iterator it)
+      CSPDB_REQUIRES(shard.mu);
   // Evicts LRU entries until the shard is within its budget share.
-  void EvictLocked(Shard& shard);
+  void EvictLocked(Shard& shard) CSPDB_REQUIRES(shard.mu);
 
   CacheConfig config_;
   std::size_t shard_budget_ = 0;

@@ -59,10 +59,10 @@ CspdbService::CspdbService(ServiceOptions options)
       cache_(options.cache) {}
 
 CspdbService::~CspdbService() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [this] {
-    return pending_.load(std::memory_order_acquire) == 0;
-  });
+  util::MutexLock lock(drain_mu_);
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    drain_cv_.Wait(drain_mu_);
+  }
 }
 
 Response CspdbService::Handle(const ServiceRequest& request,
@@ -81,7 +81,16 @@ std::future<Response> CspdbService::Submit(ServiceRequest request,
 
   const int admitted = pending_.fetch_add(1, std::memory_order_acq_rel);
   if (options_.max_pending > 0 && admitted >= options_.max_pending) {
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      // Decrement under drain_mu_ with a notify, like the task path: a
+      // rejected Submit racing the last completing task used to drop
+      // pending_ to zero silently, leaving a draining destructor waiting
+      // on a notification that never comes.
+      util::MutexLock lock(drain_mu_);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        drain_cv_.NotifyAll();
+      }
+    }
     requests_.fetch_add(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     CSPDB_COUNT("service.shed.rejected");
@@ -107,9 +116,9 @@ std::future<Response> CspdbService::Submit(ServiceRequest request,
     // destroy drain_mu_/drain_cv_ the moment its wait observes
     // pending_ == 0, so the zero transition and the notify must both
     // happen before it can re-acquire the lock and return.
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    util::MutexLock lock(drain_mu_);
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      drain_cv_.notify_all();
+      drain_cv_.NotifyAll();
     }
   });
   return future;

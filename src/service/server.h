@@ -33,11 +33,9 @@
 #define CSPDB_SERVICE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "exec/cancellation.h"
@@ -46,6 +44,7 @@
 #include "service/request.h"
 #include "service/result_cache.h"
 #include "service/single_flight.h"
+#include "util/sync.h"
 
 namespace cspdb::service {
 
@@ -152,9 +151,12 @@ class CspdbService {
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> uncacheable_{0};
 
+  // pending_ stays an atomic (Submit's admission check is a lock-free
+  // fetch_add), but every decrement happens under drain_mu_ so the
+  // destructor's drain wait cannot miss the zero transition.
   std::atomic<int> pending_{0};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  util::Mutex drain_mu_;
+  util::CondVar drain_cv_;
 };
 
 }  // namespace cspdb::service

@@ -28,7 +28,7 @@ SingleFlight::Outcome SingleFlight::Do(
   std::shared_ptr<Flight> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = flights_.find(key);
     if (it == flights_.end()) {
       flight = std::make_shared<Flight>();
@@ -46,25 +46,26 @@ SingleFlight::Outcome SingleFlight::Do(
       // either sees the published result or starts fresh (and then hits
       // the cache the compute callback populated).
       {
-        std::lock_guard<std::mutex> table_lock(mu_);
+        util::MutexLock table_lock(mu_);
         auto it = flights_.find(key);
         if (it != flights_.end() && it->second == flight) {
           flights_.erase(it);
         }
       }
-      std::lock_guard<std::mutex> lock(flight->mu);
+      util::MutexLock lock(flight->mu);
       flight->result = result;
       flight->done = true;
       flight->running = false;
-      flight->cv.notify_all();
+      flight->cv.NotifyAll();
       return Outcome{std::move(result), /*leader=*/true, /*coalesced=*/false,
                      /*timed_out=*/false};
     }
     // Failure (deadline-aborted engine): hand the flight to a waiting
     // follower for promotion, or retire it if nobody is waiting.
+    // Audited lock-order site: table lock (mu_) first, then flight->mu.
     {
-      std::lock_guard<std::mutex> table_lock(mu_);
-      std::lock_guard<std::mutex> lock(flight->mu);
+      util::MutexLock table_lock(mu_);
+      util::MutexLock lock(flight->mu);
       flight->running = false;
       if (flight->waiters == 0) {
         auto it = flights_.find(key);
@@ -72,7 +73,7 @@ SingleFlight::Outcome SingleFlight::Do(
           flights_.erase(it);
         }
       } else {
-        flight->cv.notify_all();
+        flight->cv.NotifyAll();
         CSPDB_COUNT("service.single_flight.handoff");
       }
     }
@@ -83,14 +84,18 @@ SingleFlight::Outcome SingleFlight::Do(
   if (leader) return run_as_leader();
 
   // Follower: wait for a published result, a promotion slot, or our own
-  // deadline.
-  std::unique_lock<std::mutex> lock(flight->mu);
+  // deadline. Explicit Lock/Unlock (rather than RAII) because the exits
+  // release at different points; the thread-safety analysis still checks
+  // that every path unlocks exactly once.
+  flight->mu.Lock();
   ++flight->waiters;
   for (;;) {
     if (flight->done) {
       --flight->waiters;
+      std::shared_ptr<const EngineAnswer> result = flight->result;
+      flight->mu.Unlock();
       CSPDB_COUNT("service.single_flight.coalesced");
-      return Outcome{flight->result, /*leader=*/false, /*coalesced=*/true,
+      return Outcome{std::move(result), /*leader=*/false, /*coalesced=*/true,
                      /*timed_out=*/false};
     }
     // Deadline before promotion: an expired follower must time out, not
@@ -100,11 +105,12 @@ SingleFlight::Outcome SingleFlight::Do(
       --flight->waiters;
       const bool abandoned =
           flight->waiters == 0 && !flight->running && !flight->done;
-      lock.unlock();
+      flight->mu.Unlock();
       if (abandoned) {
         // Last one out retires a dead flight (failed leader, no heir).
-        std::lock_guard<std::mutex> table_lock(mu_);
-        std::lock_guard<std::mutex> relock(flight->mu);
+        // Audited lock-order site: mu_ first, then flight->mu.
+        util::MutexLock table_lock(mu_);
+        util::MutexLock relock(flight->mu);
         if (flight->waiters == 0 && !flight->running && !flight->done) {
           auto it = flights_.find(key);
           if (it != flights_.end() && it->second == flight) {
@@ -119,14 +125,14 @@ SingleFlight::Outcome SingleFlight::Do(
       // The previous leader failed; promote ourselves.
       flight->running = true;
       --flight->waiters;
-      lock.unlock();
+      flight->mu.Unlock();
       CSPDB_COUNT("service.single_flight.promoted");
       return run_as_leader();
     }
     if (deadline_ns > 0) {
-      flight->cv.wait_until(lock, ToTimePoint(deadline_ns));
+      flight->cv.WaitUntil(flight->mu, ToTimePoint(deadline_ns));
     } else {
-      flight->cv.wait(lock);
+      flight->cv.Wait(flight->mu);
     }
   }
 }

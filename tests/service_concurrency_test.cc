@@ -115,9 +115,13 @@ TEST(ServiceConcurrency, ExpiredLeaderHandsFlightToWaitingFollower) {
     leader = service.Handle(SolveCspRequest{csp},
                             /*timeout_ns=*/engine_ns / 4);
   });
-  // Followers join the leader's flight well before its expiry, with no
-  // deadline of their own.
-  std::this_thread::sleep_for(std::chrono::nanoseconds(engine_ns / 16));
+  // Followers must join the leader's flight before it resolves. Instead
+  // of a wall-clock fraction of the calibrated engine time (flaky under
+  // scheduler jitter), wait for the event itself: engine_invocations_ is
+  // bumped at the top of RunEngine, strictly after the flight is
+  // registered in the single-flight table, so once it reads >= 1 the
+  // followers are guaranteed to coalesce rather than start a new flight.
+  while (service.stats().engine_invocations < 1) std::this_thread::yield();
   Response followers[2];
   std::thread follower_threads[2];
   for (int i = 0; i < 2; ++i) {

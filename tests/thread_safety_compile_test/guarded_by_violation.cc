@@ -1,0 +1,31 @@
+// Negative-compile fixture: writes a CSPDB_GUARDED_BY field without
+// holding its mutex. Under -DCSPDB_THREAD_SAFETY=ON (Clang,
+// -Werror=thread-safety) this file MUST fail to compile — the CMake
+// driver registers the build as a WILL_FAIL test. Apart from the
+// locking bug it is valid C++, so a compiler without the analysis
+// accepts it; that is exactly what the harness gate exists to catch.
+
+#include <cstdint>
+
+#include "util/sync.h"
+
+namespace cspdb::ts_compile_test {
+
+class Account {
+ public:
+  void DepositUnlocked(int64_t amount) {
+    balance_ += amount;  // BUG: mu_ not held -> -Wthread-safety error
+  }
+
+ private:
+  util::Mutex mu_;
+  int64_t balance_ CSPDB_GUARDED_BY(mu_) = 0;
+};
+
+int64_t Exercise() {
+  Account account;
+  account.DepositUnlocked(1);
+  return 0;
+}
+
+}  // namespace cspdb::ts_compile_test

@@ -1,0 +1,69 @@
+// Positive control for the negative-compile harness: correct use of
+// every annotation exercised by the violation fixtures. Built as part of
+// the normal tree whenever CSPDB_THREAD_SAFETY is ON, so if this file
+// stops compiling the harness is broken outright — and the WILL_FAIL
+// tests next door can't pass vacuously because the macros went stale.
+
+#include <cstdint>
+
+#include "util/sync.h"
+
+namespace cspdb::ts_compile_test {
+
+class Account {
+ public:
+  // Correct: guarded fields accessed under the RAII guard.
+  void Deposit(int64_t amount) {
+    util::MutexLock lock(mu_);
+    balance_ += amount;
+    DepositLocked(amount);
+  }
+
+  // Correct: REQUIRES helper called with the lock held (above), and the
+  // annotation lets it touch the guarded field directly.
+  void DepositLocked(int64_t amount) CSPDB_REQUIRES(mu_) {
+    history_ += amount;
+  }
+
+  int64_t Read() const {
+    util::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  // Correct: shared data readable under a reader lock.
+  int64_t PeekLimit() const {
+    util::ReaderLock lock(limit_mu_);
+    return limit_;
+  }
+
+  void SetLimit(int64_t limit) {
+    util::MutexLock lock(limit_mu_);
+    limit_ = limit;
+  }
+
+  // Correct: condition-variable loop in the call-site style sync.h
+  // prescribes (the enclosing scope holds the capability).
+  void AwaitPositive() {
+    util::MutexLock lock(mu_);
+    while (balance_ <= 0) cv_.Wait(mu_);
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  int64_t balance_ CSPDB_GUARDED_BY(mu_) = 0;
+  int64_t history_ CSPDB_GUARDED_BY(mu_) = 0;
+
+  mutable util::SharedMutex limit_mu_;
+  int64_t limit_ CSPDB_GUARDED_BY(limit_mu_) = 0;
+};
+
+// Odr-use everything so the control object file is not vacuously empty.
+int64_t Exercise() {
+  Account account;
+  account.Deposit(3);
+  account.SetLimit(7);
+  return account.Read() + account.PeekLimit();
+}
+
+}  // namespace cspdb::ts_compile_test

@@ -1,0 +1,33 @@
+// Negative-compile fixture: calls a CSPDB_REQUIRES helper without
+// holding the required mutex. Under -DCSPDB_THREAD_SAFETY=ON (Clang,
+// -Werror=thread-safety) this file MUST fail to compile (WILL_FAIL
+// test in the CMake driver).
+
+#include <cstdint>
+
+#include "util/sync.h"
+
+namespace cspdb::ts_compile_test {
+
+class Account {
+ public:
+  void DepositLocked(int64_t amount) CSPDB_REQUIRES(mu_) {
+    balance_ += amount;
+  }
+
+  void Deposit(int64_t amount) {
+    DepositLocked(amount);  // BUG: mu_ not held -> -Wthread-safety error
+  }
+
+ private:
+  util::Mutex mu_;
+  int64_t balance_ CSPDB_GUARDED_BY(mu_) = 0;
+};
+
+int64_t Exercise() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}
+
+}  // namespace cspdb::ts_compile_test

@@ -1,0 +1,318 @@
+#!/usr/bin/env python3
+"""Project lint suite for cspdb.
+
+Mechanically enforces conventions the compiler cannot:
+
+  raw-sync        std::mutex / std::shared_mutex / std::condition_variable
+                  and their lock adapters (lock_guard, unique_lock,
+                  scoped_lock, shared_lock) plus the <mutex>,
+                  <shared_mutex>, <condition_variable> includes are banned
+                  everywhere except src/util/sync.h. Raw primitives are
+                  invisible to Clang's -Wthread-safety analysis; the
+                  annotated wrappers are not.
+
+  obs-macro-in-header
+                  CSPDB_COUNT / CSPDB_TIMER_SCOPE / CSPDB_TRACE_* /
+                  CSPDB_GAUGE_* must not appear in headers outside
+                  src/obs/. Headers are included into arbitrary TUs, so a
+                  header-side macro instruments every includer whether or
+                  not that TU opted into the obs tier.
+
+  obs-macro-tier  Layering: src/util/ must not use obs macros at all
+                  (obs depends on util, never the reverse), and any .cc
+                  file using an obs macro must include "obs/obs.h"
+                  directly rather than picking the tier up transitively.
+
+  wallclock       time.time / datetime.now / date.today / utcnow /
+                  perf_counter are banned in bench/*.py and tools/*.py.
+                  Benchmark distillers must be replayable: deriving
+                  output from "now" makes two runs over the same input
+                  disagree.
+
+Escapes: append a marker comment on the offending line or the line
+directly above it, with a reason --
+
+  C++:    // cspdb-lint: allow(raw-sync) -- <why>
+  Python: # cspdb-lint: allow(wallclock) -- <why>
+
+Usage:
+  tools/lint_cspdb.py [paths...]   lint the tree (default: repo root)
+  tools/lint_cspdb.py --self-test  run the linter against embedded
+                                   violation fixtures; exits nonzero if
+                                   any rule fails to fire.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALLOW_RE = re.compile(r"(?://|#)\s*cspdb-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+CPP_EXTS = (".h", ".cc")
+SKIP_DIRS = {".git", "build", "third_party", "__pycache__"}
+
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|shared_mutex|condition_variable(?:_any)?|timed_mutex|"
+    r"recursive_mutex|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+)
+
+OBS_MACRO_RE = re.compile(
+    r"\bCSPDB_(COUNT(?:_N)?|TIMER_SCOPE|TRACE_(?:SPAN|INSTANT|COUNTER)|"
+    r"GAUGE_(?:SET|MAX))\b"
+)
+
+WALLCLOCK_RE = re.compile(
+    r"\btime\.time\s*\(|\bdatetime\.now\s*\(|\bdate\.today\s*\(|"
+    r"\butcnow\s*\(|\bperf_counter\s*\(|\bmonotonic\s*\("
+)
+
+
+class Finding:
+    def __init__(self, rule, path, lineno, line):
+        self.rule = rule
+        self.path = path
+        self.lineno = lineno
+        self.line = line.strip()
+
+    def __str__(self):
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return f"{rel}:{self.lineno}: [{self.rule}] {self.line}"
+
+
+def allowed(rule, lines, idx):
+    """True if line idx (0-based) or the line above carries an allow marker
+    naming `rule`."""
+    for j in (idx, idx - 1):
+        if j < 0:
+            continue
+        m = ALLOW_RE.search(lines[j])
+        if m and rule in [r.strip() for r in m.group(1).split(",")]:
+            return True
+    return False
+
+
+def is_comment_only(line):
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*")
+
+
+def lint_cpp(path, rel, lines):
+    findings = []
+    norm = rel.replace(os.sep, "/")
+    is_header = norm.endswith(".h")
+    in_sync_h = norm == "src/util/sync.h"
+    in_obs = norm.startswith("src/obs/")
+    in_util = norm.startswith("src/util/")
+
+    uses_obs_macro = False
+    includes_obs_h = False
+
+    for i, line in enumerate(lines):
+        lineno = i + 1
+        if '#include "obs/obs.h"' in line:
+            includes_obs_h = True
+
+        if not in_sync_h and RAW_SYNC_RE.search(line):
+            if not is_comment_only(line) and not allowed("raw-sync", lines, i):
+                findings.append(Finding("raw-sync", path, lineno, line))
+
+        m = OBS_MACRO_RE.search(line)
+        if m and not is_comment_only(line) and "#define" not in line:
+            uses_obs_macro = True
+            if is_header and not in_obs and not allowed(
+                "obs-macro-in-header", lines, i
+            ):
+                findings.append(Finding("obs-macro-in-header", path, lineno, line))
+            if in_util and not allowed("obs-macro-tier", lines, i):
+                findings.append(Finding("obs-macro-tier", path, lineno, line))
+
+    if (
+        uses_obs_macro
+        and not is_header
+        and not in_obs
+        and not includes_obs_h
+        and not allowed("obs-macro-tier", lines, 0)
+    ):
+        findings.append(
+            Finding(
+                "obs-macro-tier",
+                path,
+                1,
+                'uses CSPDB obs macros without #include "obs/obs.h"',
+            )
+        )
+    return findings
+
+
+def lint_python(path, rel, lines):
+    findings = []
+    for i, line in enumerate(lines):
+        m = WALLCLOCK_RE.search(line)
+        if m and not line.lstrip().startswith("#"):
+            if not allowed("wallclock", lines, i):
+                findings.append(Finding("wallclock", path, i + 1, line))
+    return findings
+
+
+def lint_file(path):
+    rel = os.path.relpath(path, REPO_ROOT)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        sys.stderr.write(f"error: cannot read {path}: {e}\n")
+        return []
+    if path.endswith(CPP_EXTS):
+        return lint_cpp(path, rel, lines)
+    norm = rel.replace(os.sep, "/")
+    if path.endswith(".py") and (
+        norm.startswith("bench/") or norm.startswith("tools/")
+    ):
+        return lint_python(path, rel, lines)
+    return []
+
+
+def walk(paths):
+    for root in paths:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTS) or name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+# --- self-test fixtures ------------------------------------------------------
+# Each entry: (rule expected to fire, pseudo-path relative to the repo root,
+# file body). The self-test feeds these through the same lint_* functions the
+# real walk uses and fails if any expected rule stays silent, or if the
+# allow-marker variants produce findings.
+
+SELF_TEST_VIOLATIONS = [
+    (
+        "raw-sync",
+        "src/service/bad_sync.cc",
+        "#include <mutex>\nstd::mutex mu;\n",
+    ),
+    (
+        "raw-sync",
+        "tests/bad_lock_test.cc",
+        "void f() { std::lock_guard<std::mutex> l(m); }\n",
+    ),
+    (
+        "obs-macro-in-header",
+        "src/db/bad_header.h",
+        "inline void f() { CSPDB_COUNT(db.bad); }\n",
+    ),
+    (
+        "obs-macro-tier",
+        "src/util/bad_layering.cc",
+        '#include "obs/obs.h"\nvoid f() { CSPDB_TIMER_SCOPE(util.bad); }\n',
+    ),
+    (
+        "obs-macro-tier",
+        "src/db/bad_include.cc",
+        "void f() { CSPDB_TRACE_SPAN(db.bad); }\n",
+    ),
+    (
+        "wallclock",
+        "bench/bad_distill.py",
+        # cspdb-lint: allow(wallclock) -- self-test fixture, string literal
+        "import time\nstamp = time.time()\n",
+    ),
+]
+
+SELF_TEST_CLEAN = [
+    (
+        "raw-sync allow marker",
+        "src/service/escaped.cc",
+        "// cspdb-lint: allow(raw-sync) -- interop with external API\n"
+        "std::mutex mu;\n",
+    ),
+    (
+        "wallclock allow marker",
+        "bench/escaped.py",
+        "# cspdb-lint: allow(wallclock) -- provenance stamp\n"
+        "stamp = time.time()\n",
+    ),
+    (
+        "obs macro in cc with include",
+        "src/db/good.cc",
+        '#include "obs/obs.h"\nvoid f() { CSPDB_COUNT(db.good); }\n',
+    ),
+]
+
+
+def run_self_test():
+    failures = 0
+    for rule, rel, body in SELF_TEST_VIOLATIONS:
+        path = os.path.join(REPO_ROOT, rel)
+        lines = body.splitlines()
+        if path.endswith(CPP_EXTS):
+            findings = lint_cpp(path, rel, lines)
+        else:
+            findings = lint_python(path, rel, lines)
+        if not any(f.rule == rule for f in findings):
+            sys.stderr.write(f"self-test FAIL: {rule} did not fire on {rel}\n")
+            failures += 1
+    for label, rel, body in SELF_TEST_CLEAN:
+        path = os.path.join(REPO_ROOT, rel)
+        lines = body.splitlines()
+        if path.endswith(CPP_EXTS):
+            findings = lint_cpp(path, rel, lines)
+        else:
+            findings = lint_python(path, rel, lines)
+        if findings:
+            sys.stderr.write(
+                f"self-test FAIL: false positive on '{label}' ({rel}): "
+                f"{findings[0]}\n"
+            )
+            failures += 1
+    if failures:
+        return 1
+    total = len(SELF_TEST_VIOLATIONS) + len(SELF_TEST_CLEAN)
+    print(f"lint_cspdb self-test: {total} fixtures OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify every rule fires on embedded violation fixtures",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    paths = args.paths or [
+        os.path.join(REPO_ROOT, d)
+        for d in ("src", "tests", "bench", "tools", "examples")
+        if os.path.isdir(os.path.join(REPO_ROOT, d))
+    ]
+    findings = []
+    for path in walk(paths):
+        findings.extend(lint_file(path))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_cspdb: {len(findings)} finding(s)")
+        return 1
+    print("lint_cspdb: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
