@@ -1,21 +1,34 @@
 #!/usr/bin/env python3
-"""Distills Google-Benchmark JSON from bench_report into BENCH_kernels.json.
+"""Distills Google-Benchmark JSON into the committed BENCH_*.json files.
 
 Default mode pairs BM_<op>_baseline/<size> with BM_<op>_optimized/<size>
 and emits one record per (op, size) with ns/op for both sides, the
-speedup, and the peak-rows counter where the benchmark reports one.
+speedup, and the peak-rows counter where the benchmark reports one. The
+SIMD kernel pairs in bench_parallel use this naming too, so the kernels
+distill takes bench_report's AND bench_parallel's raw JSON together.
 
 --mode parallel instead groups BM_<op>_t<threads>/<size> (bench_parallel):
 t1 is the true serial kernel, every other thread count gets a speedup
-relative to it. machine.num_cpus is recorded so readers can tell real
-scaling from oversubscription on a small machine.
+relative to it. An op with no t1 of its own (a suffixed design variant
+like natural_join_striped) borrows the base op's t1 — strip the last
+underscore token — and records which op it borrowed as baseline_op, so
+design variants share one serial denominator. machine.num_cpus is
+recorded, and any thread entry with threads > num_cpus is stamped
+oversubscribed=true so readers can tell real scaling from
+oversubscription on a small machine.
 
 --mode service takes plain BM_<op>/<size> names (bench_service) and emits
 ns/op plus any serving-layer rate counters the benchmark reported
 (hit_rate, shed_rate, rejected_rate, requests).
 
-Usage: distill_bench.py <benchmark-json> <output-json> [--label LABEL]
+Usage: distill_bench.py <benchmark-json>... <output-json> [--label LABEL]
                         [--mode kernels|parallel|service]
+
+Multiple input files are merged benchmark-by-benchmark (first file's
+machine context wins) before distilling. Repeated runs of one benchmark
+(--benchmark_repetitions) distill to the per-cell MINIMUM time: on a
+shared machine the minimum is the least-contended estimate, and both
+sides of every pair get the same treatment.
 """
 
 import argparse
@@ -47,6 +60,13 @@ SERVICE_RE = re.compile(r"^BM_(?P<op>\w+)/(?P<size>\d+)$")
 SERVICE_COUNTERS = ("hit_rate", "shed_rate", "rejected_rate", "requests")
 
 
+def keep_min(cell, slot, bench):
+    """Fills cell[slot] with the fastest of the repetitions seen."""
+    prev = cell.get(slot)
+    if prev is None or bench["real_time"] < prev["real_time"]:
+        cell[slot] = bench
+
+
 def distill_kernels(report):
     """(op, size) -> {baseline, optimized} records for bench_report."""
     cells = {}
@@ -57,7 +77,7 @@ def distill_kernels(report):
         if not m:
             continue
         key = (m.group("op"), int(m.group("size")))
-        cells.setdefault(key, {})[m.group("side")] = bench
+        keep_min(cells.setdefault(key, {}), m.group("side"), bench)
 
     kernels = []
     for (op, size), sides in sorted(cells.items()):
@@ -81,7 +101,7 @@ def distill_kernels(report):
     return kernels
 
 
-def distill_parallel(report):
+def distill_parallel(report, num_cpus=None):
     """(op, size) -> per-thread-count records for bench_parallel."""
     cells = {}
     for bench in report.get("benchmarks", []):
@@ -91,13 +111,22 @@ def distill_parallel(report):
         if not m:
             continue
         key = (m.group("op"), int(m.group("size")))
-        cells.setdefault(key, {})[int(m.group("threads"))] = bench
+        keep_min(cells.setdefault(key, {}), int(m.group("threads")), bench)
 
     kernels = []
     for (op, size), by_threads in sorted(cells.items()):
+        baseline_op = op
         if 1 not in by_threads:
-            sys.stderr.write(f"warning: no t1 baseline for {op}/{size}\n")
-            continue
+            # Suffixed design variants (natural_join_striped) share the
+            # base op's serial kernel, so they borrow its t1.
+            base = op.rsplit("_", 1)[0]
+            if (base, size) in cells and 1 in cells[(base, size)]:
+                baseline_op = base
+                by_threads = dict(by_threads)
+                by_threads[1] = cells[(base, size)][1]
+            else:
+                sys.stderr.write(f"warning: no t1 baseline for {op}/{size}\n")
+                continue
         serial_ns = by_threads[1]["real_time"]
         record = {
             "op": op,
@@ -105,19 +134,22 @@ def distill_parallel(report):
             "serial_ns_per_op": round(serial_ns, 1),
             "threads": [],
         }
+        if baseline_op != op:
+            record["baseline_op"] = baseline_op
         for threads in sorted(by_threads):
             if threads == 1:
                 continue
             ns = by_threads[threads]["real_time"]
-            record["threads"].append(
-                {
-                    "threads": threads,
-                    "ns_per_op": round(ns, 1),
-                    "speedup_vs_serial": round(serial_ns / ns, 2)
-                    if ns > 0
-                    else None,
-                }
-            )
+            entry = {
+                "threads": threads,
+                "ns_per_op": round(ns, 1),
+                "speedup_vs_serial": round(serial_ns / ns, 2)
+                if ns > 0
+                else None,
+            }
+            if num_cpus is not None and threads > num_cpus:
+                entry["oversubscribed"] = True
+            record["threads"].append(entry)
         kernels.append(record)
     return kernels
 
@@ -150,27 +182,39 @@ def distill_service(report):
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("in_path")
-    parser.add_argument("out_path")
+    parser.add_argument(
+        "paths", nargs="+", metavar="json",
+        help="one or more benchmark JSON inputs followed by the output path",
+    )
     parser.add_argument("--label", default="trajectory entry")
     parser.add_argument(
         "--mode", choices=["kernels", "parallel", "service"], default="kernels"
     )
     opts = parser.parse_args()
-    in_path, out_path, label = opts.in_path, opts.out_path, opts.label
+    if len(opts.paths) < 2:
+        sys.stderr.write("error: need at least one input and one output\n")
+        return 1
+    in_paths, out_path, label = opts.paths[:-1], opts.paths[-1], opts.label
 
-    try:
-        with open(in_path) as f:
-            report = json.load(f)
-    except OSError as e:
-        sys.stderr.write(f"error: cannot read {in_path}: {e.strerror}\n")
-        return 1
-    except json.JSONDecodeError as e:
-        sys.stderr.write(f"error: {in_path} is not valid JSON: {e}\n")
-        return 1
+    report = {"context": {}, "benchmarks": []}
+    for in_path in in_paths:
+        try:
+            with open(in_path) as f:
+                part = json.load(f)
+        except OSError as e:
+            sys.stderr.write(f"error: cannot read {in_path}: {e.strerror}\n")
+            return 1
+        except json.JSONDecodeError as e:
+            sys.stderr.write(f"error: {in_path} is not valid JSON: {e}\n")
+            return 1
+        if not report["context"]:
+            report["context"] = part.get("context", {})
+        report["benchmarks"].extend(part.get("benchmarks", []))
 
     if opts.mode == "parallel":
-        kernels = distill_parallel(report)
+        kernels = distill_parallel(
+            report, num_cpus=report.get("context", {}).get("num_cpus")
+        )
         if not kernels:
             sys.stderr.write("error: no BM_<op>_t<threads>/<size> benchmarks\n")
             return 1

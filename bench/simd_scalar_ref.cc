@@ -1,0 +1,33 @@
+#include "simd_scalar_ref.h"
+
+#include <bit>
+
+namespace cspdb::benchref {
+
+void AndInPlace(uint64_t* dst, const uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+int64_t PopCount(const uint64_t* words, std::size_t n) {
+  int64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+bool Intersects(const uint64_t* a, const uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+int64_t CountUnsupported(const uint64_t* valid, const uint64_t* rows,
+                         std::size_t row_words, std::size_t num_rows) {
+  int64_t unsupported = 0;
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    if (!Intersects(valid, rows + r * row_words, row_words)) ++unsupported;
+  }
+  return unsupported;
+}
+
+}  // namespace cspdb::benchref

@@ -72,16 +72,19 @@ class GacEngine {
         const int var = masks.group_var[g];
         ++*revisions;
         CSPDB_COUNT("gac.revisions");
-        bool changed = false;
-        const Bitset& domain = s->domains[var];
-        for (int val = domain.FindFirst(); val >= 0;
-             val = domain.NextSetBit(val + 1)) {
-          if (s->valid[ci].IntersectsWords(
-                  masks.SupportMask(static_cast<int>(g), num_values, val))) {
-            continue;  // word-parallel support probe hit
-          }
+        // SIMD sweep over the group's support rows against a snapshot of
+        // the valid-tuple mask. Pruning a collected value can strip the
+        // last support of a later value in the same group; that value is
+        // caught when the worklist revisits this constraint (any change
+        // re-queues it below), so the fixpoint — the compared contract —
+        // is unchanged relative to the value-at-a-time revision.
+        prune_buf_.clear();
+        masks.CollectUnsupported(s->valid[ci], s->domains[var],
+                                 static_cast<int>(g), num_values,
+                                 &prune_buf_);
+        const bool changed = !prune_buf_.empty();
+        for (int val : prune_buf_) {
           if (!Prune(s, var, val, prunings)) return false;
-          changed = true;
         }
         if (changed) {
           any_changed = true;
@@ -110,6 +113,8 @@ class GacEngine {
   // Worklist scratch, reused across runs.
   std::deque<int> queue_;
   std::vector<char> queued_;
+  // Values collected by the revision sweep, reused across revisions.
+  std::vector<int> prune_buf_;
 };
 
 }  // namespace

@@ -3,8 +3,29 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace cspdb {
+
+void ConstraintSupport::CollectUnsupported(const Bitset& valid,
+                                           const Bitset& domain, int g,
+                                           int num_values,
+                                           std::vector<int>* out) const {
+  CSPDB_DCHECK(valid.num_words() == words);
+  const uint64_t* valid_words = valid.words();
+  const uint64_t* rows =
+      support.data() +
+      static_cast<std::size_t>(g) * num_values * static_cast<std::size_t>(words);
+  const std::size_t row_words = static_cast<std::size_t>(words);
+  for (int val = domain.FindFirst(); val >= 0;
+       val = domain.NextSetBit(val + 1)) {
+    if (!simd::Intersects(valid_words,
+                          rows + static_cast<std::size_t>(val) * row_words,
+                          row_words)) {
+      out->push_back(val);
+    }
+  }
+}
 
 SupportMasks::SupportMasks(const CspInstance& csp) {
   const int m = static_cast<int>(csp.constraints().size());

@@ -52,6 +52,17 @@ struct ConstraintSupport {
     return support.data() +
            (static_cast<std::size_t>(g) * num_values + val) * words;
   }
+
+  /// The compact-table revision sweep for group g: appends to `out`
+  /// every value of `domain` (the packed domain of group g's variable)
+  /// whose support row does not intersect `valid` — exactly the values a
+  /// GAC revision must prune. `valid` is the constraint's live tuple
+  /// mask; the probe per value is one SIMD testz pass over the row
+  /// (util/simd.h), early-exiting on the first hit word. The sweep reads
+  /// a snapshot: callers prune the returned values afterwards, which
+  /// only shrinks `valid`, so every reported value stays unsupported.
+  void CollectUnsupported(const Bitset& valid, const Bitset& domain, int g,
+                          int num_values, std::vector<int>* out) const;
   const uint64_t* KillerMask(int g, int num_values, int val) const {
     const std::vector<uint64_t>& from = killer.empty() ? support : killer;
     return from.data() +

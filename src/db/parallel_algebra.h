@@ -1,20 +1,37 @@
-// Parallel relational kernels on the work-stealing pool: striped hash
-// joins/semijoins and a task-graph full reducer over join forests.
+// Parallel relational kernels on the work-stealing pool: morsel-driven
+// radix-partitioned hash joins/semijoins and a task-graph full reducer
+// over join forests.
 //
-// Determinism contract (DESIGN.md): every operator here returns output
-// bit-identical to its serial twin in db/algebra.h / db/acyclic.h.
-//   * NaturalJoinParallel / SemijoinParallel build the same KeyIndex the
-//     serial kernels do (db/join_key.h — same chain order), split the
-//     probe side into contiguous stripes, and concatenate the per-stripe
-//     outputs in stripe order, which reproduces the serial row order
-//     exactly.
-//   * FullReducerParallel runs independent subtree semijoins concurrently.
-//     Semijoin preserves probe-row order, so the several semijoins into
-//     one parent commute exactly; a per-parent mutex serializes the writes
-//     and the final contents are order-independent.
+// Join design (DESIGN.md "Execution layer"): the build side is
+// radix-partitioned by the top bits of the same FNV key hash the serial
+// KeyIndex buckets with, giving one small, independently built KeyIndex
+// per partition — workers never share a build structure, and each
+// partition's chains stay cache-resident during probing. The probe side
+// is NOT partitioned: workers pull fixed-size probe morsels from a
+// shared atomic cursor, route each probe row to its partition's index
+// (equal keys hash equally, so every match lives in that one
+// partition), and buffer output per morsel.
+//
+// Determinism contract (inherited from the striped design of PR 4):
+// every operator returns output bit-identical to its serial twin in
+// db/algebra.h / db/acyclic.h.
+//   * Within a partition the build scatter preserves original row order
+//     (morsel-order concatenation per partition), so a partition-local
+//     hash chain enumerates exactly the same matches in exactly the same
+//     order as the serial KeyIndex chain.
+//   * Per-morsel output buffers concatenate in morsel order, which is
+//     probe-row order, which is the serial emission order.
+//   * FullReducerParallel runs independent subtree semijoins
+//     concurrently; semijoins into one parent commute exactly, so a
+//     per-parent mutex suffices.
 // These kernels are not cancellation points: each is a polynomial pass,
 // and an interrupted join would be wrong rather than merely incomplete
 // (unlike GAC pruning, which is sound to stop early).
+//
+// The previous striped-probe kernels (one shared KeyIndex, contiguous
+// probe stripes) are kept as NaturalJoinStriped / SemijoinStriped: they
+// are the contention baseline bench_parallel measures the partitioned
+// design against, and extra differential oracles in tests.
 
 #ifndef CSPDB_DB_PARALLEL_ALGEBRA_H_
 #define CSPDB_DB_PARALLEL_ALGEBRA_H_
@@ -33,22 +50,51 @@ struct ParallelDbOptions {
   exec::ThreadPool* pool = nullptr;
 
   /// Probe sides smaller than this fall back to the serial kernel — the
-  /// per-stripe buffer and fork/join overhead beats the win below it.
+  /// per-morsel buffer and fork/join overhead beats the win below it.
   std::size_t min_probe_rows = 2048;
 
   /// Forests smaller than this run the serial FullReducer.
   std::size_t min_forest_nodes = 4;
+
+  /// Probe (and build-scatter) morsel size in rows. Workers claim one
+  /// morsel at a time from a shared atomic cursor, so smaller morsels
+  /// load-balance skewed match densities at the cost of more buffers.
+  std::size_t morsel_rows = 2048;
+
+  /// Number of radix partitions for the build side; 0 picks a power of
+  /// two from the build size and worker count. Purely a performance
+  /// knob: the output is bit-identical for every value.
+  std::size_t num_partitions = 0;
+
+  /// Testing hook: run the morsel-parallel three-pass partition build
+  /// even where the heuristic would pick the fused serial build (small
+  /// build sides, single-hardware-thread machines). Both builds produce
+  /// bit-identical layouts; differential and tsan tests set this so the
+  /// parallel build path is exercised on any machine.
+  bool force_parallel_build = false;
 };
 
-/// NaturalJoin(r, s) with the probe side (r) striped across the pool.
+/// NaturalJoin(r, s): build side s radix-partitioned into per-partition
+/// KeyIndexes, probe side r morsel-driven across the pool.
 /// Bit-identical to the serial NaturalJoin, including row order.
 DbRelation NaturalJoinParallel(const DbRelation& r, const DbRelation& s,
                                const ParallelDbOptions& options = {});
 
-/// Semijoin(r, s) with the probe side (r) striped across the pool.
+/// Semijoin(r, s) with the same partitioned-build, morsel-probe design.
 /// Bit-identical to the serial Semijoin, including row order.
 DbRelation SemijoinParallel(const DbRelation& r, const DbRelation& s,
                             const ParallelDbOptions& options = {});
+
+/// The pre-partitioning striped-probe join: one serially built shared
+/// KeyIndex, probe side split into contiguous stripes. Kept as the
+/// benchmark baseline for the partitioned design; same bit-identical
+/// contract.
+DbRelation NaturalJoinStriped(const DbRelation& r, const DbRelation& s,
+                              const ParallelDbOptions& options = {});
+
+/// Striped twin of SemijoinParallel (see NaturalJoinStriped).
+DbRelation SemijoinStriped(const DbRelation& r, const DbRelation& s,
+                           const ParallelDbOptions& options = {});
 
 /// FullReducer with independent subtree semijoin passes run concurrently:
 /// the upward pass folds a node into its parent as soon as all of the

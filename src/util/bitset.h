@@ -9,6 +9,13 @@
 // std::bitset the capacity is a runtime value. All bits above size() are
 // kept zero as a class invariant, so whole-word operations need no
 // per-call masking.
+//
+// Every whole-word loop routes through the span primitives in
+// util/simd.h, so the AVX2/NEON/scalar backend choice (CSPDB_SIMD)
+// retargets the bitset without touching any call site. Word-index
+// arithmetic in the scan operations is int64_t inside simd.h, so
+// NextSetBit/FirstCommonBit cannot wrap even at capacities approaching
+// the int-sized bit-index limit.
 
 #ifndef CSPDB_UTIL_BITSET_H_
 #define CSPDB_UTIL_BITSET_H_
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace cspdb {
 
@@ -71,16 +79,11 @@ class Bitset {
 
   /// Number of set bits.
   int Count() const {
-    int n = 0;
-    for (uint64_t w : words_) n += std::popcount(w);
-    return n;
+    return static_cast<int>(simd::PopCount(words_.data(), words_.size()));
   }
 
   bool Any() const {
-    for (uint64_t w : words_) {
-      if (w != 0) return true;
-    }
-    return false;
+    return simd::NextSetBit(words_.data(), words_.size(), 0) >= 0;
   }
 
   bool None() const { return !Any(); }
@@ -88,39 +91,33 @@ class Bitset {
   /// Index of the lowest set bit, or -1 if empty.
   int FindFirst() const { return NextSetBit(0); }
 
-  /// Index of the lowest set bit >= `from`, or -1 if none.
+  /// Index of the lowest set bit >= `from`, or -1 if none. The scan is
+  /// done in int64_t bit indices (simd.h), so the word-index arithmetic
+  /// cannot wrap for large capacities; the result always fits in int
+  /// because any set bit is < size().
   int NextSetBit(int from) const {
     if (from < 0) from = 0;
     if (from >= size_) return -1;
-    std::size_t wi = static_cast<std::size_t>(from) >> 6;
-    uint64_t w = words_[wi] >> (from & 63);
-    if (w != 0) return from + std::countr_zero(w);
-    for (++wi; wi < words_.size(); ++wi) {
-      if (words_[wi] != 0) {
-        return static_cast<int>(wi << 6) + std::countr_zero(words_[wi]);
-      }
-    }
-    return -1;
+    return static_cast<int>(
+        simd::NextSetBit(words_.data(), words_.size(), from));
   }
 
   /// this &= other. Sizes must match.
   void AndWith(const Bitset& other) {
     CSPDB_DCHECK(size_ == other.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    simd::AndInPlace(words_.data(), other.words_.data(), words_.size());
   }
 
   /// this |= other. Sizes must match.
   void OrWith(const Bitset& other) {
     CSPDB_DCHECK(size_ == other.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    simd::OrInPlace(words_.data(), other.words_.data(), words_.size());
   }
 
   /// this &= ~other (clears every bit set in `other`). Sizes must match.
   void AndNotWith(const Bitset& other) {
     CSPDB_DCHECK(size_ == other.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      words_[i] &= ~other.words_[i];
-    }
+    simd::AndNotInPlace(words_.data(), other.words_.data(), words_.size());
   }
 
   /// True if this and `other` share a set bit. Sizes must match.
@@ -133,22 +130,16 @@ class Bitset {
   /// contiguous array of rows per constraint, csp/support_masks.h). The
   /// span must hold num_words() words with zero bits above size().
   bool IntersectsWords(const uint64_t* other) const {
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      if ((words_[i] & other[i]) != 0) return true;
-    }
-    return false;
+    return simd::Intersects(words_.data(), other, words_.size());
   }
 
   int FirstCommonBitWords(const uint64_t* other) const {
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      uint64_t w = words_[i] & other[i];
-      if (w != 0) return static_cast<int>(i << 6) + std::countr_zero(w);
-    }
-    return -1;
+    return static_cast<int>(
+        simd::FirstCommonBit(words_.data(), other, words_.size()));
   }
 
   void AndNotWithWords(const uint64_t* other) {
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other[i];
+    simd::AndNotInPlace(words_.data(), other, words_.size());
   }
 
   /// Lowest index set in both this and `other`, or -1 if the intersection

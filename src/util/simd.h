@@ -1,0 +1,389 @@
+// Portable fixed-width SIMD over uint64_t word spans — the one place in
+// the tree allowed to touch vendor intrinsics (enforced by the raw-simd
+// rule in tools/lint_cspdb.py). Everything the packed kernels need is
+// expressed as a handful of span primitives: 256-bit-at-a-time
+// and/or/andnot, a testz-style intersection probe, batched popcount, and
+// a first-set-bit scan. util/bitset.h, csp/support_masks.cc, and the
+// join kernels all sit on these, so one backend switch retargets every
+// hot loop.
+//
+// Backend selection is a compile-time decision behind the CSPDB_SIMD
+// CMake option (which defines CSPDB_ENABLE_SIMD and, on x86-64, compiles
+// the tree with -mavx2):
+//
+//   CSPDB_ENABLE_SIMD && __AVX2__              -> AVX2 (4 words / op)
+//   CSPDB_ENABLE_SIMD && __aarch64__ && NEON   -> NEON (2 words / op)
+//   otherwise                                  -> portable scalar
+//
+// The scalar implementations live in simd::scalar and are ALWAYS
+// compiled, whatever the backend: they are the differential oracle the
+// SIMD paths are fuzzed against (tests/simd_test.cc) and the measured
+// baseline of the BM_simd_* benchmarks. The dispatched functions must be
+// bit-for-bit equivalent to their scalar twins on every input.
+//
+// All span arguments are byte-addressed uint64_t arrays with no
+// alignment requirement (unaligned loads throughout) and `n` counts
+// words, not bits. Word-index arithmetic is carried in int64_t so spans
+// larger than 2^25 words (2^31 bits) cannot wrap the bit index the scan
+// primitives return.
+
+#ifndef CSPDB_UTIL_SIMD_H_
+#define CSPDB_UTIL_SIMD_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(CSPDB_ENABLE_SIMD) && defined(__AVX2__)
+#define CSPDB_SIMD_AVX2 1
+#include <immintrin.h>  // cspdb-lint: allow(raw-simd) -- the sanctioned backend header
+#elif defined(CSPDB_ENABLE_SIMD) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define CSPDB_SIMD_NEON 1
+#include <arm_neon.h>  // cspdb-lint: allow(raw-simd) -- the sanctioned backend header
+#endif
+
+namespace cspdb::simd {
+
+/// Name of the backend the dispatched functions compile to, for bench
+/// labels and EXPLAIN output.
+inline constexpr const char* BackendName() {
+#if defined(CSPDB_SIMD_AVX2)
+  return "avx2";
+#elif defined(CSPDB_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Scalar oracle. Plain word loops, always available, never intrinsics.
+
+namespace scalar {
+
+inline void AndInPlace(uint64_t* dst, const uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+inline void OrInPlace(uint64_t* dst, const uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+/// dst &= ~src, word by word.
+inline void AndNotInPlace(uint64_t* dst, const uint64_t* src,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+/// True if any word of a & b is nonzero (the support probe).
+inline bool Intersects(const uint64_t* a, const uint64_t* b,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+/// Lowest bit index set in a & b, or -1.
+inline int64_t FirstCommonBit(const uint64_t* a, const uint64_t* b,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const uint64_t w = a[i] & b[i];
+    if (w != 0) {
+      return static_cast<int64_t>(i) * 64 + std::countr_zero(w);
+    }
+  }
+  return -1;
+}
+
+/// Total set bits over the span.
+inline int64_t PopCount(const uint64_t* w, std::size_t n) {
+  int64_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += std::popcount(w[i]);
+  return count;
+}
+
+/// Lowest set bit index >= from (bits numbered over the whole span), or
+/// -1. `from` must be >= 0; from >= 64*n returns -1.
+inline int64_t NextSetBit(const uint64_t* w, std::size_t n, int64_t from) {
+  if (from >= static_cast<int64_t>(n) * 64) return -1;
+  std::size_t wi = static_cast<std::size_t>(from >> 6);
+  const uint64_t first = w[wi] >> (from & 63);
+  if (first != 0) return from + std::countr_zero(first);
+  for (++wi; wi < n; ++wi) {
+    if (w[wi] != 0) {
+      return static_cast<int64_t>(wi) * 64 + std::countr_zero(w[wi]);
+    }
+  }
+  return -1;
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// Dispatched primitives. One definition per backend; remainders (spans
+// not divisible by the vector width) finish on the scalar loop.
+
+#if defined(CSPDB_SIMD_AVX2)
+
+namespace avx2_internal {
+
+/// Per-64-bit-lane popcount of v via the nibble-LUT (vpshufb) method;
+/// the four lane sums come back through _mm256_sad_epu8.
+inline __m256i PopCount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+inline __m256i Load(const uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void Store(uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+}  // namespace avx2_internal
+
+inline void AndInPlace(uint64_t* dst, const uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    avx2_internal::Store(
+        dst + i, _mm256_and_si256(avx2_internal::Load(dst + i),
+                                  avx2_internal::Load(src + i)));
+  }
+  scalar::AndInPlace(dst + i, src + i, n - i);
+}
+
+inline void OrInPlace(uint64_t* dst, const uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    avx2_internal::Store(
+        dst + i, _mm256_or_si256(avx2_internal::Load(dst + i),
+                                 avx2_internal::Load(src + i)));
+  }
+  scalar::OrInPlace(dst + i, src + i, n - i);
+}
+
+inline void AndNotInPlace(uint64_t* dst, const uint64_t* src,
+                          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // andnot(a, b) = ~a & b, so src goes first.
+    avx2_internal::Store(
+        dst + i, _mm256_andnot_si256(avx2_internal::Load(src + i),
+                                     avx2_internal::Load(dst + i)));
+  }
+  scalar::AndNotInPlace(dst + i, src + i, n - i);
+}
+
+inline bool Intersects(const uint64_t* a, const uint64_t* b,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // testz(a, b) == 1 iff (a & b) == 0 — the block-level support probe.
+    if (!_mm256_testz_si256(avx2_internal::Load(a + i),
+                            avx2_internal::Load(b + i))) {
+      return true;
+    }
+  }
+  return scalar::Intersects(a + i, b + i, n - i);
+}
+
+inline int64_t FirstCommonBit(const uint64_t* a, const uint64_t* b,
+                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (!_mm256_testz_si256(avx2_internal::Load(a + i),
+                            avx2_internal::Load(b + i))) {
+      // The hit is inside this 4-word block; pin it down scalar-wise.
+      return static_cast<int64_t>(i) * 64 +
+             scalar::FirstCommonBit(a + i, b + i, 4);
+    }
+  }
+  const int64_t tail = scalar::FirstCommonBit(a + i, b + i, n - i);
+  return tail < 0 ? -1 : static_cast<int64_t>(i) * 64 + tail;
+}
+
+inline int64_t PopCount(const uint64_t* w, std::size_t n) {
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, avx2_internal::PopCount256(avx2_internal::Load(w + i)));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return static_cast<int64_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]) +
+         scalar::PopCount(w + i, n - i);
+}
+
+inline int64_t NextSetBit(const uint64_t* w, std::size_t n, int64_t from) {
+  if (from >= static_cast<int64_t>(n) * 64) return -1;
+  std::size_t wi = static_cast<std::size_t>(from >> 6);
+  const uint64_t first = w[wi] >> (from & 63);
+  if (first != 0) return from + std::countr_zero(first);
+  ++wi;
+  // Round up to the next 4-word block boundary scalar-wise, then skip
+  // all-zero blocks with testz.
+  for (; wi < n && (wi & 3) != 0; ++wi) {
+    if (w[wi] != 0) {
+      return static_cast<int64_t>(wi) * 64 + std::countr_zero(w[wi]);
+    }
+  }
+  for (; wi + 4 <= n; wi += 4) {
+    const __m256i v = avx2_internal::Load(w + wi);
+    if (!_mm256_testz_si256(v, v)) break;
+  }
+  for (; wi < n; ++wi) {
+    if (w[wi] != 0) {
+      return static_cast<int64_t>(wi) * 64 + std::countr_zero(w[wi]);
+    }
+  }
+  return -1;
+}
+
+#elif defined(CSPDB_SIMD_NEON)
+
+namespace neon_internal {
+
+/// True if any bit of the 128-bit register is set.
+inline bool AnySet(uint64x2_t v) {
+  return vmaxvq_u32(vreinterpretq_u32_u64(v)) != 0;
+}
+
+}  // namespace neon_internal
+
+inline void AndInPlace(uint64_t* dst, const uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vandq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  scalar::AndInPlace(dst + i, src + i, n - i);
+}
+
+inline void OrInPlace(uint64_t* dst, const uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  scalar::OrInPlace(dst + i, src + i, n - i);
+}
+
+inline void AndNotInPlace(uint64_t* dst, const uint64_t* src,
+                          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // vbicq(a, b) = a & ~b.
+    vst1q_u64(dst + i, vbicq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  scalar::AndNotInPlace(dst + i, src + i, n - i);
+}
+
+inline bool Intersects(const uint64_t* a, const uint64_t* b,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (neon_internal::AnySet(
+            vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)))) {
+      return true;
+    }
+  }
+  return scalar::Intersects(a + i, b + i, n - i);
+}
+
+inline int64_t FirstCommonBit(const uint64_t* a, const uint64_t* b,
+                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (neon_internal::AnySet(
+            vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)))) {
+      return static_cast<int64_t>(i) * 64 +
+             scalar::FirstCommonBit(a + i, b + i, 2);
+    }
+  }
+  const int64_t tail = scalar::FirstCommonBit(a + i, b + i, n - i);
+  return tail < 0 ? -1 : static_cast<int64_t>(i) * 64 + tail;
+}
+
+inline int64_t PopCount(const uint64_t* w, std::size_t n) {
+  std::size_t i = 0;
+  uint64x2_t acc = vdupq_n_u64(0);
+  for (; i + 2 <= n; i += 2) {
+    const uint8x16_t bytes =
+        vcntq_u8(vreinterpretq_u8_u64(vld1q_u64(w + i)));
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bytes))));
+  }
+  return static_cast<int64_t>(vgetq_lane_u64(acc, 0) +
+                              vgetq_lane_u64(acc, 1)) +
+         scalar::PopCount(w + i, n - i);
+}
+
+inline int64_t NextSetBit(const uint64_t* w, std::size_t n, int64_t from) {
+  if (from >= static_cast<int64_t>(n) * 64) return -1;
+  std::size_t wi = static_cast<std::size_t>(from >> 6);
+  const uint64_t first = w[wi] >> (from & 63);
+  if (first != 0) return from + std::countr_zero(first);
+  ++wi;
+  for (; wi < n && (wi & 1) != 0; ++wi) {
+    if (w[wi] != 0) {
+      return static_cast<int64_t>(wi) * 64 + std::countr_zero(w[wi]);
+    }
+  }
+  for (; wi + 2 <= n; wi += 2) {
+    if (neon_internal::AnySet(vld1q_u64(w + wi))) break;
+  }
+  for (; wi < n; ++wi) {
+    if (w[wi] != 0) {
+      return static_cast<int64_t>(wi) * 64 + std::countr_zero(w[wi]);
+    }
+  }
+  return -1;
+}
+
+#else  // scalar fallback
+
+inline void AndInPlace(uint64_t* dst, const uint64_t* src, std::size_t n) {
+  scalar::AndInPlace(dst, src, n);
+}
+
+inline void OrInPlace(uint64_t* dst, const uint64_t* src, std::size_t n) {
+  scalar::OrInPlace(dst, src, n);
+}
+
+inline void AndNotInPlace(uint64_t* dst, const uint64_t* src,
+                          std::size_t n) {
+  scalar::AndNotInPlace(dst, src, n);
+}
+
+inline bool Intersects(const uint64_t* a, const uint64_t* b,
+                       std::size_t n) {
+  return scalar::Intersects(a, b, n);
+}
+
+inline int64_t FirstCommonBit(const uint64_t* a, const uint64_t* b,
+                              std::size_t n) {
+  return scalar::FirstCommonBit(a, b, n);
+}
+
+inline int64_t PopCount(const uint64_t* w, std::size_t n) {
+  return scalar::PopCount(w, n);
+}
+
+inline int64_t NextSetBit(const uint64_t* w, std::size_t n, int64_t from) {
+  return scalar::NextSetBit(w, n, from);
+}
+
+#endif
+
+}  // namespace cspdb::simd
+
+#endif  // CSPDB_UTIL_SIMD_H_

@@ -77,6 +77,98 @@ TEST(Bitset, FindFirstAndNextSetBit) {
   EXPECT_EQ(seen, (std::vector<int>{5, 64, 199}));
 }
 
+TEST(Bitset, NextSetBitAtExactWordBoundaries) {
+  // 64- and 128-bit capacities put size() exactly on a word boundary, so
+  // a from == size scan must bail on the word-count guard, not read a
+  // tail word that does not exist.
+  for (int size : {64, 128}) {
+    Bitset b(size);
+    b.Set(size - 1);
+    b.Set(size / 2);
+    EXPECT_EQ(b.NextSetBit(0), size / 2) << size;
+    EXPECT_EQ(b.NextSetBit(size / 2), size / 2) << size;
+    EXPECT_EQ(b.NextSetBit(size / 2 + 1), size - 1) << size;
+    EXPECT_EQ(b.NextSetBit(size - 1), size - 1) << size;
+    EXPECT_EQ(b.NextSetBit(size), -1) << size;
+    b.Reset(size - 1);
+    EXPECT_EQ(b.NextSetBit(size / 2 + 1), -1) << size;
+  }
+  // Bits 63/64 straddle the first word boundary: the within-word shift
+  // path must hand over to the next-word scan exactly there.
+  Bitset b(128);
+  b.Set(63);
+  b.Set(64);
+  EXPECT_EQ(b.NextSetBit(63), 63);
+  EXPECT_EQ(b.NextSetBit(64), 64);
+  EXPECT_EQ(b.NextSetBit(65), -1);
+}
+
+TEST(Bitset, LargeCapacityScansLandExactly) {
+  // Big enough that the SIMD block-skip loop (4 words per probe on AVX2)
+  // runs for thousands of blocks between hits; the sparse set bits sit
+  // on and next to block boundaries.
+  const int size = 1 << 20;
+  Bitset b(size);
+  const std::vector<int> set = {0, 63, 64, 255, 256, 8191, 8192, size - 1};
+  for (int i : set) b.Set(i);
+  EXPECT_EQ(b.Count(), static_cast<int>(set.size()));
+  std::vector<int> seen;
+  for (int i = b.FindFirst(); i >= 0; i = b.NextSetBit(i + 1)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, set);
+  EXPECT_EQ(b.NextSetBit(size - 1), size - 1);
+  EXPECT_EQ(b.NextSetBit(size), -1);
+
+  // A common bit only in the very last word forces FirstCommonBit and
+  // Intersects through the full zero prefix.
+  Bitset late(size);
+  late.Set(size - 1);
+  EXPECT_TRUE(b.Intersects(late));
+  EXPECT_EQ(b.FirstCommonBit(late), size - 1);
+  Bitset never(size);
+  never.Set(1);
+  EXPECT_FALSE(b.Intersects(never));
+  EXPECT_EQ(b.FirstCommonBit(never), -1);
+}
+
+TEST(Bitset, WordParallelOpsDifferentialAcrossSimdBlocks) {
+  // And/Or/AndNot/Count against a byte map at sizes spanning full SIMD
+  // blocks plus every remainder shape (256 bits = one AVX2 op exactly).
+  Rng rng(777);
+  for (int size : {64, 127, 128, 129, 192, 255, 256, 257, 320, 511, 512}) {
+    Bitset a(size), b(size);
+    std::vector<char> ba(size, 0), bb(size, 0);
+    for (int i = 0; i < size; ++i) {
+      if (rng.UniformInt(0, 2) == 0) {
+        a.Set(i);
+        ba[i] = 1;
+      }
+      if (rng.UniformInt(0, 2) == 0) {
+        b.Set(i);
+        bb[i] = 1;
+      }
+    }
+    Bitset and_bits = a, or_bits = a, andnot_bits = a;
+    and_bits.AndWith(b);
+    or_bits.OrWith(b);
+    andnot_bits.AndNotWith(b);
+    int first_common = -1;
+    bool intersects = false;
+    for (int i = 0; i < size; ++i) {
+      ASSERT_EQ(and_bits.Test(i), ba[i] && bb[i]) << size << " bit " << i;
+      ASSERT_EQ(or_bits.Test(i), ba[i] || bb[i]) << size << " bit " << i;
+      ASSERT_EQ(andnot_bits.Test(i), ba[i] && !bb[i]) << size << " bit " << i;
+      if (ba[i] && bb[i] && !intersects) {
+        intersects = true;
+        first_common = i;
+      }
+    }
+    EXPECT_EQ(a.Intersects(b), intersects) << size;
+    EXPECT_EQ(a.FirstCommonBit(b), first_common) << size;
+  }
+}
+
 TEST(Bitset, WordParallelOps) {
   Bitset a(100), b(100);
   a.Set(3);

@@ -161,6 +161,34 @@ TEST(KernelDifferential, GacMatchesReferenceOnDuplicateScopes) {
   }
 }
 
+TEST(KernelDifferential, GacMatchesReferenceOnWideMasksAndDomains) {
+  // Support masks are bitsets over a constraint's tuple list and domains
+  // are bitsets over values; the corpora above keep both to a word or
+  // two, so the SIMD word kernels never leave their scalar tails. These
+  // instances push tuple counts past 500 (several 4-word AVX2 blocks
+  // plus a remainder) and domains past 64 values, running the
+  // multi-block and boundary paths under the differential.
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(64000 + seed);
+    const int n = 5;
+    const int d = 66 + static_cast<int>(seed % 7);
+    CspInstance csp(n, d);
+    for (int c = 0; c < 4; ++c) {
+      int a = rng.UniformInt(0, n - 1);
+      int b = rng.UniformInt(0, n - 2);
+      if (b >= a) ++b;
+      std::vector<Tuple> allowed;
+      int num_tuples = 500 + rng.UniformInt(0, 400);
+      for (int t = 0; t < num_tuples; ++t) {
+        allowed.push_back(
+            {rng.UniformInt(0, d - 1), rng.UniformInt(0, d - 1)});
+      }
+      csp.AddConstraint({a, b}, std::move(allowed));
+    }
+    ExpectGacAgrees(csp, "wide seed " + std::to_string(seed));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Relational kernels.
 

@@ -23,6 +23,14 @@ Mechanically enforces conventions the compiler cannot:
                   file using an obs macro must include "obs/obs.h"
                   directly rather than picking the tier up transitively.
 
+  raw-simd        Vendor SIMD intrinsic headers (<immintrin.h>,
+                  <x86intrin.h>, <arm_neon.h>) and __builtin_ia32_*
+                  builtins are banned everywhere except src/util/simd.h.
+                  Kernels express vector work through the simd::
+                  primitives so one backend switch (and one differential
+                  oracle) covers every hot loop; a stray intrinsic
+                  elsewhere silently breaks the scalar/NEON builds.
+
   wallclock       time.time / datetime.now / date.today / utcnow /
                   perf_counter are banned in bench/*.py and tools/*.py.
                   Benchmark distillers must be replayable: deriving
@@ -67,6 +75,12 @@ OBS_MACRO_RE = re.compile(
     r"GAUGE_(?:SET|MAX))\b"
 )
 
+RAW_SIMD_RE = re.compile(
+    r"#\s*include\s*<(immintrin|x86intrin|arm_neon|emmintrin|smmintrin|"
+    r"tmmintrin|avxintrin|avx2intrin)\.h>"
+    r"|\b__builtin_ia32_\w+"
+)
+
 WALLCLOCK_RE = re.compile(
     r"\btime\.time\s*\(|\bdatetime\.now\s*\(|\bdate\.today\s*\(|"
     r"\butcnow\s*\(|\bperf_counter\s*\(|\bmonotonic\s*\("
@@ -107,6 +121,7 @@ def lint_cpp(path, rel, lines):
     norm = rel.replace(os.sep, "/")
     is_header = norm.endswith(".h")
     in_sync_h = norm == "src/util/sync.h"
+    in_simd_h = norm == "src/util/simd.h"
     in_obs = norm.startswith("src/obs/")
     in_util = norm.startswith("src/util/")
 
@@ -121,6 +136,10 @@ def lint_cpp(path, rel, lines):
         if not in_sync_h and RAW_SYNC_RE.search(line):
             if not is_comment_only(line) and not allowed("raw-sync", lines, i):
                 findings.append(Finding("raw-sync", path, lineno, line))
+
+        if not in_simd_h and RAW_SIMD_RE.search(line):
+            if not is_comment_only(line) and not allowed("raw-simd", lines, i):
+                findings.append(Finding("raw-simd", path, lineno, line))
 
         m = OBS_MACRO_RE.search(line)
         if m and not is_comment_only(line) and "#define" not in line:
@@ -223,6 +242,21 @@ SELF_TEST_VIOLATIONS = [
         "void f() { CSPDB_TRACE_SPAN(db.bad); }\n",
     ),
     (
+        "raw-simd",
+        "src/csp/bad_intrinsics.cc",
+        "#include <immintrin.h>\n",
+    ),
+    (
+        "raw-simd",
+        "src/db/bad_neon.h",
+        "#include <arm_neon.h>\n",
+    ),
+    (
+        "raw-simd",
+        "src/db/bad_builtin.cc",
+        "int f(long long* p) { return __builtin_ia32_ptestz256(p, p); }\n",
+    ),
+    (
         "wallclock",
         "bench/bad_distill.py",
         # cspdb-lint: allow(wallclock) -- self-test fixture, string literal
@@ -247,6 +281,17 @@ SELF_TEST_CLEAN = [
         "obs macro in cc with include",
         "src/db/good.cc",
         '#include "obs/obs.h"\nvoid f() { CSPDB_COUNT(db.good); }\n',
+    ),
+    (
+        "raw-simd sanctioned in simd.h",
+        "src/util/simd.h",
+        "#include <immintrin.h>\n#include <arm_neon.h>\n",
+    ),
+    (
+        "raw-simd allow marker",
+        "src/db/escaped_simd.cc",
+        "// cspdb-lint: allow(raw-simd) -- vetted one-off kernel\n"
+        "#include <immintrin.h>\n",
     ),
 ]
 
