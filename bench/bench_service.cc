@@ -4,6 +4,8 @@
 // distilled by bench/distill_bench.py --mode service into
 // BENCH_service.json; the rate counters ride along as benchmark counters.
 
+#include <algorithm>
+#include <cstdint>
 #include <future>
 #include <utility>
 #include <vector>
@@ -24,6 +26,30 @@ namespace {
 CspInstance BenchCsp(int num_variables) {
   Rng rng(271828);
   return RandomBinaryCsp(num_variables, 4, num_variables * 3 / 2, 0.3, &rng);
+}
+
+// Exact nearest-rank quantile over the measured per-request latencies
+// (sorts a copy). Benchmarks publish *exact* quantiles — the histogram's
+// <=1%-error buckets are for always-on production metrics, not for the
+// numbers BENCH_service.json archives.
+double ExactQuantileNs(std::vector<int64_t> latencies, double q) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  // Same nearest-rank convention as HistogramSnapshot::ValueAtQuantile:
+  // rank = ceil(q * count) - 1, clamped.
+  const auto count = static_cast<int64_t>(latencies.size());
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  rank = std::max<int64_t>(1, std::min(rank, count)) - 1;
+  return static_cast<double>(latencies[static_cast<std::size_t>(rank)]);
+}
+
+// Publishes p50/p99/p999 latency counters from `latencies_ns`.
+void PublishQuantiles(benchmark::State& state,
+                      std::vector<int64_t> latencies_ns) {
+  state.counters["p50_ns"] = ExactQuantileNs(latencies_ns, 0.50);
+  state.counters["p99_ns"] = ExactQuantileNs(latencies_ns, 0.99);
+  state.counters["p999_ns"] = ExactQuantileNs(std::move(latencies_ns), 0.999);
 }
 
 // Latency of a guaranteed cache hit: canonicalize + lookup + map-back.
@@ -79,10 +105,14 @@ void BM_service_replay(benchmark::State& state) {
   workload.seed = 7;
   const std::vector<ServiceRequest> stream = GenerateRequestStream(workload);
   double hit_rate = 0.0;
+  std::vector<int64_t> latencies_ns;
   for (auto _ : state) {
     CspdbService service;
+    latencies_ns.clear();
+    latencies_ns.reserve(stream.size());
     for (const ServiceRequest& request : stream) {
       Response r = service.Handle(request);
+      latencies_ns.push_back(r.latency_ns);
       benchmark::DoNotOptimize(r);
     }
     const ServiceStats stats = service.stats();
@@ -92,6 +122,7 @@ void BM_service_replay(benchmark::State& state) {
   }
   state.counters["hit_rate"] = hit_rate;
   state.counters["requests"] = static_cast<double>(stream.size());
+  PublishQuantiles(state, std::move(latencies_ns));
 }
 BENCHMARK(BM_service_replay)->Arg(256)->Unit(benchmark::kMillisecond);
 
@@ -107,6 +138,7 @@ void BM_service_overload(benchmark::State& state) {
   workload.seed = 11;
   const std::vector<ServiceRequest> stream = GenerateRequestStream(workload);
   int64_t shed = 0, rejected = 0, total = 0;
+  std::vector<int64_t> latencies_ns;
   for (auto _ : state) {
     exec::ThreadPool pool(2);
     {
@@ -120,7 +152,14 @@ void BM_service_overload(benchmark::State& state) {
       for (const ServiceRequest& request : stream) {
         futures.push_back(service.Submit(request));
       }
-      for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+      latencies_ns.clear();
+      latencies_ns.reserve(futures.size());
+      for (auto& f : futures) {
+        Response r = f.get();
+        // End-to-end as the caller saw it: queue wait + handling.
+        latencies_ns.push_back(r.queue_wait_ns + r.latency_ns);
+        benchmark::DoNotOptimize(r);
+      }
       const ServiceStats stats = service.stats();
       shed = stats.shed_deadline;
       rejected = stats.rejected;
@@ -131,6 +170,7 @@ void BM_service_overload(benchmark::State& state) {
       total > 0 ? static_cast<double>(shed) / total : 0.0;
   state.counters["rejected_rate"] =
       total > 0 ? static_cast<double>(rejected) / total : 0.0;
+  PublishQuantiles(state, std::move(latencies_ns));
 }
 BENCHMARK(BM_service_overload)->Arg(64)->Unit(benchmark::kMillisecond);
 

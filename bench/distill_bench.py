@@ -18,8 +18,10 @@ oversubscribed=true so readers can tell real scaling from
 oversubscription on a small machine.
 
 --mode service takes plain BM_<op>/<size> names (bench_service) and emits
-ns/op plus any serving-layer rate counters the benchmark reported
-(hit_rate, shed_rate, rejected_rate, requests).
+ns/op plus any serving-layer counters the benchmark reported: rates
+(hit_rate, shed_rate, rejected_rate, requests) and exact per-request
+latency quantiles (p50_ns, p99_ns, p999_ns — computed by the benchmark
+from sorted latency vectors, not from histogram buckets).
 
 Usage: distill_bench.py <benchmark-json>... <output-json> [--label LABEL]
                         [--mode kernels|parallel|service]
@@ -57,7 +59,15 @@ def git_head() -> str:
 NAME_RE = re.compile(r"^BM_(?P<op>\w+?)_(?P<side>baseline|optimized)/(?P<size>\d+)$")
 PARALLEL_RE = re.compile(r"^BM_(?P<op>\w+?)_t(?P<threads>\d+)/(?P<size>\d+)$")
 SERVICE_RE = re.compile(r"^BM_(?P<op>\w+)/(?P<size>\d+)$")
-SERVICE_COUNTERS = ("hit_rate", "shed_rate", "rejected_rate", "requests")
+SERVICE_COUNTERS = (
+    "hit_rate",
+    "shed_rate",
+    "rejected_rate",
+    "requests",
+    "p50_ns",
+    "p99_ns",
+    "p999_ns",
+)
 
 
 def keep_min(cell, slot, bench):

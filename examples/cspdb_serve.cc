@@ -2,34 +2,119 @@
 // report serving statistics (hit rate, coalescing, sheds, latency). The
 // stream is seeded, so two runs with the same flags see identical
 // requests. With CSPDB_TRACE=out.json the run emits a Chrome trace whose
-// "service.*" spans show the cache/engine split per request.
+// "service.*" spans show the cache/engine split per request, stitched
+// into per-request lanes by "service.request" flow events.
 //
-//   cspdb_serve [num_requests] [pool_size] [zipf_s] [mutation_prob]
+//   cspdb_serve [--metrics-out=PATH] [--stats-out=PATH]
+//               [num_requests] [pool_size] [zipf_s] [mutation_prob]
 //               [timeout_ms]
+//
+//   --metrics-out=PATH  write the end-of-run metrics snapshot (counters,
+//                       gauges, timers, histograms with p50/p90/p99/p999)
+//                       as JSON; the shape tools/validate_metrics.py
+//                       checks. While the replay runs, a sampler thread
+//                       periodically refreshes the load gauges (pool
+//                       queue depth, cache bytes, in-flight requests).
+//   --stats-out=PATH    write the fingerprint-keyed runtime-stats store
+//                       dump (per-fingerprint outcome history) as JSON.
 //
 // The final "cache_hits=N ..." line is machine-greppable (CI asserts a
 // nonzero hit count on the default workload).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <future>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/obs.h"
 #include "service/server.h"
 #include "service/workload.h"
+
+namespace {
+
+// Refreshes the "service.load.*" gauges from the live service/pool while
+// the replay runs, so the metrics snapshot reflects mid-run load, not
+// just the quiesced end state. Plain std::thread + atomic flag: the
+// sampler owns no shared state beyond the always-thread-safe gauge and
+// stats accessors it calls.
+class GaugeSampler {
+ public:
+  GaugeSampler(cspdb::service::CspdbService* server,
+               cspdb::exec::ThreadPool* pool)
+      : server_(server), pool_(pool), thread_([this] { Loop(); }) {}
+
+  ~GaugeSampler() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      SampleOnce();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    SampleOnce();  // final sample after the stream drained
+  }
+
+  void SampleOnce() {
+    CSPDB_GAUGE_SET("service.load.queue_depth", pool_->queued());
+    CSPDB_GAUGE_SET("service.load.in_flight", server_->pending());
+    CSPDB_GAUGE_SET(
+        "service.load.cache_bytes",
+        static_cast<int64_t>(server_->cache().stats().bytes));
+    CSPDB_GAUGE_MAX("service.load.peak_in_flight", server_->pending());
+  }
+
+  cspdb::service::CspdbService* server_;
+  cspdb::exec::ThreadPool* pool_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  return out.good();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cspdb;
   using namespace cspdb::service;
 
+  std::string metrics_out;
+  std::string stats_out;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--stats-out=", 12) == 0) {
+      stats_out = argv[i] + 12;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
   WorkloadOptions workload;
-  workload.num_requests = argc > 1 ? std::atoi(argv[1]) : 400;
-  workload.pool_size = argc > 2 ? std::atoi(argv[2]) : 12;
-  workload.zipf_s = argc > 3 ? std::atof(argv[3]) : 1.1;
-  workload.mutation_prob = argc > 4 ? std::atof(argv[4]) : 0.05;
-  const int64_t timeout_ms = argc > 5 ? std::atoll(argv[5]) : 2000;
+  workload.num_requests =
+      positional.size() > 0 ? std::atoi(positional[0]) : 400;
+  workload.pool_size = positional.size() > 1 ? std::atoi(positional[1]) : 12;
+  workload.zipf_s = positional.size() > 2 ? std::atof(positional[2]) : 1.1;
+  workload.mutation_prob =
+      positional.size() > 3 ? std::atof(positional[3]) : 0.05;
+  const int64_t timeout_ms =
+      positional.size() > 4 ? std::atoll(positional[4]) : 2000;
   workload.seed = 42;
 
   std::printf("generating %d requests (pool %d per kind, zipf s=%.2f, "
@@ -42,21 +127,27 @@ int main(int argc, char** argv) {
   options.default_timeout_ns = timeout_ms * 1'000'000;
   CspdbService server(options);
 
-  std::vector<std::future<Response>> futures;
-  futures.reserve(stream.size());
-  for (ServiceRequest& request : stream) {
-    futures.push_back(server.Submit(std::move(request)));
-  }
-
   int64_t by_status[3] = {0, 0, 0};
   int64_t total_latency_ns = 0;
   int64_t max_latency_ns = 0;
-  for (auto& f : futures) {
-    Response r = f.get();
-    ++by_status[static_cast<int>(r.status)];
-    total_latency_ns += r.latency_ns;
-    if (r.latency_ns > max_latency_ns) max_latency_ns = r.latency_ns;
-  }
+  int64_t total_queue_wait_ns = 0;
+  {
+    GaugeSampler sampler(&server, &exec::ThreadPool::Global());
+
+    std::vector<std::future<Response>> futures;
+    futures.reserve(stream.size());
+    for (ServiceRequest& request : stream) {
+      futures.push_back(server.Submit(std::move(request)));
+    }
+
+    for (auto& f : futures) {
+      Response r = f.get();
+      ++by_status[static_cast<int>(r.status)];
+      total_latency_ns += r.latency_ns;
+      total_queue_wait_ns += r.queue_wait_ns;
+      if (r.latency_ns > max_latency_ns) max_latency_ns = r.latency_ns;
+    }
+  }  // sampler takes its final quiesced sample here
 
   const ServiceStats stats = server.stats();
   const CacheStats cache = server.cache().stats();
@@ -78,6 +169,10 @@ int main(int argc, char** argv) {
   std::printf("mean latency:      %.1f us (max %.1f us)\n",
               handled > 0 ? total_latency_ns / 1e3 / handled : 0.0,
               max_latency_ns / 1e3);
+  std::printf("mean queue wait:   %.1f us\n",
+              handled > 0 ? total_queue_wait_ns / 1e3 / handled : 0.0);
+  std::printf("stats store keys:  %lld\n",
+              (long long)server.stats_store().size());
 
   // Machine-readable line for CI (service-smoke greps cache_hits).
   std::printf("cache_hits=%lld coalesced=%lld engine_invocations=%lld "
@@ -85,6 +180,24 @@ int main(int argc, char** argv) {
               (long long)stats.cache_hits, (long long)stats.coalesced,
               (long long)stats.engine_invocations,
               (long long)stats.shed_deadline, (long long)stats.rejected);
+
+  if (!metrics_out.empty()) {
+    const std::string json = obs::MetricsRegistry::Global().SnapshotJson();
+    if (!WriteTextFile(metrics_out, json)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!stats_out.empty()) {
+    if (!WriteTextFile(stats_out, server.stats_store().DumpJson())) {
+      std::fprintf(stderr, "failed to write stats store to %s\n",
+                   stats_out.c_str());
+      return 1;
+    }
+    std::printf("stats store written to %s\n", stats_out.c_str());
+  }
 
   // In observability builds the "service.*" metrics mirror these counts.
   if (obs::MetricsRegistry::Global().HasCounter("service.requests")) {

@@ -56,6 +56,16 @@ ThreadPool& ThreadPool::Global() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   CSPDB_DCHECK(fn != nullptr);
+  // Carry the submitter's request context across the thread hop. Only
+  // wrap when a context is actually installed: the common engine-internal
+  // fan-out (no request id) keeps the unwrapped fast path.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.request_id != 0) {
+    fn = [ctx, inner = std::move(fn)] {
+      obs::TraceContextScope scope(ctx);
+      inner();
+    };
+  }
   const std::size_t target =
       submit_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {

@@ -79,7 +79,17 @@ class ThreadPool {
 
   /// Enqueues a fire-and-forget task on the least recently targeted
   /// worker deque. `fn` must not throw.
+  ///
+  /// Trace-context propagation: if the submitting thread has a non-zero
+  /// obs::TraceContext installed (a request id), the task is wrapped so
+  /// the same context is installed on the worker thread for the task's
+  /// duration — request-scoped flow events keep working across the hop.
   void Submit(std::function<void()> fn);
+
+  /// Tasks pushed and not yet popped, across every worker deque. A
+  /// sampling gauge, not a synchronization primitive: the value is
+  /// already stale when returned.
+  int64_t queued() const { return queued_.load(std::memory_order_relaxed); }
 
   /// Runs `body(lo, hi)` over disjoint chunks covering [begin, end), each
   /// at most `grain` long. Blocks until every chunk completed. The calling

@@ -1,0 +1,146 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace cspdb::obs {
+
+namespace {
+
+constexpr int64_t kOverflowBound = int64_t{1} << Histogram::kMaxExp;
+
+}  // namespace
+
+Histogram::Histogram() {
+  for (Shard& shard : shards_) {
+    // Value-initialized array: every std::atomic<int64_t> starts at 0.
+    shard.buckets = std::make_unique<std::atomic<int64_t>[]>(kNumBuckets);
+  }
+}
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kSubBuckets) return static_cast<int>(value);
+  if (value >= kOverflowBound) return kNumBuckets - 1;
+  const int exp = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  const int shift = exp - kSubBits;
+  const int64_t sub = (value >> shift) - kSubBuckets;
+  return static_cast<int>((exp - kSubBits + 1) * kSubBuckets + sub);
+}
+
+int64_t Histogram::BucketLowerBound(int index) {
+  if (index < kSubBuckets) return index;
+  if (index >= kNumBuckets - 1) return kOverflowBound;
+  const int octave = index >> kSubBits;          // >= 1
+  const int64_t sub = index & (kSubBuckets - 1);
+  return (kSubBuckets + sub) << (octave - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index >= kNumBuckets - 1) return kOverflowBound + 1;
+  return BucketLowerBound(index + 1);
+}
+
+int64_t Histogram::BucketRepresentative(int index) {
+  const int64_t lo = BucketLowerBound(index);
+  const int64_t hi = BucketUpperBound(index);
+  return lo + (hi - lo) / 2;
+}
+
+Histogram::Shard& Histogram::ShardForThisThread() {
+  // A sequential thread stripe id, like TraceSession::CurrentTid but
+  // local to the histogram layer so obs/histogram has no dependency on
+  // the tracer.
+  static std::atomic<uint32_t> next_stripe{0};
+  thread_local const uint32_t stripe =
+      next_stripe.fetch_add(1, std::memory_order_relaxed);
+  return shards_[stripe % kNumShards];
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  Shard& shard = ShardForThisThread();
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = shard.min.load(std::memory_order_relaxed);
+  while (value < seen && !shard.min.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+  seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen && !shard.max.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kNumBuckets, 0);
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  for (const Shard& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    min = std::min(min, shard.min.load(std::memory_order_relaxed));
+    max = std::max(max, shard.max.load(std::memory_order_relaxed));
+    for (int i = 0; i < kNumBuckets; ++i) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  snap.min = snap.count > 0 ? min : 0;
+  snap.max = snap.count > 0 ? max : 0;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(INT64_MAX, std::memory_order_relaxed);
+    shard.max.store(INT64_MIN, std::memory_order_relaxed);
+    for (int i = 0; i < kNumBuckets; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count > 0) {
+    min = count > 0 ? std::min(min, other.min) : other.min;
+    max = count > 0 ? std::max(max, other.max) : other.max;
+  }
+  count += other.count;
+  sum += other.sum;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+int64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the smallest rank r with (r + 1) / count >= q.
+  int64_t rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(count))) - 1;
+  rank = std::max<int64_t>(0, std::min(rank, count - 1));
+  int64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative > rank) {
+      const int64_t representative =
+          Histogram::BucketRepresentative(static_cast<int>(i));
+      // Tighten into the observed range: the extreme buckets' midpoints
+      // can overshoot the true extremes, and quantiles outside
+      // [min, max] would be nonsense.
+      return std::max(min, std::min(representative, max));
+    }
+  }
+  return max;  // unreachable when bucket counts sum to count
+}
+
+}  // namespace cspdb::obs

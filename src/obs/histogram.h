@@ -1,0 +1,127 @@
+// Log-bucketed latency histograms (HDR-style) for tail-latency
+// visibility: p50/p90/p99/p999 with a bounded relative bucket error,
+// cheap enough to record on every request.
+//
+// Bucket math (DESIGN.md "Observability" has the full derivation):
+// values are nonnegative int64 (nanoseconds in practice). Values below
+// 2^kSubBits = 64 get exact unit-width buckets. Above that, each octave
+// [2^e, 2^(e+1)) is split into 64 equal sub-buckets of width 2^(e-6), so
+// a bucket's midpoint is within half a sub-bucket of any value it holds:
+// relative error <= (2^(e-7)) / 2^e = 1/128 < 1%. Values at or above
+// 2^kMaxExp saturate into a single overflow bucket whose representative
+// is the tracking bound (still monotone, bounded memory). Negative
+// values clamp to 0.
+//
+// Recording is lock-free and sharded: each of kNumShards shards owns its
+// own bucket array of relaxed atomics plus count/sum/min/max, and a
+// thread picks a shard by a cheap thread-local id, so concurrent
+// recorders on different shards never contend on a cache line. A
+// snapshot sums the shards; snapshots are plain values that Merge()
+// bucket-wise (exactly associative), which is what lets per-process
+// snapshots aggregate across runs or shards-of-shards later.
+//
+// Quantiles are exact-rank over the bucketed distribution: for quantile
+// q of n recorded values, rank = ceil(q*n) - 1 (clamped), and the
+// returned value is the midpoint of the bucket holding that rank — the
+// same nearest-rank definition the oracle tests apply to a sorted
+// vector, so the only divergence is the <=1% bucket representative
+// error.
+
+#ifndef CSPDB_OBS_HISTOGRAM_H_
+#define CSPDB_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cspdb::obs {
+
+/// A point-in-time copy of one histogram: dense bucket counts plus the
+/// summary fields. Plain data — copy, merge, and query freely.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;  ///< smallest recorded value (0 when count == 0)
+  int64_t max = 0;  ///< largest recorded value (0 when count == 0)
+  std::vector<int64_t> buckets;  ///< dense, Histogram::kNumBuckets wide
+
+  /// Adds `other` into this snapshot bucket-wise. Exactly associative
+  /// and commutative (integer adds, min/min and max/max).
+  void Merge(const HistogramSnapshot& other);
+
+  /// Nearest-rank quantile over the bucketed distribution; `q` in
+  /// [0, 1]. Returns the midpoint of the bucket holding rank
+  /// ceil(q * count) - 1 (clamped to a valid rank), tightened into
+  /// [min, max] so quantiles never fall outside the observed range.
+  /// Returns 0 when the histogram is empty.
+  int64_t ValueAtQuantile(double q) const;
+};
+
+/// A concurrent log-bucketed histogram. All methods are thread-safe;
+/// Record is wait-free (two relaxed atomic adds plus bounded CAS loops
+/// for min/max on the recording thread's shard).
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits buckets per octave.
+  static constexpr int kSubBits = 6;
+  static constexpr int64_t kSubBuckets = int64_t{1} << kSubBits;
+
+  /// Values >= 2^kMaxExp land in the overflow bucket. 2^42 ns is about
+  /// 73 minutes — far past any latency this system serves.
+  static constexpr int kMaxExp = 42;
+
+  /// Dense bucket count: 64 exact unit buckets, 64 sub-buckets for each
+  /// octave [2^6, 2^42), plus the overflow bucket.
+  static constexpr int kNumBuckets =
+      static_cast<int>((kMaxExp - kSubBits + 1) * kSubBuckets) + 1;
+
+  Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one value (negative values clamp to 0).
+  void Record(int64_t value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Zeroes every shard. Test support; concurrent Record()s during a
+  /// reset may survive it (same contract as MetricsRegistry::ResetAll).
+  void Reset();
+
+  /// The dense bucket index for `value` (clamped to [0, kNumBuckets)).
+  static int BucketIndex(int64_t value);
+
+  /// Inclusive lower bound of bucket `index`.
+  static int64_t BucketLowerBound(int index);
+
+  /// Exclusive upper bound of bucket `index` (the overflow bucket
+  /// reports 2^kMaxExp + 1: its representative is the tracking bound).
+  static int64_t BucketUpperBound(int index);
+
+  /// The value reported for any sample in bucket `index`: the bucket
+  /// midpoint, which bounds the relative error at 1/128.
+  static int64_t BucketRepresentative(int index);
+
+ private:
+  // One shard per recording stripe, cache-line separated so concurrent
+  // recorders don't false-share.
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> min{INT64_MAX};
+    std::atomic<int64_t> max{INT64_MIN};
+    std::unique_ptr<std::atomic<int64_t>[]> buckets;  // kNumBuckets wide
+  };
+
+  static constexpr int kNumShards = 4;
+
+  Shard& ShardForThisThread();
+
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace cspdb::obs
+
+#endif  // CSPDB_OBS_HISTOGRAM_H_

@@ -38,9 +38,24 @@ Timer& MetricsRegistry::GetTimer(std::string_view name) {
   return *it->second;
 }
 
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  util::MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 bool MetricsRegistry::HasCounter(std::string_view name) const {
   util::ReaderLock lock(mu_);
   return counters_.find(name) != counters_.end();
+}
+
+bool MetricsRegistry::HasHistogram(std::string_view name) const {
+  util::ReaderLock lock(mu_);
+  return histograms_.find(name) != histograms_.end();
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -54,6 +69,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   }
   for (const auto& [name, timer] : timers_) {
     snap.timers[name] = {timer->count(), timer->total_ns()};
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
   }
   return snap;
 }
@@ -120,6 +138,29 @@ std::string MetricsRegistry::SnapshotJson() const {
         << ", \"total_ns\": " << value.total_ns << "}";
     first = false;
   }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    AppendJsonString(&out, name);
+    out << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"min\": " << h.min << ", \"max\": " << h.max
+        << ", \"p50\": " << h.ValueAtQuantile(0.50)
+        << ", \"p90\": " << h.ValueAtQuantile(0.90)
+        << ", \"p99\": " << h.ValueAtQuantile(0.99)
+        << ", \"p999\": " << h.ValueAtQuantile(0.999) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      out << (first_bucket ? "" : ", ") << "["
+          << Histogram::BucketLowerBound(static_cast<int>(i)) << ", "
+          << Histogram::BucketUpperBound(static_cast<int>(i)) << ", "
+          << h.buckets[i] << "]";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
   out << (first ? "}" : "\n  }") << "\n}\n";
   return out.str();
 }
@@ -131,6 +172,7 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, timer] : timers_) timer->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 }  // namespace cspdb::obs

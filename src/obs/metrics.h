@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.h"
 #include "util/sync.h"
 
 namespace cspdb::obs {
@@ -87,6 +88,7 @@ struct MetricsSnapshot {
   std::map<std::string, int64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, TimerValue> timers;
+  std::map<std::string, HistogramSnapshot> histograms;
 };
 
 /// The process-wide registry. Registration takes a writer lock,
@@ -103,15 +105,24 @@ class MetricsRegistry {
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
   Timer& GetTimer(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
 
   /// True if a metric of the given kind was ever registered under `name`.
   bool HasCounter(std::string_view name) const;
+  bool HasHistogram(std::string_view name) const;
 
   MetricsSnapshot Snapshot() const;
 
   /// The snapshot rendered as a JSON object:
   ///   {"counters": {...}, "gauges": {...},
-  ///    "timers": {name: {"count": c, "total_ns": t}, ...}}
+  ///    "timers": {name: {"count": c, "total_ns": t}, ...},
+  ///    "histograms": {name: {"count": c, "sum": s, "min": m, "max": M,
+  ///                          "p50": ..., "p90": ..., "p99": ...,
+  ///                          "p999": ...,
+  ///                          "buckets": [[lo, hi, count], ...]}, ...}}
+  /// Histogram buckets are emitted sparsely (nonzero only) as
+  /// [inclusive lower bound, exclusive upper bound, count] triples in
+  /// ascending order — the shape tools/validate_metrics.py checks.
   std::string SnapshotJson() const;
 
   /// Zeroes every registered metric (handles stay valid). Test support;
@@ -131,6 +142,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
       CSPDB_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_
+      CSPDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       CSPDB_GUARDED_BY(mu_);
 };
 

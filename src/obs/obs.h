@@ -15,9 +15,16 @@
 //   CSPDB_GAUGE_MAX(name, v)     raise gauge `name` to v (high watermark)
 //   CSPDB_TIMER_SCOPE(name)      RAII: accumulate this scope's wall time
 //                                into timer `name` AND emit a trace span
+//   CSPDB_HISTO_NS(name, ns)     record ns into latency histogram `name`
+//   CSPDB_HISTO_SCOPE(name)      RAII: record this scope's wall time into
+//                                histogram `name` AND emit a trace span
 //   CSPDB_TRACE_SPAN(name)       RAII: trace span only (no timer)
 //   CSPDB_TRACE_INSTANT(name)    instant event in the trace
 //   CSPDB_TRACE_COUNTER(name, v) counter track sample in the trace
+//   CSPDB_TRACE_FLOW_BEGIN(name, id)  flow-start: arrow from the
+//                                enclosing span (requires an open span)
+//   CSPDB_TRACE_FLOW_END(name, id)    matching flow-end in the enclosing
+//                                span of another thread's lane
 //
 // CSPDB_TIMER_SCOPE / CSPDB_TRACE_SPAN declare local objects: use them as
 // statements inside a block, not as the body of a braceless `if`.
@@ -67,6 +74,34 @@ class TimedSpan {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// RAII helper behind CSPDB_HISTO_SCOPE: records elapsed wall time into a
+/// registry histogram and brackets the scope with trace begin/end events
+/// when a trace session is active.
+class HistoSpan {
+ public:
+  HistoSpan(const char* name, Histogram& histogram)
+      : name_(name),
+        histogram_(histogram),
+        tracing_(TraceSession::Global().enabled()),
+        start_(std::chrono::steady_clock::now()) {
+    if (tracing_) TraceSession::Global().BeginSpan(name_);
+  }
+  ~HistoSpan() {
+    histogram_.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count());
+    if (tracing_) TraceSession::Global().EndSpan(name_);
+  }
+  HistoSpan(const HistoSpan&) = delete;
+  HistoSpan& operator=(const HistoSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram& histogram_;
+  bool tracing_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace cspdb::obs
 
 #define CSPDB_OBS_CONCAT_INNER(a, b) a##b
@@ -104,6 +139,20 @@ class TimedSpan {
   ::cspdb::obs::TimedSpan CSPDB_OBS_CONCAT(cspdb_obs_span_, __LINE__)(     \
       (name), CSPDB_OBS_CONCAT(cspdb_obs_timer_, __LINE__))
 
+#define CSPDB_HISTO_NS(name, ns)                                      \
+  do {                                                                \
+    static ::cspdb::obs::Histogram& cspdb_obs_histogram =             \
+        ::cspdb::obs::MetricsRegistry::Global().GetHistogram((name)); \
+    cspdb_obs_histogram.Record((ns));                                 \
+  } while (false)
+
+#define CSPDB_HISTO_SCOPE(name)                                            \
+  static ::cspdb::obs::Histogram& CSPDB_OBS_CONCAT(cspdb_obs_histo_,       \
+                                                   __LINE__) =             \
+      ::cspdb::obs::MetricsRegistry::Global().GetHistogram((name));        \
+  ::cspdb::obs::HistoSpan CSPDB_OBS_CONCAT(cspdb_obs_hspan_, __LINE__)(    \
+      (name), CSPDB_OBS_CONCAT(cspdb_obs_histo_, __LINE__))
+
 #define CSPDB_TRACE_SPAN(name) \
   ::cspdb::obs::ScopedSpan CSPDB_OBS_CONCAT(cspdb_obs_span_, __LINE__)((name))
 
@@ -121,6 +170,20 @@ class TimedSpan {
     }                                                                  \
   } while (false)
 
+#define CSPDB_TRACE_FLOW_BEGIN(name, id)                               \
+  do {                                                                 \
+    if (::cspdb::obs::TraceSession::Global().enabled()) {              \
+      ::cspdb::obs::TraceSession::Global().FlowStart((name), (id));    \
+    }                                                                  \
+  } while (false)
+
+#define CSPDB_TRACE_FLOW_END(name, id)                                 \
+  do {                                                                 \
+    if (::cspdb::obs::TraceSession::Global().enabled()) {              \
+      ::cspdb::obs::TraceSession::Global().FlowEnd((name), (id));      \
+    }                                                                  \
+  } while (false)
+
 #else  // !CSPDB_OBS_ENABLED
 
 // sizeof keeps operands type-checked and "used" without evaluating them
@@ -131,9 +194,15 @@ class TimedSpan {
 #define CSPDB_GAUGE_SET(name, v) ((void)sizeof(name), (void)sizeof((v)))
 #define CSPDB_GAUGE_MAX(name, v) ((void)sizeof(name), (void)sizeof((v)))
 #define CSPDB_TIMER_SCOPE(name) ((void)sizeof(name))
+#define CSPDB_HISTO_NS(name, ns) ((void)sizeof(name), (void)sizeof((ns)))
+#define CSPDB_HISTO_SCOPE(name) ((void)sizeof(name))
 #define CSPDB_TRACE_SPAN(name) ((void)sizeof(name))
 #define CSPDB_TRACE_INSTANT(name) ((void)sizeof(name))
 #define CSPDB_TRACE_COUNTER(name, v) ((void)sizeof(name), (void)sizeof((v)))
+#define CSPDB_TRACE_FLOW_BEGIN(name, id) \
+  ((void)sizeof(name), (void)sizeof((id)))
+#define CSPDB_TRACE_FLOW_END(name, id) \
+  ((void)sizeof(name), (void)sizeof((id)))
 
 #endif  // CSPDB_OBS_ENABLED
 

@@ -1,0 +1,154 @@
+#include "obs/stats_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cspdb::obs {
+
+StatsStore::StatsStore(StatsStoreOptions options)
+    : keys_per_shard_(std::max<std::size_t>(
+          1, (options.max_keys + kNumShards - 1) / kNumShards)),
+      history_per_key_(std::max<std::size_t>(1, options.history_per_key)) {}
+
+void StatsStore::Record(const StatsKey& key, const RequestOutcome& outcome) {
+  Shard& shard = ShardFor(key);
+  util::MutexLock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    if (shard.entries.size() >= keys_per_shard_) {
+      // Evict the least recently recorded key of this shard.
+      const StatsKey victim = shard.lru.back();
+      shard.lru.pop_back();
+      shard.entries.erase(victim);
+    }
+    shard.lru.push_front(key);
+    Entry entry;
+    entry.min_wall_ns = outcome.wall_ns;
+    entry.max_wall_ns = outcome.wall_ns;
+    entry.ring.reserve(history_per_key_);
+    entry.lru_pos = shard.lru.begin();
+    it = shard.entries.emplace(key, std::move(entry)).first;
+  } else if (it->second.lru_pos != shard.lru.begin()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  }
+  Entry& entry = it->second;
+  entry.count += 1;
+  entry.total_wall_ns += outcome.wall_ns;
+  entry.min_wall_ns = std::min(entry.min_wall_ns, outcome.wall_ns);
+  entry.max_wall_ns = std::max(entry.max_wall_ns, outcome.wall_ns);
+  if (entry.ring.size() < history_per_key_) {
+    entry.ring.push_back(outcome);
+  } else {
+    entry.ring[entry.ring_next] = outcome;
+    entry.ring_next = (entry.ring_next + 1) % history_per_key_;
+  }
+}
+
+std::optional<KeySummary> StatsStore::Query(const StatsKey& key) const {
+  const Shard& shard = ShardFor(key);
+  util::MutexLock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return std::nullopt;
+  const Entry& entry = it->second;
+  KeySummary summary;
+  summary.count = entry.count;
+  summary.total_wall_ns = entry.total_wall_ns;
+  summary.min_wall_ns = entry.min_wall_ns;
+  summary.max_wall_ns = entry.max_wall_ns;
+  // The ring holds the last N outcomes with ring_next pointing at the
+  // oldest once full; unwind it newest-first.
+  const std::size_t n = entry.ring.size();
+  summary.recent.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    summary.recent.push_back(entry.ring[(entry.ring_next + n - 1 - i) % n]);
+  }
+  return summary;
+}
+
+std::size_t StatsStore::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    util::MutexLock lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+void StatsStore::Clear() {
+  for (Shard& shard : shards_) {
+    util::MutexLock lock(shard.mu);
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+}
+
+namespace {
+
+void AppendOutcomeJson(std::ostringstream* out, const RequestOutcome& o) {
+  *out << "{\"kind\": " << o.kind << ", \"status\": " << o.status
+       << ", \"cache_disposition\": " << o.cache_disposition
+       << ", \"work_items\": " << o.work_items
+       << ", \"wall_ns\": " << o.wall_ns
+       << ", \"queue_wait_ns\": " << o.queue_wait_ns << "}";
+}
+
+}  // namespace
+
+std::string StatsStore::DumpJson() const {
+  // Snapshot everything first so the JSON walk holds no locks, then sort
+  // by key so dumps are deterministic regardless of shard/hash order.
+  struct Row {
+    StatsKey key;
+    KeySummary summary;
+  };
+  std::vector<Row> rows;
+  for (const Shard& shard : shards_) {
+    util::MutexLock lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      KeySummary summary;
+      summary.count = entry.count;
+      summary.total_wall_ns = entry.total_wall_ns;
+      summary.min_wall_ns = entry.min_wall_ns;
+      summary.max_wall_ns = entry.max_wall_ns;
+      const std::size_t n = entry.ring.size();
+      summary.recent.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        summary.recent.push_back(entry.ring[(entry.ring_next + n - 1 - i) % n]);
+      }
+      rows.push_back({key, std::move(summary)});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.key.hi != b.key.hi ? a.key.hi < b.key.hi : a.key.lo < b.key.lo;
+  });
+
+  std::ostringstream out;
+  out << "{\n  \"max_keys\": " << keys_per_shard_ * kNumShards
+      << ",\n  \"keys\": [";
+  const char* sep = "\n    ";
+  for (const Row& row : rows) {
+    char hex[33];
+    std::snprintf(hex, sizeof(hex), "%016llx%016llx",
+                  static_cast<unsigned long long>(row.key.hi),
+                  static_cast<unsigned long long>(row.key.lo));
+    out << sep << "{\"key\": \"" << hex << "\", \"count\": "
+        << row.summary.count
+        << ", \"total_wall_ns\": " << row.summary.total_wall_ns
+        << ", \"min_wall_ns\": " << row.summary.min_wall_ns
+        << ", \"max_wall_ns\": " << row.summary.max_wall_ns
+        << ", \"recent\": [";
+    const char* osep = "";
+    for (const RequestOutcome& o : row.summary.recent) {
+      out << osep;
+      AppendOutcomeJson(&out, o);
+      osep = ", ";
+    }
+    out << "]}";
+    sep = ",\n    ";
+  }
+  out << (rows.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+}  // namespace cspdb::obs

@@ -1,0 +1,159 @@
+// Fingerprint-keyed runtime-stats store: a bounded, sharded map from a
+// 128-bit request key (the service's canonical fingerprint, but any
+// stable 128-bit identity works — obs/ knows nothing about service/) to
+// the outcomes of prior requests with that key. The serving layer records
+// one RequestOutcome per handled request; later requests with the same
+// fingerprint can ask "how did this query behave before?" — the
+// adaptive-dispatch hook ROADMAP.md's open items call for.
+//
+// Bounding and eviction: each of the kNumShards shards holds at most
+// max_keys / kNumShards keys under LRU eviction (recording to a key
+// refreshes it; the least recently *recorded* key is evicted when a
+// shard is full). Per key, only the last history_per_key outcomes are
+// retained in a ring, plus running aggregates over every outcome ever
+// recorded for the key — so memory is O(max_keys * history_per_key)
+// regardless of traffic volume or skew.
+//
+// Thread safety: each shard is guarded by its own util::Mutex (leaf
+// locks: nothing is acquired while holding one, and operations touch
+// exactly one shard except Clear/size/DumpJson which take them in index
+// order one at a time). Clean under TSan by construction — verified by
+// tests/stats_store_test.cc's StatsStoreConcurrency hammer.
+
+#ifndef CSPDB_OBS_STATS_STORE_H_
+#define CSPDB_OBS_STATS_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace cspdb::obs {
+
+/// A 128-bit request identity. The service passes its canonical
+/// fingerprint; the store only hashes and compares it.
+struct StatsKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const StatsKey& a, const StatsKey& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// One handled request's outcome. The integer codes (kind, status,
+/// cache_disposition) are caller-defined ordinals — the store treats
+/// them as opaque labels and echoes them back in queries and dumps.
+struct RequestOutcome {
+  int32_t kind = 0;               ///< request-kind ordinal
+  int32_t status = 0;             ///< status-code ordinal
+  int32_t cache_disposition = 0;  ///< e.g. miss/hit/coalesced/bypass
+  int64_t work_items = 0;  ///< engine-specific size: nodes, rows, facts
+  int64_t wall_ns = 0;     ///< handling wall time
+  int64_t queue_wait_ns = 0;  ///< enqueue -> task-start wait (async only)
+};
+
+/// Aggregate view of every outcome ever recorded for one key, plus the
+/// retained ring of recent outcomes (most recent first).
+struct KeySummary {
+  int64_t count = 0;         ///< outcomes recorded (not just retained)
+  int64_t total_wall_ns = 0;
+  int64_t min_wall_ns = 0;
+  int64_t max_wall_ns = 0;
+  std::vector<RequestOutcome> recent;  ///< newest first, bounded
+};
+
+struct StatsStoreOptions {
+  /// Total key capacity across shards (rounded up to a multiple of the
+  /// shard count; minimum one key per shard).
+  std::size_t max_keys = 4096;
+  /// Recent outcomes retained per key.
+  std::size_t history_per_key = 8;
+};
+
+class StatsStore {
+ public:
+  explicit StatsStore(StatsStoreOptions options = {});
+
+  StatsStore(const StatsStore&) = delete;
+  StatsStore& operator=(const StatsStore&) = delete;
+
+  /// Records `outcome` under `key`, refreshing the key's LRU position
+  /// and evicting the shard's least recently recorded key if the shard
+  /// is at capacity.
+  void Record(const StatsKey& key, const RequestOutcome& outcome);
+
+  /// Stats of prior requests with this exact key, or nullopt if the key
+  /// was never recorded (or has been evicted). Does not refresh LRU —
+  /// querying is free of side effects.
+  std::optional<KeySummary> Query(const StatsKey& key) const;
+
+  /// Keys currently resident (post-eviction), across all shards.
+  std::size_t size() const;
+
+  /// Every resident key with aggregates and retained outcomes, as a JSON
+  /// object:
+  ///   {"max_keys": N, "keys": [{"key": "<hex32>", "count": c,
+  ///     "total_wall_ns": t, "min_wall_ns": m, "max_wall_ns": M,
+  ///     "recent": [{"kind": k, "status": s, "cache_disposition": d,
+  ///                 "work_items": w, "wall_ns": n,
+  ///                 "queue_wait_ns": q}, ...]}, ...]}
+  /// Keys are emitted in ascending hex order so dumps diff cleanly.
+  std::string DumpJson() const;
+
+  /// Drops every key. Capacity configuration is retained.
+  void Clear();
+
+ private:
+  struct Entry {
+    int64_t count = 0;
+    int64_t total_wall_ns = 0;
+    int64_t min_wall_ns = 0;
+    int64_t max_wall_ns = 0;
+    std::vector<RequestOutcome> ring;  ///< capacity history_per_key
+    std::size_t ring_next = 0;         ///< next slot to overwrite
+    std::list<StatsKey>::iterator lru_pos;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const StatsKey& key) const {
+      // splitmix-style mix of the halves; the fingerprint is already
+      // well distributed but defend against adversarially similar keys.
+      uint64_t x = key.lo ^ (key.hi * 0x9e3779b97f4a7c15ULL);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  static constexpr int kNumShards = 8;
+
+  struct Shard {
+    mutable util::Mutex mu;
+    std::unordered_map<StatsKey, Entry, KeyHash> entries
+        CSPDB_GUARDED_BY(mu);
+    // Front = most recently recorded; evict from the back.
+    std::list<StatsKey> lru CSPDB_GUARDED_BY(mu);
+  };
+
+  const Shard& ShardFor(const StatsKey& key) const {
+    return shards_[KeyHash{}(key) % kNumShards];
+  }
+  Shard& ShardFor(const StatsKey& key) {
+    return shards_[KeyHash{}(key) % kNumShards];
+  }
+
+  std::size_t keys_per_shard_;
+  std::size_t history_per_key_;
+  Shard shards_[kNumShards];
+};
+
+}  // namespace cspdb::obs
+
+#endif  // CSPDB_OBS_STATS_STORE_H_

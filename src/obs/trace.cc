@@ -12,6 +12,8 @@ namespace {
 
 void FlushGlobalAtExit() { TraceSession::Global().Stop(); }
 
+thread_local TraceContext g_trace_context;
+
 // Minimal JSON string escaping for event/track names (quote, backslash,
 // and control characters; names are identifiers in practice).
 void WriteJsonString(std::ofstream& out, const char* s) {
@@ -32,6 +34,15 @@ void WriteJsonString(std::ofstream& out, const char* s) {
 }
 
 }  // namespace
+
+TraceContext CurrentTraceContext() { return g_trace_context; }
+
+TraceContextScope::TraceContextScope(TraceContext ctx)
+    : saved_(g_trace_context) {
+  g_trace_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { g_trace_context = saved_; }
 
 uint64_t TraceSession::CurrentTid() {
   // Sequential registry instead of std::hash<std::thread::id>: hashes can
@@ -132,6 +143,12 @@ void TraceSession::Instant(const char* name) { Record('i', name, 0); }
 void TraceSession::CounterValue(const char* name, int64_t value) {
   Record('C', name, value);
 }
+void TraceSession::FlowStart(const char* name, uint64_t id) {
+  Record('s', name, static_cast<int64_t>(id));
+}
+void TraceSession::FlowEnd(const char* name, uint64_t id) {
+  Record('f', name, static_cast<int64_t>(id));
+}
 
 void TraceSession::WriteFileLocked() {
   std::ofstream out(path_, std::ios::trunc);
@@ -163,6 +180,11 @@ void TraceSession::WriteFileLocked() {
       out << ", \"s\": \"t\"";
     } else if (e.phase == 'C') {
       out << ", \"args\": {\"value\": " << e.arg << "}";
+    } else if (e.phase == 's' || e.phase == 'f') {
+      // Flow events match on (cat, name, id); "bp": "e" binds the end
+      // to its enclosing span instead of the next slice to begin.
+      out << ", \"cat\": \"flow\", \"id\": " << e.arg;
+      if (e.phase == 'f') out << ", \"bp\": \"e\"";
     }
     out << "}";
     sep = ",\n";

@@ -24,6 +24,33 @@
 
 namespace cspdb::obs {
 
+/// Request-scoped trace context, propagated across thread hops so a
+/// request's spans stitch into one logical lane via flow events. The
+/// current context is thread-local; exec::ThreadPool::Submit captures it
+/// at enqueue time and re-installs it inside the task wrapper, so any
+/// code running on behalf of a request can ask "which request?" without
+/// plumbing an argument through every layer. `request_id` 0 means "no
+/// request" (nothing is captured or emitted).
+struct TraceContext {
+  uint64_t request_id = 0;
+};
+
+/// The calling thread's current context ({0} when none is installed).
+TraceContext CurrentTraceContext();
+
+/// RAII: installs `ctx` as the calling thread's context, restoring the
+/// previous one on destruction (contexts nest like scopes).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
 /// The process-wide trace session.
 class TraceSession {
  public:
@@ -71,15 +98,28 @@ class TraceSession {
   /// delta sizes) render as tracks in the viewer.
   void CounterValue(const char* name, int64_t value);
 
+  /// Emits a flow-start event ("ph":"s"). Chrome/Perfetto draw an arrow
+  /// from the duration span enclosing this event to the span enclosing
+  /// the matching FlowEnd — which is how a request's spans link across
+  /// worker-thread lanes. Lifetime rules (validated by
+  /// tools/validate_trace.py): a flow event must be emitted while a
+  /// span is open on its thread (it binds to that span), and every
+  /// started id must be finished exactly once before the session ends.
+  void FlowStart(const char* name, uint64_t id);
+
+  /// Emits the matching flow-end event ("ph":"f", "bp":"e" — binds to
+  /// the *enclosing* span rather than the next one to start).
+  void FlowEnd(const char* name, uint64_t id);
+
  private:
   TraceSession();
 
   struct Event {
-    char phase;        // 'B', 'E', 'i', or 'C'
+    char phase;        // 'B', 'E', 'i', 'C', 's', or 'f'
     const char* name;  // not owned; must outlive the session
     int64_t ts_ns;     // relative to session start
     uint64_t tid;
-    int64_t arg;  // counter value for 'C' events
+    int64_t arg;  // counter value for 'C'; flow id for 's'/'f'
   };
 
   void Record(char phase, const char* name, int64_t arg);

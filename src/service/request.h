@@ -112,6 +112,10 @@ struct Response {
   bool coalesced = false;  ///< served by another request's in-flight run
   int64_t latency_ns = 0;  ///< Handle() wall time (excludes queue wait
                            ///< for async submissions)
+  int64_t queue_wait_ns = 0;  ///< enqueue -> task-start wait for async
+                              ///< Submit(); 0 on the synchronous path.
+                              ///< End-to-end latency as the caller saw
+                              ///< it is queue_wait_ns + latency_ns.
 };
 
 }  // namespace cspdb::service

@@ -56,7 +56,8 @@ CspdbService::CspdbService(ServiceOptions options)
     : options_(options),
       pool_(options.pool != nullptr ? options.pool
                                     : &exec::ThreadPool::Global()),
-      cache_(options.cache) {}
+      cache_(options.cache),
+      stats_store_(options.stats_store) {}
 
 CspdbService::~CspdbService() {
   util::MutexLock lock(drain_mu_);
@@ -104,23 +105,44 @@ std::future<Response> CspdbService::Submit(ServiceRequest request,
     return future;
   }
 
-  pool_->Submit([this, promise, request = std::move(request), deadline_ns] {
-    try {
-      promise->set_value(HandleAbsolute(request, deadline_ns));
-    } catch (...) {
-      // The future must always complete and pending_ must always drop,
-      // or Submit callers hang and the destructor's drain never finishes.
-      promise->set_exception(std::current_exception());
-    }
-    // Decrement and notify while holding drain_mu_: the destructor may
-    // destroy drain_mu_/drain_cv_ the moment its wait observes
-    // pending_ == 0, so the zero transition and the notify must both
-    // happen before it can re-acquire the lock and return.
-    util::MutexLock lock(drain_mu_);
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      drain_cv_.NotifyAll();
-    }
-  });
+  // Request id for flow tracing and the stats store. Allocated only for
+  // *admitted* submissions: a flow start with no matching end (e.g. on a
+  // rejected request) would be a dangling arrow, which
+  // tools/validate_trace.py treats as an error.
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t enqueue_ns = NowNs();
+  {
+    // The flow start must sit inside an open span on this thread (it
+    // binds to the enclosing slice); the submit span also makes queue
+    // time visible as the gap to the worker's service.handle span.
+    CSPDB_TRACE_SPAN("service.submit");
+    CSPDB_TRACE_FLOW_BEGIN("service.request", request_id);
+    // Install the request context for the duration of the enqueue:
+    // ThreadPool::Submit captures it and re-installs it in the task
+    // wrapper, carrying the request identity across the thread hop.
+    obs::TraceContextScope context_scope(obs::TraceContext{request_id});
+    pool_->Submit([this, promise, request = std::move(request), deadline_ns,
+                   request_id, enqueue_ns] {
+      try {
+        promise->set_value(HandleAbsolute(request, deadline_ns, request_id,
+                                          NowNs() - enqueue_ns));
+      } catch (...) {
+        // The future must always complete and pending_ must always drop,
+        // or Submit callers hang and the destructor's drain never
+        // finishes.
+        promise->set_exception(std::current_exception());
+      }
+      // Decrement and notify while holding drain_mu_: the destructor may
+      // destroy drain_mu_/drain_cv_ the moment its wait observes
+      // pending_ == 0, so the zero transition and the notify must both
+      // happen before it can re-acquire the lock and return.
+      util::MutexLock lock(drain_mu_);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        drain_cv_.NotifyAll();
+      }
+    });
+  }
   return future;
 }
 
@@ -180,9 +202,11 @@ CspdbService::CanonicalRequest CspdbService::Canonicalize(
 
 std::shared_ptr<const EngineAnswer> CspdbService::RunEngine(
     const ServiceRequest& request, const CanonicalRequest& canon,
-    int64_t deadline_ns) {
+    int64_t deadline_ns, int64_t* work_items) {
   engine_invocations_.fetch_add(1, std::memory_order_relaxed);
   CSPDB_COUNT("service.engine_invocations");
+  CSPDB_HISTO_SCOPE("service.engine_ns");
+  *work_items = 0;
   switch (KindOf(request)) {
     case RequestKind::kSolveCsp: {
       CSPDB_TIMER_SCOPE("service.engine.solve_csp");
@@ -198,6 +222,7 @@ std::shared_ptr<const EngineAnswer> CspdbService::RunEngine(
       BacktrackingSolver solver(canon.csp->canonical, solver_options);
       CspAnswer answer;
       answer.solution = solver.Solve();
+      *work_items = solver.stats().nodes;
       if (solver.stats().aborted) return nullptr;  // deadline / node budget
       answer.complete = true;
       return std::make_shared<const EngineAnswer>(std::move(answer));
@@ -206,6 +231,7 @@ std::shared_ptr<const EngineAnswer> CspdbService::RunEngine(
       CSPDB_TIMER_SCOPE("service.engine.eval_cq");
       const auto& req = std::get<EvalCqRequest>(request);
       const DbRelation result = Evaluate(req.query, req.database);
+      *work_items = static_cast<int64_t>(result.size());
       std::vector<Tuple> tuples;
       tuples.reserve(result.size());
       for (auto row : result.rows()) tuples.push_back(row.ToTuple());
@@ -227,6 +253,7 @@ std::shared_ptr<const EngineAnswer> CspdbService::RunEngine(
       for (const auto& [predicate, facts] : result.idb) {
         answer.total_idb_facts += static_cast<int64_t>(facts.size());
       }
+      *work_items = answer.total_idb_facts;
       return std::make_shared<const EngineAnswer>(std::move(answer));
     }
     case RequestKind::kCheckContainment: {
@@ -234,6 +261,7 @@ std::shared_ptr<const EngineAnswer> CspdbService::RunEngine(
       const auto& req = std::get<CheckContainmentRequest>(request);
       BoolAnswer answer;
       answer.value = IsContainedIn(req.q1, req.q2);
+      *work_items = 1;
       return std::make_shared<const EngineAnswer>(answer);
     }
   }
@@ -258,23 +286,61 @@ EngineAnswer CspdbService::MapBack(const EngineAnswer& canonical,
 }
 
 Response CspdbService::HandleAbsolute(const ServiceRequest& request,
-                                      int64_t deadline_ns) {
+                                      int64_t deadline_ns,
+                                      uint64_t request_id,
+                                      int64_t queue_wait_ns) {
   CSPDB_TIMER_SCOPE("service.handle");
+  // Close the submit-side flow arrow first thing inside the handle span,
+  // so even requests shed before canonicalization complete their flow
+  // (every started id must be finished — validate_trace.py checks).
+  if (request_id != 0) {
+    CSPDB_TRACE_FLOW_END("service.request", request_id);
+  }
   const int64_t start_ns = NowNs();
   requests_.fetch_add(1, std::memory_order_relaxed);
   CSPDB_COUNT("service.requests");
 
   Response response;
   response.kind = KindOf(request);
+  response.queue_wait_ns = queue_wait_ns;
+
+  // Engaged once the request has been canonicalized; stats-store records
+  // are keyed by the canonical fingerprint, so requests shed earlier
+  // (deadline passed while queued) leave no record.
+  std::optional<Fingerprint> recorded_fingerprint;
+  int64_t work_items = 0;
 
   auto finish = [&](StatusCode status) -> Response {
     response.status = status;
     response.latency_ns = NowNs() - start_ns;
+    CSPDB_HISTO_NS("service.handle_ns", response.latency_ns);
+    if (request_id != 0) {
+      CSPDB_HISTO_NS("service.queue_wait_ns", queue_wait_ns);
+    }
     if (status == StatusCode::kOk) {
       ok_.fetch_add(1, std::memory_order_relaxed);
     } else if (status == StatusCode::kDeadlineExceeded) {
       shed_deadline_.fetch_add(1, std::memory_order_relaxed);
       CSPDB_COUNT("service.shed.deadline");
+    }
+    if (recorded_fingerprint.has_value()) {
+      CacheDisposition disposition = CacheDisposition::kMiss;
+      if (!recorded_fingerprint->exact) {
+        disposition = CacheDisposition::kBypass;
+      } else if (response.cache_hit) {
+        disposition = CacheDisposition::kHit;
+      } else if (response.coalesced) {
+        disposition = CacheDisposition::kCoalesced;
+      }
+      obs::RequestOutcome outcome;
+      outcome.kind = static_cast<int32_t>(response.kind);
+      outcome.status = static_cast<int32_t>(status);
+      outcome.cache_disposition = static_cast<int32_t>(disposition);
+      outcome.work_items = work_items;
+      outcome.wall_ns = response.latency_ns;
+      outcome.queue_wait_ns = queue_wait_ns;
+      stats_store_.Record(
+          {recorded_fingerprint->lo, recorded_fingerprint->hi}, outcome);
     }
     return response;
   };
@@ -284,6 +350,7 @@ Response CspdbService::HandleAbsolute(const ServiceRequest& request,
   if (DeadlinePassed(deadline_ns)) return finish(StatusCode::kDeadlineExceeded);
 
   const CanonicalRequest canon = Canonicalize(request);
+  recorded_fingerprint = canon.fingerprint;
   const bool cacheable = options_.enable_cache && canon.fingerprint.exact;
   if (!canon.fingerprint.exact) {
     uncacheable_.fetch_add(1, std::memory_order_relaxed);
@@ -309,7 +376,7 @@ Response CspdbService::HandleAbsolute(const ServiceRequest& request,
   // it is published to coalesced waiters.
   auto compute = [&]() -> std::shared_ptr<const EngineAnswer> {
     std::shared_ptr<const EngineAnswer> answer =
-        RunEngine(request, canon, deadline_ns);
+        RunEngine(request, canon, deadline_ns, &work_items);
     if (answer != nullptr && cacheable) {
       cache_.Insert(canon.fingerprint, response.kind, answer, NowNs());
     }

@@ -40,6 +40,7 @@
 
 #include "exec/cancellation.h"
 #include "exec/thread_pool.h"
+#include "obs/stats_store.h"
 #include "service/fingerprint.h"
 #include "service/request.h"
 #include "service/result_cache.h"
@@ -68,6 +69,10 @@ struct ServiceOptions {
   /// Safety-valve node budget for the CSP solver; -1 = unlimited. A
   /// budget-aborted search is reported as DEADLINE_EXCEEDED.
   int64_t solver_node_limit = -1;
+
+  /// Capacity of the fingerprint-keyed runtime-stats store (bounded LRU;
+  /// see obs/stats_store.h).
+  obs::StatsStoreOptions stats_store;
 };
 
 /// Always-compiled service counters (a per-service view of the
@@ -82,6 +87,16 @@ struct ServiceStats {
   int64_t shed_deadline = 0;   ///< DEADLINE_EXCEEDED responses
   int64_t rejected = 0;        ///< REJECTED at admission
   int64_t uncacheable = 0;     ///< inexact fingerprint: cache bypassed
+};
+
+/// How a request's answer was produced, as recorded in the stats store's
+/// RequestOutcome::cache_disposition (obs/ keeps the field an opaque
+/// int32; this enum is its service-side meaning).
+enum class CacheDisposition {
+  kMiss = 0,       ///< computed by an engine run this request paid for
+  kHit = 1,        ///< served from the result cache
+  kCoalesced = 2,  ///< served by another request's in-flight engine run
+  kBypass = 3,     ///< inexact fingerprint: cache not consulted
 };
 
 class CspdbService {
@@ -113,6 +128,16 @@ class CspdbService {
 
   ResultCache& cache() { return cache_; }
 
+  /// Per-fingerprint outcome history: every canonicalized request records
+  /// its outcome here keyed by its canonical fingerprint, so callers (and
+  /// a future adaptive dispatcher) can ask how identical prior requests
+  /// behaved. Bounded LRU — see obs/stats_store.h.
+  const obs::StatsStore& stats_store() const { return stats_store_; }
+
+  /// Async submissions currently queued or executing (sampling view for
+  /// gauges; already stale when returned).
+  int pending() const { return pending_.load(std::memory_order_relaxed); }
+
  private:
   // Canonical form of a request: the cache/single-flight key, plus the
   // relabeling data SolveCsp needs to map answers back.
@@ -123,13 +148,19 @@ class CspdbService {
 
   CanonicalRequest Canonicalize(const ServiceRequest& request) const;
 
-  Response HandleAbsolute(const ServiceRequest& request, int64_t deadline_ns);
+  // `request_id` is nonzero only on the async path (it closes the
+  // submit-side flow arrow and tags the stats-store record);
+  // `queue_wait_ns` is the enqueue -> task-start wait stamped by Submit.
+  Response HandleAbsolute(const ServiceRequest& request, int64_t deadline_ns,
+                          uint64_t request_id = 0, int64_t queue_wait_ns = 0);
 
   // Runs the engine for `request` (canonical instance for SolveCsp).
-  // Returns nullptr iff the run was deadline/budget-aborted.
+  // Returns nullptr iff the run was deadline/budget-aborted. On success
+  // `*work_items` is set to the engine-specific work size (search nodes,
+  // result rows, derived facts, ...) for the stats store.
   std::shared_ptr<const EngineAnswer> RunEngine(
       const ServiceRequest& request, const CanonicalRequest& canon,
-      int64_t deadline_ns);
+      int64_t deadline_ns, int64_t* work_items);
 
   // Converts a canonical-space answer into request space (identity for
   // all kinds except SolveCsp, which un-relabels the solution).
@@ -140,6 +171,10 @@ class CspdbService {
   exec::ThreadPool* pool_;
   ResultCache cache_;
   SingleFlight single_flight_;
+  obs::StatsStore stats_store_;
+
+  // Flow-event / stats-store request ids; 0 is reserved for "no request".
+  std::atomic<uint64_t> next_request_id_{1};
 
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> ok_{0};

@@ -1,0 +1,297 @@
+// Property tests for the HDR-style log-bucketed latency histogram
+// (obs/histogram.h): bucket geometry and its <=1/128 relative error
+// bound, quantile extraction against an exact sorted-vector oracle
+// across several latency-shaped distributions, merge associativity,
+// zero/negative/overflow handling, and a multi-threaded recording hammer
+// (HistogramConcurrency is in the TSan CI regex).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/histogram.h"
+#include "util/rng.h"
+
+namespace cspdb::obs {
+namespace {
+
+// The oracle uses the same nearest-rank convention as
+// HistogramSnapshot::ValueAtQuantile, so comparisons measure bucket
+// error only, never a rank-definition mismatch.
+int64_t ExactQuantile(std::vector<int64_t> sorted_values, double q) {
+  const auto count = static_cast<int64_t>(sorted_values.size());
+  int64_t rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(count))) - 1;
+  rank = std::max<int64_t>(0, std::min(rank, count - 1));
+  return sorted_values[static_cast<std::size_t>(rank)];
+}
+
+// |estimate - exact| <= exact/128 + 1: the documented bucket error bound
+// (half a sub-bucket, sub-buckets are 1/64 of their octave) plus one for
+// integer midpoint rounding.
+void ExpectWithinBucketError(int64_t estimate, int64_t exact,
+                             const char* label) {
+  const int64_t tolerance = exact / 128 + 1;
+  EXPECT_LE(std::llabs(estimate - exact), tolerance)
+      << label << ": estimate " << estimate << " vs exact " << exact;
+}
+
+void CheckQuantilesAgainstOracle(const std::vector<int64_t>& values,
+                                 const char* label) {
+  Histogram histogram;
+  for (int64_t v : values) histogram.Record(v);
+  std::vector<int64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const HistogramSnapshot snap = histogram.Snapshot();
+  ASSERT_EQ(snap.count, static_cast<int64_t>(values.size()));
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    ExpectWithinBucketError(snap.ValueAtQuantile(q), ExactQuantile(sorted, q),
+                            label);
+  }
+}
+
+TEST(HistogramTest, SmallValuesGetExactUnitBuckets) {
+  for (int64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    const int index = Histogram::BucketIndex(v);
+    EXPECT_EQ(index, static_cast<int>(v));
+    EXPECT_EQ(Histogram::BucketLowerBound(index), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(index), v + 1);
+    EXPECT_EQ(Histogram::BucketRepresentative(index), v);
+  }
+}
+
+TEST(HistogramTest, BucketGeometryIsMonotoneAndTight) {
+  int prev_index = -1;
+  for (int64_t v = 0; v < 100'000; v = v < 64 ? v + 1 : v + v / 37 + 1) {
+    const int index = Histogram::BucketIndex(v);
+    EXPECT_GE(index, prev_index) << "v=" << v;
+    prev_index = index;
+    // The bucket contains its value...
+    EXPECT_LE(Histogram::BucketLowerBound(index), v) << "v=" << v;
+    EXPECT_GT(Histogram::BucketUpperBound(index), v) << "v=" << v;
+    // ...and its width respects the relative error bound: width <= lo/64
+    // for values past the unit range, so the midpoint is within 1/128.
+    const int64_t lo = Histogram::BucketLowerBound(index);
+    const int64_t width = Histogram::BucketUpperBound(index) - lo;
+    if (v >= Histogram::kSubBuckets) {
+      EXPECT_LE(width, std::max<int64_t>(1, lo / Histogram::kSubBuckets))
+          << "v=" << v;
+    }
+  }
+}
+
+TEST(HistogramTest, BucketBoundsPartitionTheRange) {
+  // Consecutive buckets tile [0, 2^kMaxExp] with no gaps or overlaps.
+  for (int i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketUpperBound(i), Histogram::BucketLowerBound(i + 1))
+        << "bucket " << i;
+    EXPECT_LT(Histogram::BucketLowerBound(i), Histogram::BucketUpperBound(i))
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, CountSumMinMaxAreExact) {
+  Histogram histogram;
+  const std::vector<int64_t> values = {3, 1'000, 77, 123'456'789, 3, 64};
+  int64_t sum = 0;
+  for (int64_t v : values) {
+    histogram.Record(v);
+    sum += v;
+  }
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<int64_t>(values.size()));
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.min, 3);
+  EXPECT_EQ(snap.max, 123'456'789);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram histogram;
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.ValueAtQuantile(0.5), 0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZeroBucket) {
+  Histogram histogram;
+  histogram.Record(-5);
+  histogram.Record(-1);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 2);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.buckets[0], 2);
+  EXPECT_EQ(snap.ValueAtQuantile(1.0), 0);
+}
+
+TEST(HistogramTest, OverflowValuesLandInOverflowBucket) {
+  Histogram histogram;
+  const int64_t huge = (int64_t{1} << Histogram::kMaxExp) + 12345;
+  histogram.Record(huge);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.max, huge);  // min/max/sum stay exact even on overflow
+  EXPECT_EQ(snap.buckets[Histogram::kNumBuckets - 1], 1);
+  // The quantile clamps the overflow representative into [min, max].
+  EXPECT_EQ(snap.ValueAtQuantile(0.5), huge);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram histogram;
+  histogram.Record(42);
+  histogram.Record(9'000'000);
+  histogram.Reset();
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.sum, 0);
+  for (int64_t b : snap.buckets) EXPECT_EQ(b, 0);
+}
+
+TEST(HistogramProperty, QuantilesMatchOracleOnUniform) {
+  Rng rng(12345);
+  std::vector<int64_t> values;
+  values.reserve(20'000);
+  for (int i = 0; i < 20'000; ++i) {
+    values.push_back(rng.UniformInt(0, 5'000'000));
+  }
+  CheckQuantilesAgainstOracle(values, "uniform");
+}
+
+TEST(HistogramProperty, QuantilesMatchOracleOnExponential) {
+  // Latency-shaped: most values small, a long multiplicative tail.
+  Rng rng(987);
+  std::vector<int64_t> values;
+  values.reserve(20'000);
+  for (int i = 0; i < 20'000; ++i) {
+    double v = 100.0;
+    // Product of uniforms: log-normal-ish spread over ~6 decades.
+    for (int j = 0; j < 6; ++j) {
+      v *= 1.0 + 9.0 * (static_cast<double>(rng.UniformInt(0, 1'000)) / 1e3);
+    }
+    values.push_back(static_cast<int64_t>(v));
+  }
+  CheckQuantilesAgainstOracle(values, "exponential");
+}
+
+TEST(HistogramProperty, QuantilesMatchOracleOnConstant) {
+  CheckQuantilesAgainstOracle(std::vector<int64_t>(5'000, 777'777),
+                              "constant");
+}
+
+TEST(HistogramProperty, QuantilesMatchOracleOnBimodal) {
+  // Cache-hit/engine-miss shape: two tight modes three decades apart.
+  Rng rng(55);
+  std::vector<int64_t> values;
+  values.reserve(10'000);
+  for (int i = 0; i < 10'000; ++i) {
+    if (rng.UniformInt(0, 9) < 8) {
+      values.push_back(2'000 + rng.UniformInt(0, 500));
+    } else {
+      values.push_back(3'000'000 + rng.UniformInt(0, 400'000));
+    }
+  }
+  CheckQuantilesAgainstOracle(values, "bimodal");
+}
+
+TEST(HistogramProperty, QuantilesMatchOracleOnSmallCounts) {
+  // Nearest-rank edge cases: 1 and 2 element histograms.
+  CheckQuantilesAgainstOracle({42}, "single");
+  CheckQuantilesAgainstOracle({10, 1'000'000}, "pair");
+}
+
+TEST(HistogramProperty, MergeIsAssociativeAndOrderInsensitive) {
+  Rng rng(2024);
+  Histogram h1, h2, h3;
+  std::vector<int64_t> all;
+  for (int i = 0; i < 3'000; ++i) {
+    const int64_t v = rng.UniformInt(0, 10'000'000);
+    all.push_back(v);
+    (i % 3 == 0 ? h1 : i % 3 == 1 ? h2 : h3).Record(v);
+  }
+  const HistogramSnapshot s1 = h1.Snapshot();
+  const HistogramSnapshot s2 = h2.Snapshot();
+  const HistogramSnapshot s3 = h3.Snapshot();
+
+  HistogramSnapshot left = s1;   // (s1 + s2) + s3
+  left.Merge(s2);
+  left.Merge(s3);
+  HistogramSnapshot right = s3;  // s3 + (s2 + s1): reversed order
+  right.Merge(s2);
+  right.Merge(s1);
+
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.sum, right.sum);
+  EXPECT_EQ(left.min, right.min);
+  EXPECT_EQ(left.max, right.max);
+  EXPECT_EQ(left.buckets, right.buckets);
+
+  // The merged histogram equals one histogram fed everything.
+  Histogram whole;
+  for (int64_t v : all) whole.Record(v);
+  const HistogramSnapshot expected = whole.Snapshot();
+  EXPECT_EQ(left.count, expected.count);
+  EXPECT_EQ(left.sum, expected.sum);
+  EXPECT_EQ(left.buckets, expected.buckets);
+  for (double q : {0.5, 0.99}) {
+    EXPECT_EQ(left.ValueAtQuantile(q), expected.ValueAtQuantile(q));
+  }
+}
+
+TEST(HistogramProperty, MergeWithEmptyIsIdentity) {
+  Histogram histogram;
+  histogram.Record(5);
+  histogram.Record(500);
+  HistogramSnapshot snap = histogram.Snapshot();
+  const HistogramSnapshot before = snap;
+  snap.Merge(HistogramSnapshot{});
+  EXPECT_EQ(snap.count, before.count);
+  EXPECT_EQ(snap.min, before.min);
+  EXPECT_EQ(snap.max, before.max);
+  HistogramSnapshot empty;
+  empty.Merge(before);
+  EXPECT_EQ(empty.count, before.count);
+  EXPECT_EQ(empty.min, before.min);
+  EXPECT_EQ(empty.max, before.max);
+}
+
+// Recording hammer: concurrent recorders across every shard stripe while
+// a reader snapshots. Correctness under TSan (no data races) plus exact
+// count/sum conservation once every thread joined.
+TEST(HistogramConcurrency, ParallelRecordAndSnapshot) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(rng.UniformInt(0, 2'000'000));
+      }
+    });
+  }
+  // Concurrent snapshots must be internally usable (quantiles callable),
+  // though mid-run values are torn across shards by design.
+  for (int i = 0; i < 50; ++i) {
+    const HistogramSnapshot snap = histogram.Snapshot();
+    EXPECT_GE(snap.count, 0);
+    (void)snap.ValueAtQuantile(0.5);
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, int64_t{kThreads} * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+}  // namespace
+}  // namespace cspdb::obs

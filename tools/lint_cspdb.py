@@ -23,6 +23,18 @@ Mechanically enforces conventions the compiler cannot:
                   file using an obs macro must include "obs/obs.h"
                   directly rather than picking the tier up transitively.
 
+  metric-name-literal
+                  The name argument of every metric/trace macro
+                  (CSPDB_COUNT*, CSPDB_GAUGE_*, CSPDB_TIMER_SCOPE,
+                  CSPDB_HISTO_*, CSPDB_TRACE_*) must be a single string
+                  literal at the call site -- never a variable,
+                  concatenation, or formatted string. Dynamic names
+                  defeat the per-site `static` registry-handle cache
+                  (the first name wins, later names are silently
+                  recorded under it), make the metric namespace
+                  unenumerable by grep, and can grow the registry
+                  without bound.
+
   raw-simd        Vendor SIMD intrinsic headers (<immintrin.h>,
                   <x86intrin.h>, <arm_neon.h>) and __builtin_ia32_*
                   builtins are banned everywhere except src/util/simd.h.
@@ -71,9 +83,20 @@ RAW_SYNC_RE = re.compile(
 )
 
 OBS_MACRO_RE = re.compile(
-    r"\bCSPDB_(COUNT(?:_N)?|TIMER_SCOPE|TRACE_(?:SPAN|INSTANT|COUNTER)|"
+    r"\bCSPDB_(COUNT(?:_N)?|TIMER_SCOPE|HISTO_(?:NS|SCOPE)|"
+    r"TRACE_(?:SPAN|INSTANT|COUNTER|FLOW_BEGIN|FLOW_END)|"
     r"GAUGE_(?:SET|MAX))\b"
 )
+
+# Metric/trace macros whose first argument is a metric or span name.
+METRIC_NAME_MACRO_RE = re.compile(
+    r"\bCSPDB_(?:COUNT(?:_N)?|TIMER_SCOPE|HISTO_(?:NS|SCOPE)|"
+    r"TRACE_(?:SPAN|INSTANT|COUNTER|FLOW_BEGIN|FLOW_END)|"
+    r"GAUGE_(?:SET|MAX))\s*\("
+)
+
+# A single plain string literal: dotted lowercase-ish identifier path.
+METRIC_NAME_LITERAL_RE = re.compile(r'^\s*"[A-Za-z0-9_.]+"\s*$')
 
 RAW_SIMD_RE = re.compile(
     r"#\s*include\s*<(immintrin|x86intrin|arm_neon|emmintrin|smmintrin|"
@@ -116,6 +139,49 @@ def is_comment_only(line):
     return stripped.startswith("//") or stripped.startswith("*")
 
 
+def first_macro_arg(lines, row, col, max_lines=6):
+    """Return the text of the first macro argument, starting just after the
+    open paren at lines[row][col:]. Scans across up to `max_lines` physical
+    lines (call sites wrap), tracking nested parens and string quoting.
+    Returns None if no depth-0 `,` or `)` terminator is found in range."""
+    arg = []
+    text = lines[row][col:]
+    depth = 0
+    in_str = False
+    for _ in range(max_lines):
+        k = 0
+        while k < len(text):
+            c = text[k]
+            if in_str:
+                if c == "\\":
+                    arg.append(c)
+                    k += 1
+                    if k < len(text):
+                        arg.append(text[k])
+                        k += 1
+                    continue
+                if c == '"':
+                    in_str = False
+            elif c == '"':
+                in_str = True
+            elif c == "(":
+                depth += 1
+            elif c == ")":
+                if depth == 0:
+                    return "".join(arg)
+                depth -= 1
+            elif c == "," and depth == 0:
+                return "".join(arg)
+            arg.append(c)
+            k += 1
+        row += 1
+        if row >= len(lines):
+            return None
+        arg.append(" ")
+        text = lines[row]
+    return None
+
+
 def lint_cpp(path, rel, lines):
     findings = []
     norm = rel.replace(os.sep, "/")
@@ -150,6 +216,18 @@ def lint_cpp(path, rel, lines):
                 findings.append(Finding("obs-macro-in-header", path, lineno, line))
             if in_util and not allowed("obs-macro-tier", lines, i):
                 findings.append(Finding("obs-macro-tier", path, lineno, line))
+
+        # Metric/span names must be literal at the call site. src/obs/ is
+        # exempt: it hosts the macro machinery and name-agnostic plumbing.
+        if not in_obs and not is_comment_only(line) and "#define" not in line:
+            for call in METRIC_NAME_MACRO_RE.finditer(line):
+                arg = first_macro_arg(lines, i, call.end())
+                if (arg is None or not METRIC_NAME_LITERAL_RE.match(arg)) and (
+                    not allowed("metric-name-literal", lines, i)
+                ):
+                    findings.append(
+                        Finding("metric-name-literal", path, lineno, line)
+                    )
 
     if (
         uses_obs_macro
@@ -257,6 +335,28 @@ SELF_TEST_VIOLATIONS = [
         "int f(long long* p) { return __builtin_ia32_ptestz256(p, p); }\n",
     ),
     (
+        "metric-name-literal",
+        "src/db/bad_metric_var.cc",
+        '#include "obs/obs.h"\n'
+        "void f(const char* n) { CSPDB_COUNT(n); }\n",
+    ),
+    (
+        "metric-name-literal",
+        "src/db/bad_metric_concat.cc",
+        '#include "obs/obs.h"\n'
+        "void f(const std::string& suffix, long v) {\n"
+        '  CSPDB_HISTO_NS(("db." + suffix).c_str(), v);\n'
+        "}\n",
+    ),
+    (
+        "metric-name-literal",
+        "src/db/bad_metric_format.cc",
+        '#include "obs/obs.h"\n'
+        "void f(int shard) {\n"
+        "  CSPDB_TIMER_SCOPE(MakeName(\"db.shard\", shard));\n"
+        "}\n",
+    ),
+    (
         "wallclock",
         "bench/bad_distill.py",
         # cspdb-lint: allow(wallclock) -- self-test fixture, string literal
@@ -280,7 +380,23 @@ SELF_TEST_CLEAN = [
     (
         "obs macro in cc with include",
         "src/db/good.cc",
-        '#include "obs/obs.h"\nvoid f() { CSPDB_COUNT(db.good); }\n',
+        '#include "obs/obs.h"\nvoid f() { CSPDB_COUNT("db.good"); }\n',
+    ),
+    (
+        "literal metric name wrapped across lines",
+        "src/db/good_wrapped.cc",
+        '#include "obs/obs.h"\n'
+        "void f(long v) {\n"
+        "  CSPDB_GAUGE_SET(\n"
+        '      "db.wrapped.bytes", v + 1);\n'
+        "}\n",
+    ),
+    (
+        "metric-name-literal allow marker",
+        "src/db/escaped_metric.cc",
+        '#include "obs/obs.h"\n'
+        "// cspdb-lint: allow(metric-name-literal) -- bounded test-only names\n"
+        "void f(const char* n) { CSPDB_COUNT(n); }\n",
     ),
     (
         "raw-simd sanctioned in simd.h",

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validates a metrics snapshot JSON written by MetricsRegistry::SnapshotJson
+(e.g. cspdb_serve --metrics-out=metrics.json).
+
+Checks, in order:
+  1. the file is valid JSON with the counters/gauges/timers/histograms
+     object shape, integer counter/gauge values, and non-negative timer
+     count/total_ns;
+  2. every histogram's buckets are [lo, hi, count] triples with lo < hi,
+     count > 0 (the snapshot is sparse), and strictly increasing,
+     non-overlapping bounds (each lo >= the previous hi);
+  3. the histogram's count equals the sum of its bucket counts, and sum
+     >= count * min (values can't total less than count copies of the
+     minimum);
+  4. min <= p50 <= p90 <= p99 <= p999 <= max, and every quantile lies
+     inside some bucket's [lo, hi) — or equals min/max exactly, since
+     ValueAtQuantile clamps representatives into the observed range;
+  5. (optional) --require-histograms: comma-separated names that must be
+     present with count > 0.
+
+Exit status 0 on success, 1 with a diagnostic on the first violation.
+
+Usage: validate_metrics.py metrics.json
+           [--require-histograms service.handle_ns,service.engine_ns]
+"""
+
+import argparse
+import json
+import sys
+
+QUANTILES = ("p50", "p90", "p99", "p999")
+
+
+def fail(msg: str) -> int:
+    sys.stderr.write(f"validate_metrics: {msg}\n")
+    return 1
+
+
+def check_histogram(name: str, h) -> str:
+    """Returns an error message, or "" if the histogram is well-formed."""
+    if not isinstance(h, dict):
+        return f"histogram {name!r}: not an object"
+    for field in ("count", "sum", "min", "max", "buckets") + QUANTILES:
+        if field not in h:
+            return f"histogram {name!r}: missing field {field!r}"
+    for field in ("count", "sum", "min", "max") + QUANTILES:
+        if not isinstance(h[field], int):
+            return f"histogram {name!r}: {field} must be an integer"
+    buckets = h["buckets"]
+    if not isinstance(buckets, list):
+        return f"histogram {name!r}: buckets must be an array"
+
+    if h["count"] == 0:
+        if buckets:
+            return f"histogram {name!r}: empty histogram with buckets"
+        return ""
+
+    total = 0
+    prev_hi = None
+    for i, b in enumerate(buckets):
+        if (
+            not isinstance(b, list)
+            or len(b) != 3
+            or not all(isinstance(x, int) for x in b)
+        ):
+            return (
+                f"histogram {name!r}: bucket {i} must be an integer "
+                f"[lo, hi, count] triple, got {b!r}"
+            )
+        lo, hi, count = b
+        if lo >= hi:
+            return f"histogram {name!r}: bucket {i} has lo {lo} >= hi {hi}"
+        if count <= 0:
+            return (
+                f"histogram {name!r}: bucket {i} has count {count} "
+                f"(sparse snapshots omit empty buckets)"
+            )
+        if prev_hi is not None and lo < prev_hi:
+            return (
+                f"histogram {name!r}: bucket {i} lo {lo} overlaps previous "
+                f"bucket ending at {prev_hi} (bounds must be monotone)"
+            )
+        prev_hi = hi
+        total += count
+    if total != h["count"]:
+        return (
+            f"histogram {name!r}: count {h['count']} != sum of bucket "
+            f"counts {total}"
+        )
+    if h["min"] > h["max"]:
+        return f"histogram {name!r}: min {h['min']} > max {h['max']}"
+    if h["sum"] < h["count"] * h["min"] or h["sum"] > h["count"] * h["max"]:
+        return (
+            f"histogram {name!r}: sum {h['sum']} outside "
+            f"[count*min, count*max]"
+        )
+
+    prev = h["min"]
+    for q in QUANTILES:
+        v = h[q]
+        if v < prev:
+            return (
+                f"histogram {name!r}: {q} {v} < preceding quantile/min "
+                f"{prev} (quantiles must be monotone)"
+            )
+        if v > h["max"]:
+            return f"histogram {name!r}: {q} {v} > max {h['max']}"
+        in_bucket = any(lo <= v < hi for lo, hi, _ in buckets)
+        if not in_bucket and v not in (h["min"], h["max"]):
+            return (
+                f"histogram {name!r}: {q} {v} lies in no occupied bucket "
+                f"and is neither min nor max"
+            )
+        prev = v
+    return ""
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics_path")
+    parser.add_argument(
+        "--require-histograms",
+        default="",
+        help="comma-separated histogram names that must be present "
+        "with count > 0",
+    )
+    opts = parser.parse_args()
+
+    try:
+        with open(opts.metrics_path) as f:
+            snapshot = json.load(f)
+    except OSError as e:
+        return fail(f"cannot read {opts.metrics_path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        return fail(f"{opts.metrics_path} is not valid JSON: {e}")
+
+    if not isinstance(snapshot, dict):
+        return fail("top level must be an object")
+    for section in ("counters", "gauges", "timers", "histograms"):
+        if section not in snapshot or not isinstance(snapshot[section], dict):
+            return fail(f"missing or non-object section {section!r}")
+
+    for section in ("counters", "gauges"):
+        for name, value in snapshot[section].items():
+            if not isinstance(value, int):
+                return fail(f"{section[:-1]} {name!r}: non-integer value")
+
+    for name, t in snapshot["timers"].items():
+        if not isinstance(t, dict) or not all(
+            isinstance(t.get(k), int) for k in ("count", "total_ns")
+        ):
+            return fail(f"timer {name!r}: needs integer count and total_ns")
+        if t["count"] < 0 or t["total_ns"] < 0:
+            return fail(f"timer {name!r}: negative count or total_ns")
+        if t["count"] == 0 and t["total_ns"] != 0:
+            return fail(f"timer {name!r}: zero count with nonzero total_ns")
+
+    histograms = snapshot["histograms"]
+    for name, h in histograms.items():
+        err = check_histogram(name, h)
+        if err:
+            return fail(err)
+
+    required = {s for s in opts.require_histograms.split(",") if s}
+    for name in sorted(required):
+        if name not in histograms:
+            return fail(
+                f"required histogram {name!r} missing; saw "
+                f"{sorted(histograms)}"
+            )
+        if histograms[name]["count"] == 0:
+            return fail(f"required histogram {name!r} has count 0")
+
+    print(
+        f"ok: {len(snapshot['counters'])} counter(s), "
+        f"{len(snapshot['gauges'])} gauge(s), "
+        f"{len(snapshot['timers'])} timer(s), "
+        f"{len(histograms)} histogram(s) well-formed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

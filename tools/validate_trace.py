@@ -9,12 +9,21 @@ Checks, in order:
      named twice, and no track name is bound to two tids (a duplicate
      binding means the tid registry handed out colliding ids — the bug the
      sequential registry replaced hashed ids to fix);
-  5. (optional) spans cover the subsystems named with --require, given as
-     name prefixes before the first '.' (e.g. "csp,consistency,db").
+  5. s/f flow events are well-formed: every flow event carries an id and
+     is emitted while a B span is open on its thread (flow arrows bind to
+     the enclosing slice — an unenclosed flow event renders nowhere);
+     each (name, id) flow is started at most once and finished exactly
+     once, after its start, and no start is left dangling;
+  6. (optional) spans cover the subsystems named with --require, given as
+     name prefixes before the first '.' (e.g. "csp,consistency,db");
+  7. (optional) --require-flows N: at least N completed flows, each with
+     its start and finish on *different* threads (a same-thread flow
+     means request spans never actually hopped to a worker lane).
 
 Exit status 0 on success, 1 with a diagnostic on the first violation.
 
 Usage: validate_trace.py trace.json [--require csp,consistency,db,datalog]
+                        [--require-flows N]
 """
 
 import argparse
@@ -22,7 +31,8 @@ import json
 import sys
 
 DURATION_PHASES = {"B", "E"}
-KNOWN_PHASES = DURATION_PHASES | {"i", "C", "M"}
+FLOW_PHASES = {"s", "f"}
+KNOWN_PHASES = DURATION_PHASES | FLOW_PHASES | {"i", "C", "M"}
 
 
 def fail(msg: str) -> int:
@@ -37,6 +47,13 @@ def main() -> int:
         "--require",
         default="",
         help="comma-separated subsystem prefixes that must emit spans",
+    )
+    parser.add_argument(
+        "--require-flows",
+        type=int,
+        default=0,
+        metavar="N",
+        help="require at least N completed cross-thread flows",
     )
     opts = parser.parse_args()
 
@@ -59,6 +76,10 @@ def main() -> int:
     span_subsystems = set()
     tid_to_name: dict = {}  # thread_name metadata: tid -> track name
     name_to_tid: dict = {}  # ...and the reverse binding
+    # (name, id) -> (start tid, start ts) for started, unfinished flows.
+    open_flows: dict = {}
+    finished_flows = 0
+    cross_thread_flows = 0
     for i, ev in enumerate(events):
         where = f"event {i}"
         if not isinstance(ev, dict):
@@ -102,6 +123,38 @@ def main() -> int:
                 )
             tid_to_name[tid] = track
             name_to_tid[track] = tid
+        if ph in FLOW_PHASES:
+            if not isinstance(ev.get("id"), int):
+                return fail(f"{where}: flow event needs an integer id")
+            if not open_spans.get(ev["tid"]):
+                return fail(
+                    f"{where}: flow {ph!r} {ev['name']!r} id {ev['id']} "
+                    f"emitted with no open span on tid {ev['tid']} "
+                    f"(flow events bind to the enclosing slice)"
+                )
+            key = (ev["name"], ev["id"])
+            if ph == "s":
+                if key in open_flows:
+                    return fail(
+                        f"{where}: flow {ev['name']!r} id {ev['id']} "
+                        f"started twice"
+                    )
+                open_flows[key] = (ev["tid"], ev["ts"])
+            else:
+                if key not in open_flows:
+                    return fail(
+                        f"{where}: flow finish {ev['name']!r} id "
+                        f"{ev['id']} without a matching start"
+                    )
+                start_tid, start_ts = open_flows.pop(key)
+                if ev["ts"] < start_ts:
+                    return fail(
+                        f"{where}: flow {ev['name']!r} id {ev['id']} "
+                        f"finishes before it starts"
+                    )
+                finished_flows += 1
+                if ev["tid"] != start_tid:
+                    cross_thread_flows += 1
         if ph in DURATION_PHASES:
             stack = open_spans.setdefault(ev["tid"], [])
             if ph == "B":
@@ -123,6 +176,13 @@ def main() -> int:
         if stack:
             return fail(f"tid {tid}: {len(stack)} span(s) never closed: {stack}")
 
+    if open_flows:
+        dangling = sorted(open_flows)[:5]
+        return fail(
+            f"{len(open_flows)} flow(s) started but never finished, "
+            f"e.g. {dangling}"
+        )
+
     required = {s for s in opts.require.split(",") if s}
     missing = required - span_subsystems
     if missing:
@@ -131,9 +191,16 @@ def main() -> int:
             f"saw {sorted(span_subsystems)}"
         )
 
+    if opts.require_flows > 0 and cross_thread_flows < opts.require_flows:
+        return fail(
+            f"required {opts.require_flows} cross-thread flow(s), saw "
+            f"{cross_thread_flows} (of {finished_flows} completed total)"
+        )
+
     print(
         f"ok: {len(events)} events, {len(tid_to_name)} named thread(s), "
-        f"balanced spans from {sorted(span_subsystems)}"
+        f"balanced spans from {sorted(span_subsystems)}, "
+        f"{finished_flows} flow(s) ({cross_thread_flows} cross-thread)"
     )
     return 0
 
