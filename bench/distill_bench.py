@@ -19,9 +19,17 @@ oversubscription on a small machine.
 
 --mode service takes plain BM_<op>/<size> names (bench_service) and emits
 ns/op plus any serving-layer counters the benchmark reported: rates
-(hit_rate, shed_rate, rejected_rate, requests) and exact per-request
+(hit_rate, shed_rate, rejected_rate, requests), exact per-request
 latency quantiles (p50_ns, p99_ns, p999_ns — computed by the benchmark
-from sorted latency vectors, not from histogram buckets).
+from sorted latency vectors, not from histogram buckets), throughput
+(achieved_qps), and the clustered local/remote serving split. Rows that
+report a worker_threads counter get the same oversubscribed=true stamp as
+--mode parallel when worker_threads > machine.num_cpus, so overload and
+saturation numbers from a small machine are not read as real capacity.
+(The counter is worker_threads, not threads: the library's own threads
+field would shadow a counter of that name.)
+net_* ops (the two-node loopback saturation sweep) are split into a
+separate "saturation" section of the trajectory entry.
 
 Usage: distill_bench.py <benchmark-json>... <output-json> [--label LABEL]
                         [--mode kernels|parallel|service]
@@ -58,12 +66,21 @@ def git_head() -> str:
 
 NAME_RE = re.compile(r"^BM_(?P<op>\w+?)_(?P<side>baseline|optimized)/(?P<size>\d+)$")
 PARALLEL_RE = re.compile(r"^BM_(?P<op>\w+?)_t(?P<threads>\d+)/(?P<size>\d+)$")
-SERVICE_RE = re.compile(r"^BM_(?P<op>\w+)/(?P<size>\d+)$")
+# Pinned-iteration benchmarks (BM_net_saturation) get an "/iterations:N"
+# name suffix from the library; tolerate it.
+SERVICE_RE = re.compile(
+    r"^BM_(?P<op>\w+)/(?P<size>\d+)(?:/iterations:\d+)?$"
+)
 SERVICE_COUNTERS = (
     "hit_rate",
     "shed_rate",
     "rejected_rate",
     "requests",
+    "worker_threads",
+    "achieved_qps",
+    "local_hit_rate",
+    "remote_hit_rate",
+    "remote_compute_rate",
     "p50_ns",
     "p99_ns",
     "p999_ns",
@@ -164,9 +181,16 @@ def distill_parallel(report, num_cpus=None):
     return kernels
 
 
-def distill_service(report):
-    """BM_<op>/<size> -> ns/op + rate counters for bench_service."""
+def distill_service(report, num_cpus=None):
+    """BM_<op>/<size> -> (kernels, saturation) records for bench_service.
+
+    net_* ops — the networked saturation sweep — land in the second list;
+    everything else in the first. Rows reporting a threads counter above
+    num_cpus are stamped oversubscribed=true (same convention as
+    --mode parallel).
+    """
     kernels = []
+    saturation = []
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
@@ -185,9 +209,17 @@ def distill_service(report):
         for counter in SERVICE_COUNTERS:
             if counter in bench:
                 record[counter] = round(float(bench[counter]), 4)
-        kernels.append(record)
+        if (
+            num_cpus is not None
+            and record.get("worker_threads") is not None
+            and record["worker_threads"] > num_cpus
+        ):
+            record["oversubscribed"] = True
+        target = saturation if m.group("op").startswith("net_") else kernels
+        target.append(record)
     kernels.sort(key=lambda k: (k["op"], k["size"]))
-    return kernels
+    saturation.sort(key=lambda k: (k["op"], k["size"]))
+    return kernels, saturation
 
 
 def main() -> int:
@@ -229,8 +261,10 @@ def main() -> int:
             sys.stderr.write("error: no BM_<op>_t<threads>/<size> benchmarks\n")
             return 1
     elif opts.mode == "service":
-        kernels = distill_service(report)
-        if not kernels:
+        kernels, saturation = distill_service(
+            report, num_cpus=report.get("context", {}).get("num_cpus")
+        )
+        if not kernels and not saturation:
             sys.stderr.write("error: no BM_<op>/<size> benchmarks\n")
             return 1
     else:
@@ -262,10 +296,14 @@ def main() -> int:
             }
         ],
     }
+    if opts.mode == "service":
+        out["trajectory"][0]["saturation"] = saturation
     with open(out_path, "w") as f:
         json.dump(out, f, indent=2)
         f.write("\n")
 
+    if opts.mode == "service":
+        kernels = kernels + saturation
     for k in kernels:
         if opts.mode == "service":
             rates = "  ".join(

@@ -43,7 +43,10 @@ if [[ "$SMOKE" == 1 ]]; then
   BENCH_ARGS+=(--benchmark_filter='/(8|16|1000)$' --benchmark_min_time=0.01)
   PAR_ARGS+=(--benchmark_filter='/(48|64|2000|10000)$' --benchmark_min_time=0.01
              --benchmark_repetitions=1)
-  SVC_ARGS+=(--benchmark_filter='/(12|64|256)$' --benchmark_min_time=0.01)
+  # The iterations-suffix alternative keeps the pinned-iteration
+  # BM_net_saturation/12 tier in the smoke.
+  SVC_ARGS+=(--benchmark_filter='/(12|64|256)(/iterations:[0-9]+)?$'
+             --benchmark_min_time=0.01)
   OUT=$BUILD_DIR/BENCH_kernels.smoke.json
   PAR_OUT=$BUILD_DIR/BENCH_parallel.smoke.json
   SVC_OUT=$BUILD_DIR/BENCH_service.smoke.json
@@ -56,7 +59,7 @@ else
   SVC_OUT=BENCH_service.json
   LABEL="flat-storage + bitset + SIMD kernels vs frozen scalar references"
   PAR_LABEL="parallel GAC/join/full-reducer vs serial twins; partitioned vs striped joins"
-  SVC_LABEL="serving layer: hit/miss latency, replay hit rate, overload shed"
+  SVC_LABEL="serving layer: hit/miss latency, replay hit rate, overload shed, two-node loopback saturation"
 fi
 
 # Run every suite first: the kernels distill merges bench_report's pairs

@@ -1,0 +1,135 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace cspdb::net {
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  CSPDB_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  CSPDB_CHECK_MSG(wake_fd_ >= 0, "eventfd failed");
+  AddFd(wake_fd_, EPOLLIN, [this](uint32_t) { DrainWakeFd(); });
+}
+
+EventLoop::~EventLoop() {
+  close(epoll_fd_);
+  close(wake_fd_);
+}
+
+void EventLoop::AddFd(int fd, uint32_t events, FdHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  CSPDB_CHECK_MSG(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                  "epoll_ctl(ADD) failed");
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::UpdateFd(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  CSPDB_CHECK_MSG(epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+                  "epoll_ctl(MOD) failed");
+}
+
+void EventLoop::RemoveFd(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    util::MutexLock lock(mu_);
+    posted_.push_back(std::move(task));
+  }
+  const uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; the write result only
+  // matters for that, so EAGAIN is fine to ignore.
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::Stop() {
+  {
+    util::MutexLock lock(mu_);
+    stop_requested_ = true;
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainWakeFd() {
+  uint64_t count = 0;
+  while (read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    util::MutexLock lock(mu_);
+    tasks.swap(posted_);
+  }
+  CSPDB_COUNT_N("net.loop.posted_tasks", static_cast<int64_t>(tasks.size()));
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::Run(int64_t tick_interval_ms, std::function<void()> tick) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  int64_t next_tick_ms =
+      tick_interval_ms > 0 ? NowMs() + tick_interval_ms : 0;
+  for (;;) {
+    {
+      util::MutexLock lock(mu_);
+      if (stop_requested_) {
+        stop_requested_ = false;
+        return;
+      }
+    }
+    int timeout_ms = -1;
+    if (tick_interval_ms > 0) {
+      timeout_ms = static_cast<int>(next_tick_ms - NowMs());
+      if (timeout_ms < 0) timeout_ms = 0;
+    }
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      CSPDB_CHECK_MSG(errno == EINTR, "epoll_wait failed");
+      continue;
+    }
+    CSPDB_COUNT("net.loop.wakeups");
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      // A handler earlier in this batch may have removed this fd (e.g.
+      // closed a connection that was also writable); look it up fresh.
+      auto it = handlers_.find(fd);
+      if (it != handlers_.end()) it->second(events[i].events);
+    }
+    DrainPosted();
+    if (tick_interval_ms > 0 && NowMs() >= next_tick_ms) {
+      next_tick_ms = NowMs() + tick_interval_ms;
+      if (tick) tick();
+    }
+  }
+}
+
+}  // namespace cspdb::net

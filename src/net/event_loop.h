@@ -1,0 +1,77 @@
+// A single-threaded, non-blocking epoll event loop. All fd handlers run
+// on the loop thread; other threads interact only through Post() (a
+// task queue drained on the loop thread, woken via an eventfd) and
+// Stop(). This is the only concurrency rule in the net tier: sockets,
+// buffers, and connection state are loop-thread-owned and need no locks.
+
+#ifndef CSPDB_NET_EVENT_LOOP_H_
+#define CSPDB_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace cspdb::net {
+
+class EventLoop {
+ public:
+  /// Called with the ready epoll event mask (EPOLLIN/EPOLLOUT/...).
+  using FdHandler = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- loop-thread-only fd registry -----------------------------------------
+
+  /// Registers `fd` for `events`; `handler` fires on the loop thread.
+  /// The loop never closes registered fds — owners do, after RemoveFd.
+  void AddFd(int fd, uint32_t events, FdHandler handler);
+
+  /// Changes the interest mask of a registered fd.
+  void UpdateFd(int fd, uint32_t events);
+
+  /// Unregisters `fd`. Safe to call from inside its own handler.
+  void RemoveFd(int fd);
+
+  // --- cross-thread entry points --------------------------------------------
+
+  /// Enqueues `task` to run on the loop thread; wakes the loop if it is
+  /// blocked in epoll_wait. Callable from any thread, including the loop
+  /// thread itself (the task still runs from the queue, not inline).
+  void Post(std::function<void()> task);
+
+  /// Asks the loop to return from Run(). Callable from any thread.
+  void Stop();
+
+  // --- driving --------------------------------------------------------------
+
+  /// Runs until Stop(). `tick` (optional) fires roughly every
+  /// `tick_interval_ms` on the loop thread — the hook idle-timeout and
+  /// retry bookkeeping hang off. Posted tasks are always drained before
+  /// the loop blocks again, so a Stop() posted from a task takes effect
+  /// immediately.
+  void Run(int64_t tick_interval_ms = 0,
+           std::function<void()> tick = nullptr);
+
+ private:
+  void DrainPosted();
+  void DrainWakeFd();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd; written by Post()/Stop()
+  std::unordered_map<int, FdHandler> handlers_;  // loop thread only
+
+  util::Mutex mu_;
+  std::vector<std::function<void()>> posted_ CSPDB_GUARDED_BY(mu_);
+  bool stop_requested_ CSPDB_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace cspdb::net
+
+#endif  // CSPDB_NET_EVENT_LOOP_H_

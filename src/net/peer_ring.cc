@@ -1,0 +1,56 @@
+#include "net/peer_ring.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cspdb::net {
+
+// SplitMix64 over FNV-1a: deterministic across processes and platforms
+// (no std::hash, whose layout is implementation-defined).
+uint64_t PeerRing::PointHash(const std::string& label) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+PeerRing::PeerRing(std::vector<PeerId> members) {
+  std::set<std::string> unique;
+  for (PeerId& m : members) unique.insert(std::move(m.id));
+  members_.assign(unique.begin(), unique.end());
+  points_.reserve(members_.size() * kVirtualNodes);
+  for (int i = 0; i < static_cast<int>(members_.size()); ++i) {
+    for (int replica = 0; replica < kVirtualNodes; ++replica) {
+      points_.push_back(
+          {PointHash(members_[i] + "#" + std::to_string(replica)), i});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.position != b.position ? a.position < b.position
+                                             : a.member < b.member;
+            });
+}
+
+const std::string& PeerRing::OwnerOf(
+    const service::Fingerprint& fingerprint) const {
+  CSPDB_CHECK_MSG(!points_.empty(), "PeerRing::OwnerOf on an empty ring");
+  // Mix both halves so ownership uses all 128 fingerprint bits.
+  const uint64_t key =
+      fingerprint.lo ^ (fingerprint.hi * 0x9e3779b97f4a7c15ull);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, uint64_t k) { return p.position < k; });
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return members_[it->member];
+}
+
+}  // namespace cspdb::net

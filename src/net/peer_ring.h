@@ -1,0 +1,61 @@
+// Consistent-hash ownership ring over canonical fingerprints. Each node
+// (self included) is placed on a 64-bit ring at kVirtualNodes points;
+// a fingerprint is owned by the first node clockwise from its hash.
+// Because fingerprints are isomorphism-sound (service/fingerprint.h),
+// ownership is a pure function of the *canonical form* of a request —
+// every node maps a structurally-identical request to the same owner,
+// which is what makes "ask the owner before running the engine" find
+// cluster-wide cache hits without any coordination protocol.
+
+#ifndef CSPDB_NET_PEER_RING_H_
+#define CSPDB_NET_PEER_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/fingerprint.h"
+
+namespace cspdb::net {
+
+/// One cluster member. `id` is the stable ring identity (host:port of its
+/// listen address); nodes must agree on every member's id for ownership
+/// to agree.
+struct PeerId {
+  std::string id;
+  friend bool operator==(const PeerId&, const PeerId&) = default;
+};
+
+class PeerRing {
+ public:
+  static constexpr int kVirtualNodes = 64;
+
+  /// Builds the ring over `members` (order-insensitive: the ring layout
+  /// depends only on the member id strings). Duplicate ids collapse.
+  explicit PeerRing(std::vector<PeerId> members);
+
+  /// The id owning `fingerprint`. The ring must be nonempty.
+  const std::string& OwnerOf(const service::Fingerprint& fingerprint) const;
+
+  /// Number of distinct members.
+  int size() const { return static_cast<int>(members_.size()); }
+
+  const std::vector<std::string>& members() const { return members_; }
+
+  /// Deterministic 64-bit point hash used for ring placement; exposed so
+  /// tests can verify the layout is order- and process-independent.
+  static uint64_t PointHash(const std::string& label);
+
+ private:
+  struct Point {
+    uint64_t position;
+    int member;  // index into members_
+  };
+
+  std::vector<std::string> members_;
+  std::vector<Point> points_;  // sorted by position
+};
+
+}  // namespace cspdb::net
+
+#endif  // CSPDB_NET_PEER_RING_H_

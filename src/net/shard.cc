@@ -1,0 +1,91 @@
+#include "net/shard.h"
+
+#include <utility>
+
+#include "net/wire.h"
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace cspdb::net {
+
+ShardRouter::ShardRouter(service::CspdbService* service, std::string self_id,
+                         std::vector<PeerId> members, RouterOptions options)
+    : service_(service),
+      self_id_(std::move(self_id)),
+      options_(options),
+      ring_(std::move(members)) {
+  bool self_found = false;
+  for (const std::string& member : ring_.members()) {
+    if (member == self_id_) {
+      self_found = true;
+    } else {
+      peers_.emplace(member,
+                     std::make_unique<PeerClient>(member, options_.peer));
+    }
+  }
+  CSPDB_CHECK_MSG(self_found, "ShardRouter self id must be a ring member");
+}
+
+service::Response ShardRouter::Handle(const service::ServiceRequest& request) {
+  CSPDB_TIMER_SCOPE("net.route");
+  service::Fingerprint fingerprint;
+  std::optional<service::Response> probed =
+      service_->Probe(request, &fingerprint);
+  if (probed.has_value()) {
+    local_hits_.fetch_add(1, std::memory_order_relaxed);
+    CSPDB_COUNT("net.route.local_hit");
+    return *std::move(probed);
+  }
+
+  // Inexact fingerprints are process-nonce-salted: no other node can have
+  // them cached, so consulting the owner would be a guaranteed miss.
+  if (fingerprint.exact) {
+    const std::string& owner = ring_.OwnerOf(fingerprint);
+    if (owner != self_id_) {
+      auto it = peers_.find(owner);
+      CSPDB_CHECK_MSG(it != peers_.end(), "ring owner has no peer client");
+      std::string error;
+      const uint64_t call_id =
+          next_call_id_.fetch_add(1, std::memory_order_relaxed);
+      std::optional<service::Response> remote =
+          it->second->Call(request, call_id, kFlagNoForward, &error);
+      if (remote.has_value() &&
+          remote->status != service::StatusCode::kRejected) {
+        remote->served_remotely = true;
+        if (remote->cache_hit) {
+          remote_hits_.fetch_add(1, std::memory_order_relaxed);
+          CSPDB_COUNT("net.route.remote_hit");
+        } else {
+          remote_compute_.fetch_add(1, std::memory_order_relaxed);
+          CSPDB_COUNT("net.route.remote_compute");
+        }
+        // The answer is NOT copied into the local cache: each canonical
+        // fingerprint stays cached on exactly one node, which is what
+        // keeps N nodes serving ~N distinct working sets instead of N
+        // copies of one.
+        return *std::move(remote);
+      }
+      // Owner down or shedding: degrade to local compute. The local run
+      // caches locally, so a dead owner costs one engine run per node,
+      // not per request.
+      peer_failures_.fetch_add(1, std::memory_order_relaxed);
+      CSPDB_COUNT("net.route.peer_failure");
+    }
+  }
+
+  local_compute_.fetch_add(1, std::memory_order_relaxed);
+  CSPDB_COUNT("net.route.local_compute");
+  return service_->Handle(request, options_.request_timeout_ns);
+}
+
+RouterStats ShardRouter::stats() const {
+  RouterStats s;
+  s.local_hits = local_hits_.load(std::memory_order_relaxed);
+  s.remote_hits = remote_hits_.load(std::memory_order_relaxed);
+  s.remote_compute = remote_compute_.load(std::memory_order_relaxed);
+  s.local_compute = local_compute_.load(std::memory_order_relaxed);
+  s.peer_failures = peer_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cspdb::net

@@ -1,0 +1,77 @@
+// ShardRouter: the request path of a cluster node. Every client-facing
+// request is (1) probed against the local result cache, (2) on a miss,
+// sent to the fingerprint's owner shard — which has either cached the
+// answer already or computes and caches it, so each canonical request is
+// computed once cluster-wide — and (3) computed locally when this node
+// is the owner, the fingerprint is inexact, or the owner is down
+// (degradation: a partitioned cluster serves everything, just without
+// sharing). Peer forwards carry kFlagNoForward, so a ring
+// mis-configuration costs one extra hop, never a loop.
+
+#ifndef CSPDB_NET_SHARD_H_
+#define CSPDB_NET_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.h"
+#include "net/peer_ring.h"
+#include "service/server.h"
+
+namespace cspdb::net {
+
+struct RouterStats {
+  int64_t local_hits = 0;      ///< answered from this node's cache
+  int64_t remote_hits = 0;     ///< owner answered from its cache
+  int64_t remote_compute = 0;  ///< owner computed (and cached) the answer
+  int64_t local_compute = 0;   ///< computed here (owner, inexact, or down)
+  int64_t peer_failures = 0;   ///< owner consult failed; degraded locally
+};
+
+struct RouterOptions {
+  PeerClientOptions peer;
+  /// Per-request timeout handed to the local service on compute.
+  int64_t request_timeout_ns = -1;
+};
+
+class ShardRouter {
+ public:
+  /// `self_id` must appear in `members`; every other member gets a
+  /// PeerClient dialed on demand.
+  ShardRouter(service::CspdbService* service, std::string self_id,
+              std::vector<PeerId> members, RouterOptions options = {});
+
+  /// Serves one client-facing request (blocking; call from a pool
+  /// thread, not the event loop).
+  service::Response Handle(const service::ServiceRequest& request);
+
+  /// Ring owner of `fingerprint` (exposed for tests).
+  const std::string& OwnerOf(const service::Fingerprint& fingerprint) const {
+    return ring_.OwnerOf(fingerprint);
+  }
+
+  const std::string& self_id() const { return self_id_; }
+  RouterStats stats() const;
+
+ private:
+  service::CspdbService* service_;
+  const std::string self_id_;
+  const RouterOptions options_;
+  PeerRing ring_;
+  std::unordered_map<std::string, std::unique_ptr<PeerClient>> peers_;
+
+  std::atomic<uint64_t> next_call_id_{1};
+  std::atomic<int64_t> local_hits_{0};
+  std::atomic<int64_t> remote_hits_{0};
+  std::atomic<int64_t> remote_compute_{0};
+  std::atomic<int64_t> local_compute_{0};
+  std::atomic<int64_t> peer_failures_{0};
+};
+
+}  // namespace cspdb::net
+
+#endif  // CSPDB_NET_SHARD_H_

@@ -1,0 +1,146 @@
+// Binary wire protocol for the networked serving tier (DESIGN.md "Wire
+// format"). Frames are length-prefixed with a fixed 20-byte header:
+//
+//   offset  size  field
+//        0     4  magic      0x42445043 ("CPDB", little-endian)
+//        4     1  version    kWireVersion (currently 1)
+//        5     1  type       FrameType
+//        6     2  flags      FrameFlags bitmask; unknown bits must be 0
+//        8     8  request id caller-chosen correlation id, echoed back
+//       16     4  payload    byte length of the payload that follows
+//
+// All integers are little-endian. The payload encodes one value per
+// frame type: a ServiceRequest (kRequest), a service::Response
+// (kResponse), or a UTF-8 diagnostic string (kError). kPing/kPong carry
+// an empty payload. Payloads are bounded by kMaxPayloadBytes; a header
+// announcing more is a protocol error, not an allocation.
+//
+// Versioning rules: the magic and the version byte never move. A decoder
+// that sees an unknown version must fail the frame (and the connection)
+// rather than guess — payload layouts may change arbitrarily between
+// versions. Within a version, unknown frame types and unknown flag bits
+// are protocol errors; new request kinds extend the payload's kind byte
+// and bump the version.
+//
+// Decoding is strict and total: every read is bounds-checked, every
+// count is validated against the bytes remaining (so a hostile length
+// cannot drive allocation), and every decoded structure is semantically
+// validated (variable ranges, arities, rule safety) *before* any
+// engine-side constructor runs — the constructors CSPDB_CHECK-abort on
+// malformed input, which must never be reachable from the network.
+// tests/wire_test.cc fuzzes truncations, flips, and garbage under the
+// ASan/UBSan CI tiers to hold that line.
+
+#ifndef CSPDB_NET_WIRE_H_
+#define CSPDB_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/request.h"
+
+namespace cspdb::net {
+
+inline constexpr uint32_t kWireMagic = 0x42445043u;  // "CPDB"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+
+/// Hard ceiling on a frame payload. Large enough for any workload this
+/// repo generates; small enough that a hostile length prefix cannot
+/// balloon a connection buffer.
+inline constexpr std::size_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
+
+enum class FrameType : uint8_t {
+  kRequest = 1,   ///< payload: ServiceRequest
+  kResponse = 2,  ///< payload: service::Response
+  kError = 3,     ///< payload: diagnostic string; sender closes after
+  kPing = 4,      ///< empty payload; peer answers kPong, same request id
+  kPong = 5,
+};
+
+enum FrameFlags : uint16_t {
+  /// Request must be answered by the receiving node itself — set on
+  /// peer-to-peer forwards so a ring mis-configuration (two nodes that
+  /// disagree about ownership) degrades to an extra hop, never a loop.
+  kFlagNoForward = 1u << 0,
+};
+inline constexpr uint16_t kKnownFlagsMask = kFlagNoForward;
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint16_t flags = 0;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Serializes `frame` (header + payload) onto `out`.
+void AppendFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+// --- payload encoders -------------------------------------------------------
+
+void EncodeRequestPayload(const service::ServiceRequest& request,
+                          std::vector<uint8_t>* out);
+void EncodeResponsePayload(const service::Response& response,
+                           std::vector<uint8_t>* out);
+void EncodeErrorPayload(const std::string& message, std::vector<uint8_t>* out);
+
+/// Encodes only the (status, kind, answer) triple — the deterministic
+/// part of a response. Two responses to the same request must produce
+/// identical AnswerBytes regardless of which node, cache, or engine run
+/// produced them (the differential contract the two-node tests check).
+std::vector<uint8_t> AnswerBytes(const service::Response& response);
+
+// --- payload decoders -------------------------------------------------------
+// Decoders return std::nullopt and fill *error on any structural or
+// semantic violation. They never throw and never abort.
+
+std::optional<service::ServiceRequest> DecodeRequestPayload(
+    const uint8_t* data, std::size_t size, std::string* error);
+std::optional<service::Response> DecodeResponsePayload(const uint8_t* data,
+                                                       std::size_t size,
+                                                       std::string* error);
+std::optional<std::string> DecodeErrorPayload(const uint8_t* data,
+                                              std::size_t size,
+                                              std::string* error);
+
+// --- frame reassembly -------------------------------------------------------
+
+/// Incremental frame parser over a byte stream: hand it every chunk the
+/// socket yields (in any split) and poll Next() for completed frames.
+/// Once a protocol violation is seen the assembler is poisoned — Next()
+/// reports the error until Reset() — because a stream that lied about
+/// one header cannot be re-synchronized.
+class FrameAssembler {
+ public:
+  enum class Status {
+    kFrame,       ///< *frame filled with the next complete frame
+    kNeedMore,    ///< no complete frame buffered yet
+    kProtocolError,  ///< stream is poisoned; see error()
+  };
+
+  /// Appends raw bytes from the stream.
+  void Feed(const uint8_t* data, std::size_t size);
+
+  /// Extracts the next complete frame, if any.
+  Status Next(Frame* frame);
+
+  const std::string& error() const { return error_; }
+
+  /// Bytes currently buffered (for backpressure accounting).
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  void Reset();
+
+ private:
+  std::vector<uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // prefix already handed out as frames
+  std::string error_;
+  bool poisoned_ = false;
+};
+
+}  // namespace cspdb::net
+
+#endif  // CSPDB_NET_WIRE_H_

@@ -110,6 +110,9 @@ struct Response {
   EngineAnswer answer;     ///< meaningful only when status == kOk
   bool cache_hit = false;  ///< served from the result cache
   bool coalesced = false;  ///< served by another request's in-flight run
+  bool served_remotely = false;  ///< answered by a peer node's shard (set
+                                 ///< by the net-tier router, never by
+                                 ///< CspdbService itself)
   int64_t latency_ns = 0;  ///< Handle() wall time (excludes queue wait
                            ///< for async submissions)
   int64_t queue_wait_ns = 0;  ///< enqueue -> task-start wait for async

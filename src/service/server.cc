@@ -146,6 +146,98 @@ std::future<Response> CspdbService::Submit(ServiceRequest request,
   return future;
 }
 
+void CspdbService::Submit(ServiceRequest request, int64_t timeout_ns,
+                          std::function<void(Response)> done) {
+  const int64_t start_ns = NowNs();
+  const int64_t deadline_ns =
+      AbsoluteDeadline(timeout_ns, options_.default_timeout_ns);
+
+  const int admitted = pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (options_.max_pending > 0 && admitted >= options_.max_pending) {
+    {
+      // Same protocol as the future path: decrement under drain_mu_ with
+      // a notify so a draining destructor cannot miss the zero
+      // transition.
+      util::MutexLock lock(drain_mu_);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        drain_cv_.NotifyAll();
+      }
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    CSPDB_COUNT("service.shed.rejected");
+    Response response;
+    response.status = StatusCode::kRejected;
+    response.kind = KindOf(request);
+    response.latency_ns = NowNs() - start_ns;
+    done(std::move(response));
+    return;
+  }
+
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t enqueue_ns = NowNs();
+  {
+    CSPDB_TRACE_SPAN("service.submit");
+    CSPDB_TRACE_FLOW_BEGIN("service.request", request_id);
+    obs::TraceContextScope context_scope(obs::TraceContext{request_id});
+    pool_->Submit([this, done = std::move(done),
+                   request = std::move(request), deadline_ns, request_id,
+                   enqueue_ns] {
+      Response response;
+      try {
+        response = HandleAbsolute(request, deadline_ns, request_id,
+                                  NowNs() - enqueue_ns);
+      } catch (...) {
+        response.status = StatusCode::kRejected;
+        response.kind = KindOf(request);
+      }
+      done(std::move(response));
+      util::MutexLock lock(drain_mu_);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        drain_cv_.NotifyAll();
+      }
+    });
+  }
+}
+
+std::optional<Response> CspdbService::Probe(const ServiceRequest& request,
+                                            Fingerprint* fingerprint) {
+  CSPDB_TIMER_SCOPE("service.probe");
+  const int64_t start_ns = NowNs();
+  const CanonicalRequest canon = Canonicalize(request);
+  if (fingerprint != nullptr) *fingerprint = canon.fingerprint;
+  if (!options_.enable_cache || !canon.fingerprint.exact) {
+    return std::nullopt;
+  }
+  std::shared_ptr<const EngineAnswer> cached =
+      cache_.Lookup(canon.fingerprint, KindOf(request), NowNs());
+  if (cached == nullptr) return std::nullopt;
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  ok_.fetch_add(1, std::memory_order_relaxed);
+  CSPDB_COUNT("service.requests");
+
+  Response response;
+  response.status = StatusCode::kOk;
+  response.kind = KindOf(request);
+  response.cache_hit = true;
+  response.answer = MapBack(*cached, canon);
+  response.latency_ns = NowNs() - start_ns;
+  CSPDB_HISTO_NS("service.handle_ns", response.latency_ns);
+
+  obs::RequestOutcome outcome;
+  outcome.kind = static_cast<int32_t>(response.kind);
+  outcome.status = static_cast<int32_t>(StatusCode::kOk);
+  outcome.cache_disposition = static_cast<int32_t>(CacheDisposition::kHit);
+  outcome.work_items = 0;
+  outcome.wall_ns = response.latency_ns;
+  outcome.queue_wait_ns = 0;
+  stats_store_.Record({canon.fingerprint.lo, canon.fingerprint.hi}, outcome);
+  return response;
+}
+
 ServiceStats CspdbService::stats() const {
   ServiceStats s;
   s.requests = requests_.load(std::memory_order_relaxed);

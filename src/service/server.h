@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -120,6 +121,26 @@ class CspdbService {
   /// deadline passes while queued, with the handled response otherwise.
   std::future<Response> Submit(ServiceRequest request,
                                int64_t timeout_ns = -1);
+
+  /// Callback flavor of the async path, for callers that must not block
+  /// on a future (the net tier's event loop). `done` is invoked exactly
+  /// once with the final response: inline when the request is rejected at
+  /// admission, on a pool thread otherwise. An exception escaping the
+  /// handler is converted into a kRejected response rather than
+  /// propagated (there is no future to carry it).
+  void Submit(ServiceRequest request, int64_t timeout_ns,
+              std::function<void(Response)> done);
+
+  /// Cache-only probe: canonicalizes `request`, reports its fingerprint
+  /// through *fingerprint (always, hit or miss), and returns the
+  /// mapped-back cached response on a hit — counted as a served request
+  /// and cache hit, exactly like a Handle() that hit. On a miss nothing
+  /// is counted and std::nullopt is returned; the caller follows up with
+  /// Handle()/Submit(), which does its own accounting. This is the
+  /// net-tier router's "is it already here?" question, asked before
+  /// deciding whether to consult the owner shard.
+  std::optional<Response> Probe(const ServiceRequest& request,
+                                Fingerprint* fingerprint);
 
   ServiceStats stats() const;
 

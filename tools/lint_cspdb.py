@@ -43,6 +43,15 @@ Mechanically enforces conventions the compiler cannot:
                   oracle) covers every hot loop; a stray intrinsic
                   elsewhere silently breaks the scalar/NEON builds.
 
+  raw-socket      Socket/epoll system headers (<sys/socket.h>,
+                  <sys/epoll.h>, <sys/eventfd.h>, <netinet/*.h>,
+                  <arpa/inet.h>, <netdb.h>, <poll.h>) and the
+                  epoll_*/eventfd syscalls are banned everywhere except
+                  src/net/. All networking goes through the net:: tier
+                  (wire framing, event loop, client) so the strict
+                  decoder and backpressure rules cannot be bypassed by
+                  an ad-hoc socket elsewhere in the tree.
+
   wallclock       time.time / datetime.now / date.today / utcnow /
                   perf_counter are banned in bench/*.py and tools/*.py.
                   Benchmark distillers must be replayable: deriving
@@ -102,6 +111,12 @@ RAW_SIMD_RE = re.compile(
     r"#\s*include\s*<(immintrin|x86intrin|arm_neon|emmintrin|smmintrin|"
     r"tmmintrin|avxintrin|avx2intrin)\.h>"
     r"|\b__builtin_ia32_\w+"
+)
+
+RAW_SOCKET_RE = re.compile(
+    r"#\s*include\s*<(sys/socket|sys/epoll|sys/eventfd|netinet/[a-z0-9_]+|"
+    r"arpa/inet|netdb|poll)\.h>"
+    r"|\bepoll_(create1?|ctl|wait)\s*\(|\beventfd\s*\("
 )
 
 WALLCLOCK_RE = re.compile(
@@ -190,6 +205,7 @@ def lint_cpp(path, rel, lines):
     in_simd_h = norm == "src/util/simd.h"
     in_obs = norm.startswith("src/obs/")
     in_util = norm.startswith("src/util/")
+    in_net = norm.startswith("src/net/")
 
     uses_obs_macro = False
     includes_obs_h = False
@@ -206,6 +222,12 @@ def lint_cpp(path, rel, lines):
         if not in_simd_h and RAW_SIMD_RE.search(line):
             if not is_comment_only(line) and not allowed("raw-simd", lines, i):
                 findings.append(Finding("raw-simd", path, lineno, line))
+
+        if not in_net and RAW_SOCKET_RE.search(line):
+            if not is_comment_only(line) and not allowed(
+                "raw-socket", lines, i
+            ):
+                findings.append(Finding("raw-socket", path, lineno, line))
 
         m = OBS_MACRO_RE.search(line)
         if m and not is_comment_only(line) and "#define" not in line:
@@ -357,6 +379,21 @@ SELF_TEST_VIOLATIONS = [
         "}\n",
     ),
     (
+        "raw-socket",
+        "src/service/bad_socket.cc",
+        "#include <sys/socket.h>\n",
+    ),
+    (
+        "raw-socket",
+        "src/db/bad_epoll.cc",
+        "int f() { return epoll_create1(0); }\n",
+    ),
+    (
+        "raw-socket",
+        "tests/bad_poll_test.cc",
+        "#include <poll.h>\n",
+    ),
+    (
         "wallclock",
         "bench/bad_distill.py",
         # cspdb-lint: allow(wallclock) -- self-test fixture, string literal
@@ -408,6 +445,18 @@ SELF_TEST_CLEAN = [
         "src/db/escaped_simd.cc",
         "// cspdb-lint: allow(raw-simd) -- vetted one-off kernel\n"
         "#include <immintrin.h>\n",
+    ),
+    (
+        "raw-socket sanctioned in src/net/",
+        "src/net/event_loop.cc",
+        "#include <sys/epoll.h>\n#include <sys/eventfd.h>\n"
+        "int f() { return epoll_create1(0); }\n",
+    ),
+    (
+        "raw-socket allow marker",
+        "src/db/escaped_socket.cc",
+        "// cspdb-lint: allow(raw-socket) -- vetted one-off probe\n"
+        "#include <sys/socket.h>\n",
     ),
 ]
 
