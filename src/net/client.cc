@@ -236,29 +236,52 @@ bool PeerClient::down() const {
 std::optional<service::Response> PeerClient::Call(
     const service::ServiceRequest& request, uint64_t request_id,
     uint16_t flags, std::string* error) {
-  util::MutexLock lock(mu_);
-  if (NowMs() < down_until_ms_) {
-    *error = "peer " + address_ + " is marked down";
-    CSPDB_COUNT("net.peer.fast_fail");
-    return std::nullopt;
+  // mu_ covers only the down/busy state and connection handoff — never
+  // the blocking dial/call itself. A slow-but-alive peer must cost the
+  // one thread already talking to it, not stall every pool thread that
+  // routes to the same owner shard.
+  std::unique_ptr<Connection> conn;
+  {
+    util::MutexLock lock(mu_);
+    if (NowMs() < down_until_ms_) {
+      *error = "peer " + address_ + " is marked down";
+      CSPDB_COUNT("net.peer.fast_fail");
+      return std::nullopt;
+    }
+    if (busy_) {
+      // Another thread is mid-call on this peer's single connection.
+      // Fail fast (no backoff: the peer is alive) so the caller degrades
+      // to local compute instead of queueing behind blocking I/O.
+      *error = "peer " + address_ + " connection is busy";
+      CSPDB_COUNT("net.peer.busy_fail");
+      return std::nullopt;
+    }
+    busy_ = true;
+    conn = std::move(conn_);
   }
+
+  std::optional<service::Response> response;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
-    if (conn_ == nullptr || conn_->broken()) {
-      conn_ = Connection::Dial(address_, options_.dial_timeout_ms, error);
-      if (conn_ == nullptr) continue;
+    if (conn == nullptr || conn->broken()) {
+      conn = Connection::Dial(address_, options_.dial_timeout_ms, error);
+      if (conn == nullptr) continue;
     }
-    std::optional<service::Response> response = conn_->Call(
-        request, request_id, flags, options_.call_timeout_ms, error);
-    if (response.has_value()) {
-      consecutive_failures_ = 0;
-      down_until_ms_ = 0;
-      return response;
-    }
+    response = conn->Call(request, request_id, flags,
+                          options_.call_timeout_ms, error);
+    if (response.has_value()) break;
+  }
+
+  util::MutexLock lock(mu_);
+  busy_ = false;
+  if (response.has_value()) {
+    conn_ = std::move(conn);
+    consecutive_failures_ = 0;
+    down_until_ms_ = 0;
+    return response;
   }
   // All attempts failed: open a backoff window that doubles per
   // consecutive failed Call(), so a dead peer degrades to one cheap
   // failure per window.
-  conn_.reset();
   int64_t backoff = options_.backoff_base_ms;
   for (int i = 0; i < consecutive_failures_ && backoff < options_.backoff_max_ms;
        ++i) {

@@ -25,8 +25,8 @@ namespace cspdb::net {
 bool ParseHostPort(const std::string& address, std::string* host, int* port);
 
 /// A blocking client connection. Not thread-safe — callers serialize
-/// (PeerClient does, with a per-peer mutex). Every failure poisons the
-/// connection: the only recovery is a fresh Dial.
+/// (PeerClient does, via its per-peer busy flag). Every failure poisons
+/// the connection: the only recovery is a fresh Dial.
 class Connection {
  public:
   /// Connects to "host:port" (numeric IPv4 or "localhost"). Returns
@@ -82,8 +82,11 @@ class PeerClient {
   PeerClient(std::string address, PeerClientOptions options = {});
 
   /// Calls the peer, dialing if needed. Fails fast (no network traffic)
-  /// while the peer is marked down. On failure the peer is marked down
-  /// and the backoff window doubled; on success both reset.
+  /// while the peer is marked down, and also while another thread is
+  /// mid-call on the single connection — callers degrade to local
+  /// compute rather than serialize behind blocking I/O. On failure the
+  /// peer is marked down and the backoff window doubled; on success both
+  /// reset.
   std::optional<service::Response> Call(const service::ServiceRequest& request,
                                         uint64_t request_id, uint16_t flags,
                                         std::string* error);
@@ -98,7 +101,10 @@ class PeerClient {
   const PeerClientOptions options_;
 
   mutable util::Mutex mu_;
+  /// Moved out under mu_ by the calling thread (busy_ set), used without
+  /// the lock, and handed back under mu_ when the call completes.
   std::unique_ptr<Connection> conn_ CSPDB_GUARDED_BY(mu_);
+  bool busy_ CSPDB_GUARDED_BY(mu_) = false;
   int consecutive_failures_ CSPDB_GUARDED_BY(mu_) = 0;
   int64_t down_until_ms_ CSPDB_GUARDED_BY(mu_) = 0;
 };

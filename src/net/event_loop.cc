@@ -36,25 +36,33 @@ EventLoop::~EventLoop() {
 }
 
 void EventLoop::AddFd(int fd, uint32_t events, FdHandler handler) {
+  const uint64_t token = next_token_++;
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = token;
   CSPDB_CHECK_MSG(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
                   "epoll_ctl(ADD) failed");
-  handlers_[fd] = std::move(handler);
+  handlers_[token] = std::move(handler);
+  tokens_[fd] = token;
 }
 
 void EventLoop::UpdateFd(int fd, uint32_t events) {
+  auto it = tokens_.find(fd);
+  CSPDB_CHECK_MSG(it != tokens_.end(), "UpdateFd on unregistered fd");
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = it->second;
   CSPDB_CHECK_MSG(epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
                   "epoll_ctl(MOD) failed");
 }
 
 void EventLoop::RemoveFd(int fd) {
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  handlers_.erase(fd);
+  auto it = tokens_.find(fd);
+  if (it != tokens_.end()) {
+    handlers_.erase(it->second);
+    tokens_.erase(it);
+  }
 }
 
 void EventLoop::Post(std::function<void()> task) {
@@ -118,10 +126,13 @@ void EventLoop::Run(int64_t tick_interval_ms, std::function<void()> tick) {
     }
     CSPDB_COUNT("net.loop.wakeups");
     for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      // A handler earlier in this batch may have removed this fd (e.g.
-      // closed a connection that was also writable); look it up fresh.
-      auto it = handlers_.find(fd);
+      const uint64_t token = events[i].data.u64;
+      // A handler earlier in this batch may have removed this
+      // registration (closed a connection that was also writable) — and
+      // may have opened a new one that reuses the same fd number. Tokens
+      // are never reused, so the stale queued event misses here instead
+      // of firing the new connection's handler.
+      auto it = handlers_.find(token);
       if (it != handlers_.end()) it->second(events[i].events);
     }
     DrainPosted();

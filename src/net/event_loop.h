@@ -65,7 +65,17 @@ class EventLoop {
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd; written by Post()/Stop()
-  std::unordered_map<int, FdHandler> handlers_;  // loop thread only
+
+  // Registrations are keyed by a never-reused token, and the token (not
+  // the fd) is what epoll hands back with each event. Kernels queue
+  // events per registration, so within one epoll_wait batch a handler
+  // can close an fd and a later handler can accept a new connection
+  // that reuses the same fd number; fd-keyed dispatch would route the
+  // old socket's stale queued event to the new connection. Loop thread
+  // only.
+  uint64_t next_token_ = 1;
+  std::unordered_map<uint64_t, FdHandler> handlers_;  // token -> handler
+  std::unordered_map<int, uint64_t> tokens_;          // fd -> live token
 
   util::Mutex mu_;
   std::vector<std::function<void()>> posted_ CSPDB_GUARDED_BY(mu_);

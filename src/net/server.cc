@@ -121,8 +121,9 @@ void NetServer::Shutdown() {
     MaybeFinishDrain();
   });
   loop_thread_.join();
-  // The loop is gone, but router-path pool tasks may still be running
-  // (their posted completions are simply never drained). They capture
+  // The loop is gone, but request work may still be running on pool
+  // threads — router-path tasks and service Submit callbacks alike
+  // (their posted completions are simply never drained). Both capture
   // `this`, so destruction must wait for them.
   util::MutexLock lock(pool_tasks_mu_);
   while (pool_tasks_ > 0) pool_tasks_cv_.Wait(pool_tasks_mu_);
@@ -275,14 +276,23 @@ void NetServer::DispatchRequest(Conn* conn, Frame frame) {
   }
 
   // Peer forward (kFlagNoForward) or an unclustered node: the service's
-  // admission-controlled async path. The callback runs on a pool thread;
-  // the response hops back to the loop thread to be written.
+  // admission-controlled async path. The callback runs on a pool thread
+  // (inline here on admission rejection); the response hops back to the
+  // loop thread to be written. Counted in pool_tasks_ — Shutdown() must
+  // not let ~NetServer destroy the loop while a callback is still
+  // posting to it.
+  {
+    util::MutexLock lock(pool_tasks_mu_);
+    ++pool_tasks_;
+  }
   service_->Submit(std::move(*request), options_.request_timeout_ns,
                    [this, conn_id, wire_id](service::Response response) {
                      loop_.Post([this, conn_id, wire_id,
                                  response = std::move(response)] {
                        CompleteRequest(conn_id, wire_id, response);
                      });
+                     util::MutexLock lock(pool_tasks_mu_);
+                     if (--pool_tasks_ == 0) pool_tasks_cv_.NotifyAll();
                    });
 }
 

@@ -144,9 +144,11 @@ class NetServer {
   bool draining_ = false;
   int64_t drain_deadline_ms_ = 0;
 
-  // Router-path pool tasks in flight. Shutdown() must outwait them: they
-  // capture `this`, and the loop being stopped only means their posted
-  // completions are never drained, not that the tasks are done.
+  // Request work in flight on pool threads: router-path tasks plus
+  // service Submit done-callbacks. Shutdown() must outwait both — they
+  // capture `this` and post to loop_, and the loop being stopped only
+  // means their posted completions are never drained, not that the
+  // tasks are done.
   util::Mutex pool_tasks_mu_;
   util::CondVar pool_tasks_cv_;
   int pool_tasks_ CSPDB_GUARDED_BY(pool_tasks_mu_) = 0;

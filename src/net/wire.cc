@@ -27,8 +27,13 @@ using service::StatusCode;
 // Sanity ceilings. Workloads this repo generates sit orders of magnitude
 // below them; anything above is either corruption or an attack, and the
 // ceilings keep a hostile count from meaning a giant allocation even
-// when it is consistent with the payload length.
-constexpr int kMaxDomain = 1 << 22;      // variables / values / elements
+// when it is consistent with the payload length. kMaxDomain is a
+// network-facing ceiling, deliberately far below what the engines can
+// handle in-process: CspInstance's constructor allocates per-variable
+// bookkeeping before any constraint bytes are read, so this bound (not
+// the payload length) is what caps how much allocation a small hostile
+// header can drive.
+constexpr int kMaxDomain = 1 << 16;      // variables / values / elements
 constexpr int kMaxArity = 64;            // constraint scopes, relations
 constexpr int kMaxRuleVariables = 4096;  // rule-local datalog variables
 constexpr std::size_t kMaxNameBytes = 256;
@@ -231,6 +236,14 @@ bool DecodeCsp(Reader* r, std::optional<CspInstance>* out) {
   }
   if (num_values < 0 || num_values > kMaxDomain) {
     return r->Fail("csp value count out of range");
+  }
+  // CspInstance(num_variables, ...) resizes a per-variable vector before
+  // a single constraint byte is decoded. Every useful variable occurs in
+  // some constraint scope (4 bytes each), so bounding the count by the
+  // bytes actually sent keeps a ~30-byte hostile header from driving a
+  // large allocation while rejecting no instance a real client encodes.
+  if (static_cast<std::size_t>(num_variables) > r->remaining()) {
+    return r->Fail("csp variable count exceeds remaining payload bytes");
   }
   std::size_t num_constraints = 0;
   // A constraint is at least a scope length + tuple count (8 bytes).
@@ -485,13 +498,16 @@ bool DecodeRows(Reader* r, RowsAnswer* rows) {
   if (rows->num_rows < 0) return r->Fail("negative row count");
   std::size_t count = 0;
   if (!r->ReadCount(4, 1u << 26, &count)) return false;
-  const uint64_t expected =
-      static_cast<uint64_t>(rows->num_rows) *
-      static_cast<uint64_t>(rows->arity);
-  if (rows->arity > 0 && expected != count) {
-    return r->Fail("row payload does not match num_rows * arity");
-  }
-  if (rows->arity == 0 && count != 0) {
+  if (rows->arity > 0) {
+    // Check via division: num_rows * arity is a product of two
+    // attacker-controlled values and can wrap mod 2^64 into agreement
+    // with count (e.g. arity 2^16, num_rows 2^48, count 0).
+    const uint64_t arity = static_cast<uint64_t>(rows->arity);
+    if (count % arity != 0 ||
+        static_cast<uint64_t>(rows->num_rows) != count / arity) {
+      return r->Fail("row payload does not match num_rows * arity");
+    }
+  } else if (count != 0) {
     return r->Fail("arity-0 rows must carry no values");
   }
   rows->rows.clear();

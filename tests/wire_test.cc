@@ -169,6 +169,24 @@ TEST(WireRequest, LyingCountsAreRejectedWithoutAllocation) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(WireRequest, HugeVariableCountInTinyPayloadRejected) {
+  // CspInstance's constructor allocates per-variable bookkeeping, so a
+  // hostile header claiming the maximum variable count in a ~13-byte
+  // payload must be rejected *before* construction — the variable count
+  // is bounded by the bytes actually sent, not just the range ceiling.
+  std::vector<uint8_t> payload;
+  payload.push_back(0);  // kind = SolveCsp
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<uint8_t>((1u << 16) >> (8 * i)));
+  }
+  for (uint8_t b : {2, 0, 0, 0}) payload.push_back(b);  // num_values
+  for (uint8_t b : {0, 0, 0, 0}) payload.push_back(b);  // no constraints
+  std::string error;
+  EXPECT_FALSE(
+      DecodeRequestPayload(payload.data(), payload.size(), &error).has_value());
+  EXPECT_NE(error.find("remaining payload"), std::string::npos) << error;
+}
+
 TEST(WireRequest, SemanticViolationsRejected) {
   auto expect_reject = [](std::vector<uint8_t> payload, const char* what) {
     std::string error;
@@ -345,6 +363,31 @@ TEST(WireResponse, RowPayloadMismatchRejected) {
   EXPECT_FALSE(
       DecodeResponsePayload(payload.data(), payload.size(), &error)
           .has_value());
+  EXPECT_NE(error.find("num_rows"), std::string::npos) << error;
+}
+
+TEST(WireResponse, RowCountTimesArityOverflowRejected) {
+  // arity = 2^16 and num_rows = 2^48 multiply to exactly 2^64, which
+  // wraps to 0 and would agree with an empty rows array if the check
+  // multiplied instead of dividing.
+  std::vector<uint8_t> p;
+  auto u32 = [&p](uint32_t v) {
+    for (int i = 0; i < 4; ++i) p.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  };
+  auto u64 = [&p](uint64_t v) {
+    for (int i = 0; i < 8; ++i) p.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  };
+  p.push_back(0);  // status = kOk
+  p.push_back(1);  // kind = kEvalCq
+  p.push_back(0);  // flag bits
+  u64(0);          // latency_ns
+  u64(0);          // queue_wait_ns
+  p.push_back(1);  // answer variant = RowsAnswer
+  u32(1u << 16);   // arity (at the ceiling)
+  u64(1ull << 48); // num_rows: arity * num_rows == 2^64 == 0 mod 2^64
+  u32(0);          // rows array is empty
+  std::string error;
+  EXPECT_FALSE(DecodeResponsePayload(p.data(), p.size(), &error).has_value());
   EXPECT_NE(error.find("num_rows"), std::string::npos) << error;
 }
 
